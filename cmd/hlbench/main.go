@@ -1,0 +1,79 @@
+// Command hlbench regenerates the paper's tables and figures over the
+// synthetic stand-in datasets (see DESIGN.md's per-experiment index).
+//
+// Usage:
+//
+//	hlbench -exp all                      # every table and figure
+//	hlbench -exp table2,table3 -shrink 4  # quicker, smaller stand-ins
+//	hlbench -exp fig7 -datasets Skitter,Flickr -pairs 10000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"highway/internal/bench"
+	"highway/internal/datasets"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "hlbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("hlbench", flag.ContinueOnError)
+	var (
+		exp    = fs.String("exp", "all", "comma-separated experiment ids: "+strings.Join(bench.ExperimentIDs(), ",")+" or all")
+		ds     = fs.String("datasets", "", "comma-separated dataset names (default: all 12; 'small' = the quick subset)")
+		shrink = fs.Int("shrink", 1, "dataset shrink divisor (1 = standard ~1:100 stand-ins)")
+		k      = fs.Int("k", 20, "landmarks for Table 2/3 and Figure 1")
+		pairs  = fs.Int("pairs", 100_000, "sampled query pairs")
+		slow   = fs.Int("slowpairs", 1_000, "pairs for slow online methods (Bi-BFS, IS-L)")
+		budget = fs.Duration("budget", 60*time.Second, "per-method DNF build budget")
+		work   = fs.Int("workers", 0, "HL-P workers (0 = all cores)")
+		seed   = fs.Int64("seed", 42, "workload seed")
+		list   = fs.Bool("list", false, "list experiment ids and datasets, then exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		fmt.Println("experiments:", strings.Join(bench.ExperimentIDs(), " "))
+		fmt.Println("datasets:   ", strings.Join(datasets.Names(), " "))
+		return nil
+	}
+
+	var names []string
+	switch *ds {
+	case "":
+	case "small":
+		for _, d := range datasets.SmallSet() {
+			names = append(names, d.Name)
+		}
+	default:
+		names = strings.Split(*ds, ",")
+	}
+
+	r, err := bench.NewRunner(bench.Config{
+		Out:         os.Stdout,
+		Datasets:    names,
+		Shrink:      *shrink,
+		Landmarks:   *k,
+		Pairs:       *pairs,
+		SlowPairs:   *slow,
+		BuildBudget: *budget,
+		Workers:     *work,
+		Seed:        *seed,
+		Progress:    os.Stderr,
+	})
+	if err != nil {
+		return err
+	}
+	return r.Run(strings.Split(*exp, ","))
+}

@@ -1,0 +1,42 @@
+package main
+
+import "testing"
+
+func TestRunList(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunTinyExperiment(t *testing.T) {
+	err := run([]string{
+		"-exp", "table1",
+		"-datasets", "Skitter",
+		"-shrink", "64",
+		"-pairs", "50",
+		"-slowpairs", "10",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSmallAlias(t *testing.T) {
+	err := run([]string{
+		"-exp", "table1",
+		"-datasets", "small",
+		"-shrink", "64",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{"-exp", "bogus", "-datasets", "Skitter", "-shrink", "64"}); err == nil {
+		t.Error("bogus experiment accepted")
+	}
+	if err := run([]string{"-datasets", "NotReal"}); err == nil {
+		t.Error("bogus dataset accepted")
+	}
+}

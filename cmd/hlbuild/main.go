@@ -1,0 +1,97 @@
+// Command hlbuild constructs a highway cover distance labelling for a
+// graph file and writes it next to the graph.
+//
+// Usage:
+//
+//	hlbuild -graph web.hwg -k 20 -out web.idx
+//	hlbuild -graph edges.txt -k 40 -strategy degree -workers 8 -verify 1000
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"highway"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "hlbuild:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("hlbuild", flag.ContinueOnError)
+	var (
+		graphPath = fs.String("graph", "", "graph file: binary (.hwg) or text edge list (required)")
+		k         = fs.Int("k", 20, "number of landmarks")
+		strategy  = fs.String("strategy", "degree", "landmark strategy: degree | random | closeness | degree-spread")
+		seed      = fs.Int64("seed", 42, "seed for randomized strategies")
+		workers   = fs.Int("workers", 0, "parallel pruned BFSs (0 = all cores, 1 = sequential HL)")
+		out       = fs.String("out", "", "index output path (default: graph path + .idx)")
+		verify    = fs.Int("verify", 0, "cross-check this many random pairs against BFS after building")
+		timeout   = fs.Duration("timeout", 0, "abort construction after this duration (0 = none)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *graphPath == "" {
+		return fmt.Errorf("-graph is required")
+	}
+	g, err := loadGraph(*graphPath)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("graph: n=%d m=%d\n", g.NumVertices(), g.NumEdges())
+
+	lm, err := highway.SelectLandmarks(g, *k, highway.LandmarkStrategy(*strategy), *seed)
+	if err != nil {
+		return err
+	}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	start := time.Now()
+	ix, err := highway.BuildIndexOpts(ctx, g, lm, highway.BuildOptions{Workers: *workers})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("built in %s: %s\n", time.Since(start).Round(time.Millisecond), ix.Stats())
+
+	if *verify > 0 {
+		if err := ix.Verify(*verify, *seed); err != nil {
+			return err
+		}
+		fmt.Printf("verified %d random pairs against BFS\n", *verify)
+	}
+
+	dest := *out
+	if dest == "" {
+		dest = *graphPath + ".idx"
+	}
+	if err := ix.Save(dest); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", dest)
+	return nil
+}
+
+// loadGraph auto-detects the binary format by extension, falling back to
+// text parsing.
+func loadGraph(path string) (*highway.Graph, error) {
+	if strings.HasSuffix(path, ".hwg") || strings.HasSuffix(path, ".bin") {
+		return highway.LoadGraph(path)
+	}
+	if g, err := highway.LoadGraph(path); err == nil {
+		return g, nil
+	}
+	return highway.LoadEdgeList(path)
+}

@@ -1,0 +1,85 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"highway"
+)
+
+func writeGraph(t *testing.T) string {
+	t.Helper()
+	g := highway.BarabasiAlbert(400, 3, 5)
+	path := filepath.Join(t.TempDir(), "g.hwg")
+	if err := highway.SaveGraph(g, path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunBuild(t *testing.T) {
+	gp := writeGraph(t)
+	if err := run([]string{"-graph", gp, "-k", "8", "-verify", "200"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(gp + ".idx"); err != nil {
+		t.Fatal("default index path not written:", err)
+	}
+	// Load it back through the facade.
+	g, err := highway.LoadGraph(gp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := highway.LoadIndex(gp+".idx", g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.NumLandmarks() != 8 {
+		t.Fatalf("k = %d", ix.NumLandmarks())
+	}
+}
+
+func TestRunBuildTextGraph(t *testing.T) {
+	g := highway.BarabasiAlbert(100, 2, 2)
+	dir := t.TempDir()
+	gp := filepath.Join(dir, "edges.txt")
+	f, err := os.Create(gp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.WriteEdgeList(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	out := filepath.Join(dir, "custom.idx")
+	if err := run([]string{"-graph", gp, "-k", "4", "-out", out, "-workers", "1"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(out); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBuildStrategy(t *testing.T) {
+	gp := writeGraph(t)
+	if err := run([]string{"-graph", gp, "-k", "5", "-strategy", "random", "-seed", "9"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBuildErrors(t *testing.T) {
+	if err := run([]string{}); err == nil {
+		t.Error("missing -graph accepted")
+	}
+	if err := run([]string{"-graph", "/does/not/exist.hwg"}); err == nil {
+		t.Error("missing file accepted")
+	}
+	gp := writeGraph(t)
+	if err := run([]string{"-graph", gp, "-k", "0"}); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if err := run([]string{"-graph", gp, "-strategy", "bogus"}); err == nil {
+		t.Error("bogus strategy accepted")
+	}
+}

@@ -1,0 +1,82 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"highway"
+)
+
+func TestRunBA(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "g.hwg")
+	if err := run([]string{"-family", "ba", "-n", "500", "-deg", "6", "-seed", "3", "-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	g, err := highway.LoadGraph(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 500 {
+		t.Fatalf("n = %d", g.NumVertices())
+	}
+}
+
+func TestRunDataset(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "d.hwg")
+	if err := run([]string{"-dataset", "Skitter", "-shrink", "64", "-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(out); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunTextOutput(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "g.txt")
+	if err := run([]string{"-family", "er", "-n", "50", "-deg", "4", "-out", out, "-text"}); err != nil {
+		t.Fatal(err)
+	}
+	g, err := highway.LoadEdgeList(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() == 0 {
+		t.Fatal("no edges in text output")
+	}
+}
+
+func TestRunWS(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "ws.hwg")
+	if err := run([]string{"-family", "ws", "-n", "100", "-deg", "4", "-beta", "0.2", "-out", out}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRMAT(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "rm.hwg")
+	if err := run([]string{"-family", "rmat", "-scale", "8", "-deg", "4", "-out", out}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunList(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{}); err == nil {
+		t.Error("missing -out/-dataset accepted")
+	}
+	if err := run([]string{"-out", "/tmp/x.hwg"}); err == nil {
+		t.Error("missing -dataset/-family accepted")
+	}
+	if err := run([]string{"-family", "bogus", "-out", filepath.Join(t.TempDir(), "x")}); err == nil {
+		t.Error("bogus family accepted")
+	}
+	if err := run([]string{"-dataset", "bogus", "-out", filepath.Join(t.TempDir(), "x")}); err == nil {
+		t.Error("bogus dataset accepted")
+	}
+}

@@ -1,0 +1,140 @@
+// Command hlquery answers exact distance queries against a prebuilt
+// index, in one of three modes:
+//
+//   - one-shot: hlquery -graph g.hwg -index g.hwg.idx -s 12 -t 34
+//   - REPL: hlquery -graph g.hwg -index g.hwg.idx  (reads "s t" lines from stdin)
+//   - HTTP: hlquery -graph g.hwg -index g.hwg.idx -serve :8080
+//     then GET /distance?s=12&t=34 returns {"s":12,"t":34,"distance":3}.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"highway"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "hlquery:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("hlquery", flag.ContinueOnError)
+	var (
+		graphPath = fs.String("graph", "", "binary graph file (required)")
+		indexPath = fs.String("index", "", "index file (default: graph path + .idx)")
+		s         = fs.Int("s", -1, "one-shot: source vertex")
+		t         = fs.Int("t", -1, "one-shot: target vertex")
+		serve     = fs.String("serve", "", "HTTP listen address (e.g. :8080)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *graphPath == "" {
+		return fmt.Errorf("-graph is required")
+	}
+	g, err := highway.LoadGraph(*graphPath)
+	if err != nil {
+		return err
+	}
+	ip := *indexPath
+	if ip == "" {
+		ip = *graphPath + ".idx"
+	}
+	ix, err := highway.LoadIndex(ip, g)
+	if err != nil {
+		return err
+	}
+
+	switch {
+	case *s >= 0 && *t >= 0:
+		return oneShot(ix, g, int32(*s), int32(*t))
+	case *serve != "":
+		return serveHTTP(ix, g, *serve)
+	default:
+		return repl(ix, g)
+	}
+}
+
+func checkVertex(g *highway.Graph, v int32) error {
+	if v < 0 || int(v) >= g.NumVertices() {
+		return fmt.Errorf("vertex %d out of range [0,%d)", v, g.NumVertices())
+	}
+	return nil
+}
+
+func oneShot(ix *highway.Index, g *highway.Graph, s, t int32) error {
+	if err := checkVertex(g, s); err != nil {
+		return err
+	}
+	if err := checkVertex(g, t); err != nil {
+		return err
+	}
+	start := time.Now()
+	d := ix.Distance(s, t)
+	fmt.Printf("d(%d,%d) = %d  (%s)\n", s, t, d, time.Since(start))
+	return nil
+}
+
+func repl(ix *highway.Index, g *highway.Graph) error {
+	sr := ix.NewSearcher()
+	sc := bufio.NewScanner(os.Stdin)
+	fmt.Println("enter queries as: s t   (EOF to quit)")
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		if len(fields) != 2 {
+			fmt.Println("want two vertex ids")
+			continue
+		}
+		s, err1 := strconv.Atoi(fields[0])
+		t, err2 := strconv.Atoi(fields[1])
+		if err1 != nil || err2 != nil ||
+			checkVertex(g, int32(s)) != nil || checkVertex(g, int32(t)) != nil {
+			fmt.Printf("bad query %q\n", sc.Text())
+			continue
+		}
+		start := time.Now()
+		d := sr.Distance(int32(s), int32(t))
+		fmt.Printf("%d  (%s)\n", d, time.Since(start))
+	}
+	return sc.Err()
+}
+
+func serveHTTP(ix *highway.Index, g *highway.Graph, addr string) error {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/distance", func(w http.ResponseWriter, r *http.Request) {
+		s, err1 := strconv.Atoi(r.URL.Query().Get("s"))
+		t, err2 := strconv.Atoi(r.URL.Query().Get("t"))
+		if err1 != nil || err2 != nil {
+			http.Error(w, `need integer query params "s" and "t"`, http.StatusBadRequest)
+			return
+		}
+		if checkVertex(g, int32(s)) != nil || checkVertex(g, int32(t)) != nil {
+			http.Error(w, "vertex out of range", http.StatusBadRequest)
+			return
+		}
+		d := ix.Distance(int32(s), int32(t)) // concurrency-safe: pooled searchers
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, `{"s":%d,"t":%d,"distance":%d}`+"\n", s, t, d)
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		st := ix.Stats()
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, `{"n":%d,"m":%d,"landmarks":%d,"entries":%d,"avg_label_size":%.3f}`+"\n",
+			st.NumVertices, st.NumEdges, st.NumLandmarks, st.NumEntries, st.AvgLabelSize)
+	})
+	fmt.Printf("serving on %s (GET /distance?s=&t=, GET /stats)\n", addr)
+	return http.ListenAndServe(addr, mux)
+}

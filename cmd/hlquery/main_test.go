@@ -1,0 +1,68 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"highway"
+)
+
+func fixture(t *testing.T) (string, string, *highway.Graph) {
+	t.Helper()
+	g := highway.BarabasiAlbert(300, 3, 7)
+	dir := t.TempDir()
+	gp := filepath.Join(dir, "g.hwg")
+	if err := highway.SaveGraph(g, gp); err != nil {
+		t.Fatal(err)
+	}
+	lm, err := highway.SelectLandmarks(g, 6, highway.ByDegree, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := highway.BuildIndex(g, lm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ip := gp + ".idx"
+	if err := ix.Save(ip); err != nil {
+		t.Fatal(err)
+	}
+	return gp, ip, g
+}
+
+func TestOneShot(t *testing.T) {
+	gp, ip, _ := fixture(t)
+	if err := run([]string{"-graph", gp, "-index", ip, "-s", "1", "-t", "250"}); err != nil {
+		t.Fatal(err)
+	}
+	// Default index path (graph + .idx).
+	if err := run([]string{"-graph", gp, "-s", "0", "-t", "10"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{}); err == nil {
+		t.Error("missing -graph accepted")
+	}
+	gp, ip, _ := fixture(t)
+	if err := run([]string{"-graph", gp, "-index", ip, "-s", "1", "-t", "99999"}); err == nil {
+		t.Error("out-of-range vertex accepted")
+	}
+	if err := run([]string{"-graph", "/does/not/exist", "-s", "1", "-t", "2"}); err == nil {
+		t.Error("missing graph accepted")
+	}
+}
+
+func TestCheckVertex(t *testing.T) {
+	_, _, g := fixture(t)
+	if err := checkVertex(g, 0); err != nil {
+		t.Error(err)
+	}
+	if err := checkVertex(g, -1); err == nil {
+		t.Error("negative vertex accepted")
+	}
+	if err := checkVertex(g, int32(g.NumVertices())); err == nil {
+		t.Error("n accepted")
+	}
+}

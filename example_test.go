@@ -1,0 +1,48 @@
+package highway_test
+
+import (
+	"fmt"
+
+	"highway"
+)
+
+// ExampleBuildIndex builds an index over a small explicit graph and
+// answers a query. The graph is a 6-cycle with one chord.
+func ExampleBuildIndex() {
+	g, err := highway.FromEdges(6, [][2]int32{
+		{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 0}, {1, 4},
+	})
+	if err != nil {
+		panic(err)
+	}
+	landmarks, _ := highway.SelectLandmarks(g, 2, highway.ByDegree, 0)
+	ix, _ := highway.BuildIndex(g, landmarks)
+	fmt.Println(ix.Distance(0, 3))
+	fmt.Println(ix.Distance(2, 5))
+	// Output:
+	// 3
+	// 3
+}
+
+// ExampleIndex_UpperBound shows the offline bound versus the exact
+// distance on a path where the landmark sits at one end.
+func ExampleIndex_UpperBound() {
+	g, _ := highway.FromEdges(5, [][2]int32{{0, 1}, {1, 2}, {2, 3}, {3, 4}})
+	ix, _ := highway.BuildIndex(g, []int32{0}) // landmark at the left end
+	// The only landmark detour between 1 and 4 goes 1→0→...→4.
+	fmt.Println(ix.UpperBound(1, 4))
+	fmt.Println(ix.Distance(1, 4))
+	// Output:
+	// 5
+	// 3
+}
+
+// ExampleSearcher_Path reconstructs one shortest path.
+func ExampleSearcher_Path() {
+	g, _ := highway.FromEdges(5, [][2]int32{{0, 1}, {1, 2}, {2, 3}, {3, 4}})
+	ix, _ := highway.BuildIndex(g, []int32{2})
+	sr := ix.NewSearcher()
+	fmt.Println(sr.Path(0, 4))
+	// Output:
+	// [0 1 2 3 4]
+}

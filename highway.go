@@ -1,0 +1,231 @@
+// Package highway is a Go implementation of the highway cover distance
+// labelling of Farhan, Wang, Lin and McKay, "A Highly Scalable Labelling
+// Approach for Exact Distance Queries in Complex Networks" (EDBT 2019):
+// an exact shortest-path distance oracle for unweighted, undirected
+// complex networks that combines a minimal, order-independent landmark
+// labelling (built with one pruned BFS per landmark, optionally in
+// parallel) with distance-bounded bidirectional search on the
+// landmark-sparsified graph.
+//
+// # Quick start
+//
+//	g := highway.BarabasiAlbert(100_000, 5, 42)
+//	landmarks, _ := highway.SelectLandmarks(g, 20, highway.ByDegree, 0)
+//	ix, _ := highway.BuildIndex(g, landmarks)   // parallel pruned BFSs
+//	d := ix.Distance(12, 34)                    // exact distance, -1 if disconnected
+//
+// For tight query loops create one Searcher per goroutine:
+//
+//	sr := ix.NewSearcher()
+//	for _, q := range queries { _ = sr.Distance(q.S, q.T) }
+//
+// The package also re-exports the three baseline oracles the paper
+// evaluates against (PLL, FD, IS-L) so downstream users can reproduce the
+// comparisons on their own graphs; see BuildPLL, BuildFD and BuildISL.
+package highway
+
+import (
+	"context"
+
+	"highway/internal/core"
+	"highway/internal/dynhl"
+	"highway/internal/fd"
+	"highway/internal/gen"
+	"highway/internal/graph"
+	"highway/internal/isl"
+	"highway/internal/landmark"
+	"highway/internal/pll"
+	"highway/internal/workload"
+)
+
+// Graph is an immutable undirected graph in CSR form. Construct one with
+// NewBuilder, FromEdges or the generators, or load one with LoadEdgeList /
+// LoadGraph.
+type Graph = graph.Graph
+
+// Builder accumulates undirected edges and produces a deduplicated Graph.
+type Builder = graph.Builder
+
+// Index is a highway cover distance labelling: the exact distance oracle
+// of the paper. Build one with BuildIndex.
+type Index = core.Index
+
+// Searcher answers queries against an Index without per-query allocation;
+// create one per goroutine with Index.NewSearcher.
+type Searcher = core.Searcher
+
+// BuildOptions controls index construction (worker count).
+type BuildOptions = core.Options
+
+// IndexStats summarizes an Index (entry counts, sizes).
+type IndexStats = core.Stats
+
+// Pair is one (s,t) distance query, as produced by RandomPairs.
+type Pair = workload.Pair
+
+// Infinity is returned by Distance for disconnected vertex pairs.
+const Infinity = core.Infinity
+
+// MaxLandmarks is the largest supported landmark count.
+const MaxLandmarks = core.MaxLandmarks
+
+// NewBuilder returns a Builder for a graph with n vertices.
+func NewBuilder(n int) *Builder { return graph.NewBuilder(n) }
+
+// FromEdges builds a graph with n vertices from an explicit edge list.
+func FromEdges(n int, edges [][2]int32) (*Graph, error) { return graph.FromEdges(n, edges) }
+
+// LoadEdgeList reads a whitespace-separated text edge list ('#'/'%'
+// comments allowed, SNAP/KONECT style).
+func LoadEdgeList(path string) (*Graph, error) { return graph.LoadEdgeList(path) }
+
+// LoadGraph reads a binary graph file written by SaveGraph.
+func LoadGraph(path string) (*Graph, error) { return graph.LoadBinary(path) }
+
+// SaveGraph writes the graph in the compact binary format.
+func SaveGraph(g *Graph, path string) error { return g.SaveBinary(path) }
+
+// LargestComponent returns the induced subgraph of g's largest connected
+// component and the mapping from new vertex ids to original ids. The
+// labelling assumes connected inputs (paper Section 2); run this first on
+// graphs that may be disconnected.
+func LargestComponent(g *Graph) (*Graph, []int32) { return graph.LargestComponent(g) }
+
+// Generators for synthetic networks (deterministic per seed).
+//
+// BarabasiAlbert yields scale-free social-network-like graphs; RMAT yields
+// heavily skewed web-crawl-like graphs; ErdosRenyi and WattsStrogatz cover
+// homogeneous and small-world baselines.
+func BarabasiAlbert(n, k int, seed int64) *Graph { return gen.BarabasiAlbert(n, k, seed) }
+
+// RMAT returns an R-MAT graph with 2^scale vertices and about
+// edgeFactor*2^scale edges using the classic web skew (0.57,0.19,0.19,0.05).
+func RMAT(scale uint, edgeFactor int, seed int64) *Graph {
+	return gen.RMAT(scale, edgeFactor, 0.57, 0.19, 0.19, seed)
+}
+
+// ErdosRenyi returns a uniform random graph with n vertices and m edges.
+func ErdosRenyi(n int, m int64, seed int64) *Graph { return gen.ErdosRenyi(n, m, seed) }
+
+// WattsStrogatz returns a small-world ring lattice with rewiring
+// probability beta.
+func WattsStrogatz(n, k int, beta float64, seed int64) *Graph {
+	return gen.WattsStrogatz(n, k, beta, seed)
+}
+
+// LandmarkStrategy selects how SelectLandmarks picks the landmark set.
+type LandmarkStrategy = landmark.Strategy
+
+const (
+	// ByDegree picks the k highest-degree vertices (the paper's choice).
+	ByDegree = landmark.Degree
+	// ByRandom picks k vertices uniformly at random.
+	ByRandom = landmark.Random
+	// ByCloseness picks the k vertices with best sampled closeness.
+	ByCloseness = landmark.Closeness
+	// ByDegreeSpread picks high-degree vertices that are pairwise
+	// non-adjacent where possible.
+	ByDegreeSpread = landmark.DegreeSpread
+)
+
+// SelectLandmarks returns k landmarks under the given strategy (seed is
+// used by the randomized strategies).
+func SelectLandmarks(g *Graph, k int, strategy LandmarkStrategy, seed int64) ([]int32, error) {
+	return landmark.Select(g, landmark.Options{K: k, Strategy: strategy, Seed: seed})
+}
+
+// BuildIndex constructs the highway cover labelling with one pruned BFS
+// per landmark running in parallel (the paper's HL-P). The labelling is
+// deterministic: it does not depend on worker count or landmark order.
+func BuildIndex(g *Graph, landmarks []int32) (*Index, error) {
+	return core.BuildParallel(g, landmarks)
+}
+
+// BuildIndexSequential constructs the labelling with a single worker (the
+// paper's HL), producing an identical index to BuildIndex.
+func BuildIndexSequential(g *Graph, landmarks []int32) (*Index, error) {
+	return core.Build(g, landmarks)
+}
+
+// BuildIndexOpts constructs the labelling with explicit options and
+// cancellation.
+func BuildIndexOpts(ctx context.Context, g *Graph, landmarks []int32, opt BuildOptions) (*Index, error) {
+	return core.BuildOpts(ctx, g, landmarks, opt)
+}
+
+// LoadIndex reads an index file written by Index.Save and attaches it to
+// the graph it was built on.
+func LoadIndex(path string, g *Graph) (*Index, error) { return core.Load(path, g) }
+
+// RandomPairs samples count (s,t) pairs uniformly from V×V; use for
+// benchmarking query latency the way the paper does (100,000 pairs).
+func RandomPairs(g *Graph, count int, seed int64) []Pair {
+	return workload.RandomPairs(g, count, seed)
+}
+
+// Baseline oracles.
+//
+// These are the comparison methods of the paper's evaluation, implemented
+// from scratch on the same graph substrate. They answer the same exact
+// distance queries with different construction-time / size / query-time
+// trade-offs.
+
+// PLLIndex is a pruned landmark labelling (Akiba et al. 2013): a complete
+// 2-hop cover answering queries by label intersection alone.
+type PLLIndex = pll.Index
+
+// BuildPLL constructs the full PLL index (one pruned BFS per vertex in
+// decreasing-degree order). Expect much higher construction time and
+// labelling size than BuildIndex on large graphs.
+func BuildPLL(ctx context.Context, g *Graph) (*PLLIndex, error) { return pll.Build(ctx, g) }
+
+// BuildPLLBP constructs PLL with nBP bit-parallel trees (the paper runs
+// PLL with 50), which shrinks the normal labels and speeds construction
+// on hub-heavy graphs.
+func BuildPLLBP(ctx context.Context, g *Graph, nBP int) (*PLLIndex, error) {
+	return pll.BuildBP(ctx, g, nBP)
+}
+
+// FDIndex is the landmark-SPT oracle of Hayashi et al. 2016; it supports
+// incremental edge insertions via InsertEdge.
+type FDIndex = fd.Index
+
+// BuildFD constructs the FD index (one full BFS per landmark).
+func BuildFD(ctx context.Context, g *Graph, landmarks []int32) (*FDIndex, error) {
+	return fd.Build(ctx, g, landmarks)
+}
+
+// BuildFDBP constructs FD with one bit-parallel tree per landmark (the
+// paper's "20+64" configuration), tightening upper bounds and pair
+// coverage at the cost of 17 bytes per vertex per landmark.
+func BuildFDBP(ctx context.Context, g *Graph, landmarks []int32) (*FDIndex, error) {
+	return fd.BuildBP(ctx, g, landmarks)
+}
+
+// ISLIndex is an IS-Label oracle (Fu et al. 2013).
+type ISLIndex = isl.Index
+
+// ISLOptions configures BuildISL (hierarchy depth, fill-in cap).
+type ISLOptions = isl.Options
+
+// BuildISL constructs an IS-Label index with the paper's default
+// parameters when opt is the zero value.
+func BuildISL(ctx context.Context, g *Graph, opt ISLOptions) (*ISLIndex, error) {
+	if opt.Levels == 0 {
+		opt = isl.DefaultOptions()
+	}
+	return isl.Build(ctx, g, opt)
+}
+
+// DynamicIndex is a mutable highway cover labelling supporting edge
+// insertions via selective landmark rebuild: only landmarks whose
+// shortest-path trees can change are re-labelled, and the result is
+// always identical to a from-scratch build on the evolved graph (exact,
+// minimal and order-independent like the static index).
+type DynamicIndex = dynhl.Index
+
+// BuildDynamic constructs a DynamicIndex; the graph is copied into a
+// mutable adjacency and not retained.
+func BuildDynamic(g *Graph, landmarks []int32) (*DynamicIndex, error) {
+	return dynhl.Build(g, landmarks)
+}

@@ -1,0 +1,254 @@
+package highway_test
+
+import (
+	"context"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"highway"
+)
+
+// TestFacadeEndToEnd exercises the whole public surface the way the README
+// quick start does.
+func TestFacadeEndToEnd(t *testing.T) {
+	g := highway.BarabasiAlbert(2000, 4, 7)
+	lm, err := highway.SelectLandmarks(g, 16, highway.ByDegree, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := highway.BuildIndex(g, lm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqIx, err := highway.BuildIndexSequential(g, lm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.NumEntries() != seqIx.NumEntries() {
+		t.Fatal("parallel and sequential builds differ")
+	}
+
+	// Cross-check the oracle against the baselines on sampled pairs.
+	ctx := context.Background()
+	pllIx, err := highway.BuildPLL(ctx, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fdIx, err := highway.BuildFD(ctx, g, lm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	islIx, err := highway.BuildISL(ctx, g, highway.ISLOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr := ix.NewSearcher()
+	fsr := fdIx.NewSearcher()
+	isr := islIx.NewSearcher()
+	for _, p := range highway.RandomPairs(g, 400, 3) {
+		want := sr.Distance(p.S, p.T)
+		if got := pllIx.Distance(p.S, p.T); got != want {
+			t.Fatalf("PLL(%d,%d) = %d, HL says %d", p.S, p.T, got, want)
+		}
+		if got := fsr.Distance(p.S, p.T); got != want {
+			t.Fatalf("FD(%d,%d) = %d, HL says %d", p.S, p.T, got, want)
+		}
+		if got := isr.Distance(p.S, p.T); got != want {
+			t.Fatalf("IS-L(%d,%d) = %d, HL says %d", p.S, p.T, got, want)
+		}
+	}
+}
+
+func TestFacadeGraphIO(t *testing.T) {
+	g := highway.WattsStrogatz(300, 3, 0.1, 5)
+	dir := t.TempDir()
+	gp := filepath.Join(dir, "g.bin")
+	if err := highway.SaveGraph(g, gp); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := highway.LoadGraph(gp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumVertices() != g.NumVertices() || g2.NumEdges() != g.NumEdges() {
+		t.Fatal("graph IO mismatch")
+	}
+
+	lm, err := highway.SelectLandmarks(g2, 8, highway.ByDegree, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := highway.BuildIndex(g2, lm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ip := filepath.Join(dir, "g.idx")
+	if err := ix.Save(ip); err != nil {
+		t.Fatal(err)
+	}
+	ix2, err := highway.LoadIndex(ip, g2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	sr1, sr2 := ix.NewSearcher(), ix2.NewSearcher()
+	for i := 0; i < 200; i++ {
+		s, u := int32(rng.Intn(300)), int32(rng.Intn(300))
+		if sr1.Distance(s, u) != sr2.Distance(s, u) {
+			t.Fatal("loaded index answers differently")
+		}
+	}
+}
+
+func TestFacadeBuilderAndComponents(t *testing.T) {
+	b := highway.NewBuilder(6)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(3, 4)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lcc, orig := highway.LargestComponent(g)
+	if lcc.NumVertices() != 3 || orig[0] != 0 {
+		t.Fatalf("LCC wrong: n=%d orig=%v", lcc.NumVertices(), orig)
+	}
+
+	g2, err := highway.FromEdges(3, [][2]int32{{0, 1}, {1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lm, _ := highway.SelectLandmarks(g2, 1, highway.ByDegree, 0)
+	ix, err := highway.BuildIndex(g2, lm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := ix.Distance(0, 2); d != 2 {
+		t.Fatalf("d(0,2) = %d, want 2", d)
+	}
+	if st := ix.Stats(); st.NumLandmarks != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestFacadeStrategies(t *testing.T) {
+	g := highway.ErdosRenyi(200, 600, 9)
+	lcc, _ := highway.LargestComponent(g)
+	for _, s := range []highway.LandmarkStrategy{highway.ByDegree, highway.ByRandom, highway.ByCloseness, highway.ByDegreeSpread} {
+		lm, err := highway.SelectLandmarks(lcc, 5, s, 11)
+		if err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+		ix, err := highway.BuildIndex(lcc, lm)
+		if err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+		if err := ix.Verify(100, 1); err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+	}
+}
+
+func TestFacadeRMAT(t *testing.T) {
+	g := highway.RMAT(10, 6, 3)
+	if g.NumVertices() != 1024 {
+		t.Fatalf("n = %d", g.NumVertices())
+	}
+	if g.NumEdges() == 0 {
+		t.Fatal("no edges")
+	}
+}
+
+func TestFDDynamicViaFacade(t *testing.T) {
+	g := highway.BarabasiAlbert(300, 3, 11)
+	lm, _ := highway.SelectLandmarks(g, 6, highway.ByDegree, 0)
+	fdIx, err := highway.BuildFD(context.Background(), g, lm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := fdIx.NewSearcher().Distance(10, 200)
+	if err := fdIx.InsertEdge(10, 200); err != nil {
+		t.Fatal(err)
+	}
+	after := fdIx.NewSearcher().Distance(10, 200)
+	if after != 1 {
+		t.Fatalf("after insert d = %d, want 1 (before %d)", after, before)
+	}
+}
+
+func TestDynamicIndexViaFacade(t *testing.T) {
+	g := highway.BarabasiAlbert(400, 3, 13)
+	lm, _ := highway.SelectLandmarks(g, 8, highway.ByDegree, 0)
+	dyn, err := highway.BuildDynamic(g, lm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	static, err := highway.BuildIndex(g, lm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dyn.NumEntries() != static.NumEntries() {
+		t.Fatal("dynamic and static builds disagree")
+	}
+	before := dyn.Distance(7, 300)
+	if err := dyn.InsertEdge(7, 300); err != nil {
+		t.Fatal(err)
+	}
+	if d := dyn.Distance(7, 300); d != 1 {
+		t.Fatalf("after insert d = %d (before %d), want 1", d, before)
+	}
+}
+
+func TestPathViaFacade(t *testing.T) {
+	g := highway.BarabasiAlbert(300, 3, 17)
+	lm, _ := highway.SelectLandmarks(g, 8, highway.ByDegree, 0)
+	ix, err := highway.BuildIndex(g, lm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr := ix.NewSearcher()
+	for _, q := range highway.RandomPairs(g, 30, 5) {
+		d := sr.Distance(q.S, q.T)
+		p := sr.Path(q.S, q.T)
+		if d < 0 {
+			if p != nil {
+				t.Fatal("path for disconnected pair")
+			}
+			continue
+		}
+		if int32(len(p)) != d+1 || p[0] != q.S || p[len(p)-1] != q.T {
+			t.Fatalf("bad path %v for d=%d", p, d)
+		}
+		for i := 1; i < len(p); i++ {
+			if !g.HasEdge(p[i-1], p[i]) {
+				t.Fatalf("path %v uses non-edge", p)
+			}
+		}
+	}
+}
+
+// TestLargeScaleIntegration builds the full pipeline on a 100k-vertex
+// network and verifies thousands of sampled queries against Bi-BFS-free
+// ground truth (per-source BFS). Guarded by -short.
+func TestLargeScaleIntegration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large-scale integration skipped in -short mode")
+	}
+	g := highway.BarabasiAlbert(100_000, 5, 99)
+	lm, err := highway.SelectLandmarks(g, 32, highway.ByDegree, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := highway.BuildIndex(g, lm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Verify(3000, 123); err != nil {
+		t.Fatal(err)
+	}
+	// Minimality at scale: ALS must stay well below k.
+	if als := ix.Stats().AvgLabelSize; als >= float64(len(lm)) {
+		t.Fatalf("ALS %.2f not below k=%d — minimality suspect", als, len(lm))
+	}
+}

@@ -1,0 +1,195 @@
+// Package bench is the experiment harness that regenerates every table
+// and figure of the paper's evaluation (Section 6): Tables 1-3 and
+// Figures 1, 6, 7, 8 and 9. Each experiment prints the same rows/series
+// the paper reports, over the synthetic stand-in datasets of
+// internal/datasets. cmd/hlbench is the CLI front end; bench_test.go at
+// the repository root wraps each experiment as a testing.B benchmark.
+package bench
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"highway/internal/bfs"
+	"highway/internal/core"
+	"highway/internal/fd"
+	"highway/internal/graph"
+	"highway/internal/isl"
+	"highway/internal/pll"
+	"highway/internal/workload"
+)
+
+// MethodName identifies one competitor.
+type MethodName string
+
+const (
+	MethodHLP   MethodName = "HL-P"   // parallel highway labelling (ours)
+	MethodHL    MethodName = "HL"     // sequential highway labelling (ours)
+	MethodFD    MethodName = "FD"     // Hayashi et al. 2016
+	MethodFDBP  MethodName = "FD+BP"  // FD with per-landmark bit-parallel trees ("20+64")
+	MethodPLL   MethodName = "PLL"    // Akiba et al. 2013
+	MethodISL   MethodName = "IS-L"   // Fu et al. 2013
+	MethodBiBFS MethodName = "Bi-BFS" // online bidirectional BFS
+)
+
+// BuildResult captures one method's build on one graph, with the paper's
+// DNF semantics: a build that exceeds its budget (or runs out of expressible
+// work) reports DNF and no index.
+type BuildResult struct {
+	Method MethodName
+	CT     time.Duration
+	DNF    bool
+
+	NumEntries int64
+	ALS        float64
+	SizeBytes  int64
+	SizeBytes8 int64 // HL only: the paper's compressed accounting
+	BPTrees    int   // PLL only: bit-parallel trees (the paper's "+50")
+
+	// NewSearcher returns a single-goroutine exact-distance oracle.
+	NewSearcher func() workload.Oracle
+	// Bounder exposes the label upper bound where the method has one
+	// (HL, FD); nil otherwise.
+	Bounder workload.Bounder
+}
+
+// buildMethod runs one method under a wall-clock budget.
+func buildMethod(m MethodName, g *graph.Graph, landmarks []int32, budget time.Duration, workers int) BuildResult {
+	ctx, cancel := context.WithTimeout(context.Background(), budget)
+	defer cancel()
+	start := time.Now()
+	res := BuildResult{Method: m}
+	switch m {
+	case MethodHL, MethodHLP:
+		w := 1
+		if m == MethodHLP {
+			w = workers
+		}
+		ix, err := core.BuildOpts(ctx, g, landmarks, core.Options{Workers: w})
+		if err != nil {
+			return BuildResult{Method: m, DNF: true, CT: time.Since(start)}
+		}
+		res.CT = time.Since(start)
+		res.NumEntries = ix.NumEntries()
+		res.ALS = ix.AvgLabelSize()
+		res.SizeBytes = ix.SizeBytes32()
+		res.SizeBytes8 = ix.SizeBytes8()
+		res.Bounder = ix
+		res.NewSearcher = func() workload.Oracle {
+			sr := ix.NewSearcher()
+			return workload.OracleFunc(sr.Distance)
+		}
+	case MethodFD, MethodFDBP:
+		var ix *fd.Index
+		var err error
+		if m == MethodFDBP {
+			ix, err = fd.BuildBP(ctx, g, landmarks)
+		} else {
+			ix, err = fd.Build(ctx, g, landmarks)
+		}
+		if err != nil {
+			return BuildResult{Method: m, DNF: true, CT: time.Since(start)}
+		}
+		res.CT = time.Since(start)
+		res.NumEntries = ix.NumEntries()
+		res.ALS = ix.AvgLabelSize()
+		res.SizeBytes = ix.SizeBytes()
+		res.Bounder = ix
+		res.NewSearcher = func() workload.Oracle {
+			sr := ix.NewSearcher()
+			return workload.OracleFunc(sr.Distance)
+		}
+	case MethodPLL:
+		// The paper's PLL configuration: 50 bit-parallel trees plus the
+		// pruned labelling (Section 6.2).
+		ix, err := pll.BuildBP(ctx, g, 50)
+		if err != nil {
+			return BuildResult{Method: m, DNF: true, CT: time.Since(start)}
+		}
+		res.CT = time.Since(start)
+		res.NumEntries = ix.NumEntries()
+		res.ALS = ix.AvgLabelSize()
+		res.BPTrees = ix.NumBPTrees()
+		res.SizeBytes = ix.SizeBytes()
+		res.NewSearcher = func() workload.Oracle {
+			return workload.OracleFunc(ix.Distance)
+		}
+	case MethodISL:
+		ix, err := isl.Build(ctx, g, isl.DefaultOptions())
+		if err != nil {
+			return BuildResult{Method: m, DNF: true, CT: time.Since(start)}
+		}
+		res.CT = time.Since(start)
+		res.NumEntries = ix.NumEntries()
+		res.ALS = ix.AvgLabelSize()
+		res.SizeBytes = ix.SizeBytes()
+		res.NewSearcher = func() workload.Oracle {
+			sr := ix.NewSearcher()
+			return workload.OracleFunc(sr.Distance)
+		}
+	case MethodBiBFS:
+		// Online method: no construction.
+		res.CT = 0
+		res.NewSearcher = func() workload.Oracle {
+			sc := bfs.NewScratch(g.NumVertices())
+			return workload.OracleFunc(func(s, t int32) int32 {
+				return bfs.BiBFS(g, s, t, sc)
+			})
+		}
+	default:
+		panic(fmt.Sprintf("bench: unknown method %q", m))
+	}
+	return res
+}
+
+// measureQueries returns the average query latency over the pairs.
+func measureQueries(o workload.Oracle, pairs []workload.Pair) time.Duration {
+	if len(pairs) == 0 {
+		return 0
+	}
+	start := time.Now()
+	for _, p := range pairs {
+		o.Distance(p.S, p.T)
+	}
+	return time.Since(start) / time.Duration(len(pairs))
+}
+
+// fmtDur renders a duration like the paper's tables: seconds for
+// construction, milliseconds for queries.
+func fmtCT(r BuildResult) string {
+	if r.DNF {
+		return "DNF"
+	}
+	return fmt.Sprintf("%.3fs", r.CT.Seconds())
+}
+
+func fmtQT(d time.Duration, dnf bool) string {
+	if dnf {
+		return "-"
+	}
+	return fmt.Sprintf("%.4fms", float64(d.Nanoseconds())/1e6)
+}
+
+func fmtALS(r BuildResult) string {
+	if r.DNF {
+		return "-"
+	}
+	if r.BPTrees > 0 {
+		return fmt.Sprintf("%.1f+%d", r.ALS, r.BPTrees)
+	}
+	return fmt.Sprintf("%.1f", r.ALS)
+}
+
+func fmtBytes(b int64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.2fGB", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.2fMB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.2fKB", float64(b)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", b)
+	}
+}

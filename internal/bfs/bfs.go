@@ -1,0 +1,102 @@
+// Package bfs implements the breadth-first-search toolkit underlying both
+// the offline labelling construction and the online query components:
+// single-source BFS (ground truth and SPT construction), bidirectional BFS
+// (the Bi-BFS baseline of Table 2), and the distance-bounded bidirectional
+// search of the paper's Algorithm 2, which runs on the sparsified graph
+// G[V\R] expressed as a skip mask.
+package bfs
+
+// Adjacency is the read-only graph view the searches operate on. It is a
+// type parameter (not an interface value) so that searches over
+// *graph.Graph monomorphize with zero dispatch cost while dynamic overlay
+// graphs (e.g. the FD baseline's insert-only graph) reuse the same
+// algorithms.
+type Adjacency interface {
+	NumVertices() int
+	Neighbors(v int32) []int32
+}
+
+// Unreachable is the distance reported between vertices in different
+// connected components.
+const Unreachable int32 = -1
+
+// Distances returns the BFS distance from src to every vertex
+// (Unreachable where no path exists).
+func Distances[G Adjacency](g G, src int32) []int32 {
+	dist := make([]int32, g.NumVertices())
+	for i := range dist {
+		dist[i] = Unreachable
+	}
+	DistancesInto(g, src, dist)
+	return dist
+}
+
+// DistancesInto runs BFS from src writing into dist, which must have length
+// g.NumVertices() and be pre-filled with Unreachable. It returns the number
+// of vertices reached (including src). Reusing dist across calls avoids
+// allocation; the caller is responsible for re-clearing it.
+func DistancesInto[G Adjacency](g G, src int32, dist []int32) int {
+	dist[src] = 0
+	frontier := make([]int32, 1, 1024)
+	frontier[0] = src
+	next := make([]int32, 0, 1024)
+	reached := 1
+	for d := int32(1); len(frontier) > 0; d++ {
+		next = next[:0]
+		for _, u := range frontier {
+			for _, v := range g.Neighbors(u) {
+				if dist[v] == Unreachable {
+					dist[v] = d
+					next = append(next, v)
+					reached++
+				}
+			}
+		}
+		frontier, next = next, frontier
+	}
+	return reached
+}
+
+// Dist returns the exact distance between s and t via unidirectional BFS
+// with early exit. It is the simplest correct oracle and serves as ground
+// truth in tests.
+func Dist[G Adjacency](g G, s, t int32) int32 {
+	if s == t {
+		return 0
+	}
+	dist := make([]int32, g.NumVertices())
+	for i := range dist {
+		dist[i] = Unreachable
+	}
+	dist[s] = 0
+	frontier := []int32{s}
+	var next []int32
+	for d := int32(1); len(frontier) > 0; d++ {
+		next = next[:0]
+		for _, u := range frontier {
+			for _, v := range g.Neighbors(u) {
+				if dist[v] == Unreachable {
+					if v == t {
+						return d
+					}
+					dist[v] = d
+					next = append(next, v)
+				}
+			}
+		}
+		frontier, next = next, frontier
+	}
+	return Unreachable
+}
+
+// Eccentricity returns the maximum finite distance from src.
+func Eccentricity[G Adjacency](g G, src int32) int32 {
+	dist := Distances(g, src)
+	ecc := int32(0)
+	for _, d := range dist {
+		if d > ecc {
+			ecc = d
+		}
+	}
+	return ecc
+}

@@ -1,0 +1,108 @@
+package bptree
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"highway/internal/bfs"
+	"highway/internal/gen"
+)
+
+// TestMasks checks the bit-parallel masks against their definitions
+// (Sm1 exact; S0 ⊇ truth with over-approximation only where Sm1 already
+// holds the bit) on random graphs.
+func TestMasks(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := gen.ErdosRenyi(50+rng.Intn(40), int64(120+rng.Intn(120)), seed)
+		root := g.DegreeOrder()[0]
+		used := make([]bool, g.NumVertices())
+		tree := Build(g, root, used)
+
+		// Reconstruct the member set by re-running selection.
+		used2 := make([]bool, g.NumVertices())
+		used2[root] = true
+		var members []int32
+		for _, v := range g.Neighbors(root) {
+			if len(members) == 64 {
+				break
+			}
+			if !used2[v] {
+				used2[v] = true
+				members = append(members, v)
+			}
+		}
+		rootDist := bfs.Distances(g, root)
+		memberDist := make([][]int32, len(members))
+		for i, m := range members {
+			memberDist[i] = bfs.Distances(g, m)
+		}
+		for v := int32(0); v < int32(g.NumVertices()); v++ {
+			if tree.Dist[v] != rootDist[v] {
+				return false
+			}
+			if rootDist[v] < 0 {
+				continue
+			}
+			for i := range members {
+				di := memberDist[i][v]
+				bit := uint64(1) << uint(i)
+				inSm1 := tree.Sm1[v]&bit != 0
+				inS0 := tree.S0[v]&bit != 0
+				if inSm1 != (di == rootDist[v]-1) {
+					return false
+				}
+				if di == rootDist[v] && !inS0 {
+					return false
+				}
+				if inS0 && di != rootDist[v] && !inSm1 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQueryIsUpperBound: Tree.Query ≥ true distance, and exact when a
+// shortest path passes through the root.
+func TestQueryIsUpperBound(t *testing.T) {
+	g := gen.BarabasiAlbert(150, 3, 9)
+	root := g.DegreeOrder()[0]
+	used := make([]bool, g.NumVertices())
+	tree := Build(g, root, used)
+	rng := rand.New(rand.NewSource(2))
+	rootDist := bfs.Distances(g, root)
+	for trial := 0; trial < 400; trial++ {
+		s := int32(rng.Intn(150))
+		u := int32(rng.Intn(150))
+		d := bfs.Dist(g, s, u)
+		q := tree.Query(s, u)
+		if d >= 0 && q < d {
+			t.Fatalf("BP bound %d below true %d for (%d,%d)", q, d, s, u)
+		}
+		if d >= 0 && rootDist[s]+rootDist[u] == d && q != d {
+			t.Fatalf("through-root pair (%d,%d): BP %d, want %d", s, u, q, d)
+		}
+	}
+	if tree.NumMembers() == 0 {
+		t.Fatal("hub tree has no members")
+	}
+}
+
+// TestQueryDisconnected: trees reaching one endpoint only return MaxInt32.
+func TestQueryDisconnected(t *testing.T) {
+	g := gen.Path(4) // then query against an isolated extra component
+	used := make([]bool, 4)
+	tree := Build(g, 0, used)
+	if d := tree.Query(0, 3); d != 3 {
+		t.Fatalf("Query(0,3) = %d, want 3", d)
+	}
+	if MinQuery(nil, 0, 1) <= 0 {
+		t.Fatal("MinQuery(nil) should be MaxInt32")
+	}
+}

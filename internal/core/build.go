@@ -1,0 +1,262 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"highway/internal/graph"
+)
+
+// Options configures index construction.
+type Options struct {
+	// Workers is the number of concurrent pruned BFSs (the paper's HL-P,
+	// Section 5.1). 0 selects runtime.GOMAXPROCS(0); 1 is the sequential
+	// HL of Algorithm 1. Because the labelling is deterministic
+	// (Lemma 3.11), every worker count produces an identical index.
+	Workers int
+}
+
+// Build constructs the highway cover distance labelling for the given
+// landmark set sequentially (the paper's HL).
+func Build(g *graph.Graph, landmarks []int32) (*Index, error) {
+	return BuildOpts(context.Background(), g, landmarks, Options{Workers: 1})
+}
+
+// BuildParallel constructs the labelling with one pruned BFS per landmark
+// running concurrently (the paper's HL-P).
+func BuildParallel(g *graph.Graph, landmarks []int32) (*Index, error) {
+	return BuildOpts(context.Background(), g, landmarks, Options{})
+}
+
+// BuildOpts constructs the labelling with full control. The context is
+// checked between pruned BFSs; cancellation returns ctx.Err() (used by the
+// bench harness to reproduce the paper's DNF budgets).
+func BuildOpts(ctx context.Context, g *graph.Graph, landmarks []int32, opt Options) (*Index, error) {
+	k := len(landmarks)
+	if k == 0 {
+		return nil, fmt.Errorf("core: no landmarks")
+	}
+	if k > MaxLandmarks {
+		return nil, fmt.Errorf("core: %d landmarks exceeds MaxLandmarks=%d", k, MaxLandmarks)
+	}
+	n := g.NumVertices()
+	rankOf := make([]int32, n)
+	for i := range rankOf {
+		rankOf[i] = -1
+	}
+	isLandmark := make([]bool, n)
+	for r, v := range landmarks {
+		if v < 0 || int(v) >= n {
+			return nil, fmt.Errorf("core: landmark %d out of range [0,%d)", v, n)
+		}
+		if rankOf[v] >= 0 {
+			return nil, fmt.Errorf("core: duplicate landmark %d", v)
+		}
+		rankOf[v] = int32(r)
+		isLandmark[v] = true
+	}
+
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > k {
+		workers = k
+	}
+
+	rows := make([][]labelPair, k) // labels discovered by each landmark's BFS
+	highway := make([]int32, k*k)  // filled row by row
+	for i := range highway {
+		highway[i] = Infinity
+	}
+
+	if workers == 1 {
+		sc := newBuildScratch(n)
+		for r := 0; r < k; r++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			rows[r] = prunedBFS(g, landmarks[r], rankOf, k, sc, highway[r*k:(r+1)*k])
+		}
+	} else {
+		work := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				sc := newBuildScratch(n)
+				for r := range work {
+					rows[r] = prunedBFS(g, landmarks[r], rankOf, k, sc, highway[r*k:(r+1)*k])
+				}
+			}()
+		}
+		var err error
+	dispatch:
+		for r := 0; r < k; r++ {
+			select {
+			case work <- r:
+			case <-ctx.Done():
+				err = ctx.Err()
+				break dispatch
+			}
+		}
+		close(work)
+		wg.Wait()
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	return assemble(g, landmarks, rankOf, isLandmark, highway, rows), nil
+}
+
+// labelPair is one label entry produced by a pruned BFS: vertex v receives
+// the root landmark at distance d.
+type labelPair struct {
+	v int32
+	d int32
+}
+
+// buildScratch holds reusable pruned-BFS state.
+type buildScratch struct {
+	visited []uint32 // epoch marks
+	epoch   uint32
+	labelF  []int32 // label frontier (Qlabel at the current depth)
+	pruneF  []int32 // prune frontier (Qprune at the current depth)
+	nextL   []int32
+	nextP   []int32
+}
+
+func newBuildScratch(n int) *buildScratch {
+	return &buildScratch{
+		visited: make([]uint32, n),
+		labelF:  make([]int32, 0, 1024),
+		pruneF:  make([]int32, 0, 1024),
+		nextL:   make([]int32, 0, 1024),
+		nextP:   make([]int32, 0, 1024),
+	}
+}
+
+// prunedBFS is Algorithm 1's pruned BFS from one landmark root. It returns
+// the label entries (v, d) it generates, in BFS discovery order, and fills
+// hwRow with the distances from root to every landmark rank (Infinity
+// where unreachable).
+//
+// The two frontiers follow the paper exactly, with the crucial ordering
+// that at each depth the *prune* frontier claims vertices before the label
+// frontier expands. A vertex v at depth d+1 is therefore labelled iff
+// *no* shortest path from the root to v passes through another landmark
+// (Lemma 3.7): if any parent of v on a shortest path is pruned (or is a
+// landmark), the prune frontier reaches v first and v stays unlabelled.
+//
+// Labelling stops when the label frontier dies out, but the prune-side
+// expansion keeps running until every landmark has been seen so the
+// highway row is computed in the same pass ("we can indeed compute the
+// distances δH ... along with Algorithm 1", Section 3.2).
+func prunedBFS(g *graph.Graph, root int32, rankOf []int32, k int, sc *buildScratch, hwRow []int32) []labelPair {
+	sc.epoch++
+	if sc.epoch == 0 {
+		clear(sc.visited)
+		sc.epoch = 1
+	}
+	epoch := sc.epoch
+
+	var out []labelPair
+	labelF := append(sc.labelF[:0], root)
+	pruneF := sc.pruneF[:0]
+	sc.visited[root] = epoch
+	hwRow[rankOf[root]] = 0
+	foundLm := 1
+
+	for d := int32(0); len(labelF) > 0 || (foundLm < k && len(pruneF) > 0); d++ {
+		nextL := sc.nextL[:0]
+		nextP := sc.nextP[:0]
+		// Prune frontier first: pruned parents capture their children
+		// before the label frontier can label them.
+		for _, u := range pruneF {
+			for _, v := range g.Neighbors(u) {
+				if sc.visited[v] == epoch {
+					continue
+				}
+				sc.visited[v] = epoch
+				if r := rankOf[v]; r >= 0 {
+					hwRow[r] = d + 1
+					foundLm++
+				}
+				nextP = append(nextP, v)
+			}
+		}
+		for _, u := range labelF {
+			for _, v := range g.Neighbors(u) {
+				if sc.visited[v] == epoch {
+					continue
+				}
+				sc.visited[v] = epoch
+				if r := rankOf[v]; r >= 0 {
+					hwRow[r] = d + 1
+					foundLm++
+					nextP = append(nextP, v)
+				} else {
+					nextL = append(nextL, v)
+					out = append(out, labelPair{v: v, d: d + 1})
+				}
+			}
+		}
+		// Rotate: the filled next buffers become the frontiers, and the
+		// old frontier buffers are handed back to the scratch as spares,
+		// keeping all four buffers distinct across iterations and calls.
+		labelF, sc.nextL = nextL, labelF[:0]
+		pruneF, sc.nextP = nextP, pruneF[:0]
+	}
+	// Leave scratch fields pointing at the most recently used buffers.
+	sc.labelF, sc.pruneF = labelF, pruneF
+	return out
+}
+
+// assemble packs per-landmark label rows into the CSR index. Iterating
+// ranks in ascending order makes every vertex's label sorted by rank, so
+// sequential and parallel builds produce identical indexes.
+func assemble(g *graph.Graph, landmarks []int32, rankOf []int32, isLandmark []bool, highway []int32, rows [][]labelPair) *Index {
+	n := g.NumVertices()
+	counts := make([]int64, n+1)
+	for _, row := range rows {
+		for _, p := range row {
+			counts[p.v+1]++
+		}
+	}
+	off := make([]int64, n+1)
+	for v := 1; v <= n; v++ {
+		off[v] = off[v-1] + counts[v]
+	}
+	total := off[n]
+	ix := &Index{
+		g:          g,
+		landmarks:  landmarks,
+		rankOf:     rankOf,
+		isLandmark: isLandmark,
+		highway:    highway,
+		labelOff:   off,
+		labelRank:  make([]uint8, total),
+		labelDist:  make([]uint8, total),
+		overflow:   make(map[overflowKey]int32),
+	}
+	cursor := make([]int64, n)
+	copy(cursor, off[:n])
+	for r, row := range rows {
+		for _, p := range row {
+			pos := cursor[p.v]
+			cursor[p.v]++
+			ix.labelRank[pos] = uint8(r)
+			if p.d < int32(distOverflow) {
+				ix.labelDist[pos] = uint8(p.d)
+			} else {
+				ix.labelDist[pos] = distOverflow
+				ix.overflow[overflowKey{p.v, uint8(r)}] = p.d
+			}
+		}
+	}
+	return ix
+}

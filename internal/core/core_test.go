@@ -1,0 +1,618 @@
+package core
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"highway/internal/bfs"
+	"highway/internal/gen"
+	"highway/internal/graph"
+)
+
+// TestPaperFigure2Labels verifies Algorithm 1 reproduces the exact label
+// table of the paper's Figure 2(c) on the running-example graph, with
+// landmarks {1,5,9} (ids 0,4,8).
+func TestPaperFigure2Labels(t *testing.T) {
+	g := gen.PaperFigure2()
+	ix, err := Build(g, gen.PaperLandmarks())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// want[v] lists (landmark vertex 1-based, distance) per Figure 2(c).
+	want := map[int32][][2]int32{
+		1:  {{5, 1}, {9, 2}}, // vertex 2
+		2:  {{5, 1}},         // vertex 3
+		3:  {{1, 1}},         // vertex 4
+		5:  {{9, 1}},         // vertex 6
+		6:  {{5, 2}, {9, 1}}, // vertex 7
+		7:  {{5, 1}},         // vertex 8
+		9:  {{9, 1}},         // vertex 10
+		10: {{1, 1}},         // vertex 11
+		11: {{5, 1}},         // vertex 12
+		12: {{1, 1}},         // vertex 13
+		13: {{1, 1}},         // vertex 14
+	}
+	lmVertex := gen.PaperLandmarks() // rank -> vertex id
+	for v := int32(0); v < 14; v++ {
+		ranks, dists := ix.Label(v)
+		entries := want[v]
+		if len(ranks) != len(entries) {
+			t.Fatalf("L(%d): got %d entries, want %d", v+1, len(ranks), len(entries))
+		}
+		for i := range ranks {
+			gotLm := lmVertex[ranks[i]] + 1 // back to 1-based
+			if gotLm != entries[i][0] || dists[i] != entries[i][1] {
+				t.Errorf("L(%d)[%d] = (%d,%d), want (%d,%d)",
+					v+1, i, gotLm, dists[i], entries[i][0], entries[i][1])
+			}
+		}
+	}
+	// Figure 3: total labelling size LS = 13.
+	if ix.NumEntries() != 13 {
+		t.Fatalf("LS = %d, want 13 (Figure 3)", ix.NumEntries())
+	}
+	// Highway distances used in Example 4.2: δH(5,1)=1, δH(9,1)=1; plus
+	// d(5,9)=2 via landmark 1.
+	if d := ix.Highway(4, 0); d != 1 {
+		t.Errorf("δH(5,1) = %d, want 1", d)
+	}
+	if d := ix.Highway(8, 0); d != 1 {
+		t.Errorf("δH(9,1) = %d, want 1", d)
+	}
+	if d := ix.Highway(4, 8); d != 2 {
+		t.Errorf("δH(5,9) = %d, want 2", d)
+	}
+}
+
+// TestPaperExample42UpperBound checks Example 4.2: the upper bound between
+// vertices 2 and 11 (ids 1 and 10) is 3.
+func TestPaperExample42UpperBound(t *testing.T) {
+	g := gen.PaperFigure2()
+	ix, err := Build(g, gen.PaperLandmarks())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ub := ix.UpperBound(1, 10); ub != 3 {
+		t.Fatalf("d⊤(2,11) = %d, want 3", ub)
+	}
+	// And the exact distance is also 3 (Example 4.3).
+	if d := ix.Distance(1, 10); d != 3 {
+		t.Fatalf("d(2,11) = %d, want 3", d)
+	}
+}
+
+// TestPaperFigure2AllPairs exhaustively checks HL against BFS on the
+// running example.
+func TestPaperFigure2AllPairs(t *testing.T) {
+	g := gen.PaperFigure2()
+	ix, err := Build(g, gen.PaperLandmarks())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAllPairs(t, g, ix)
+}
+
+func checkAllPairs(t *testing.T, g *graph.Graph, ix *Index) {
+	t.Helper()
+	n := int32(g.NumVertices())
+	sr := ix.NewSearcher()
+	for s := int32(0); s < n; s++ {
+		want := bfs.Distances(g, s)
+		for u := int32(0); u < n; u++ {
+			w := want[u]
+			if w == bfs.Unreachable {
+				w = Infinity
+			}
+			if got := sr.Distance(s, u); got != w {
+				t.Fatalf("Distance(%d,%d) = %d, want %d", s, u, got, w)
+			}
+		}
+	}
+}
+
+// TestExhaustiveSmallGraphs checks HL == BFS on every pair for a spread of
+// deterministic small graphs and landmark counts.
+func TestExhaustiveSmallGraphs(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"path10", gen.Path(10)},
+		{"cycle9", gen.Cycle(9)},
+		{"star12", gen.Star(12)},
+		{"complete6", gen.Complete(6)},
+		{"grid4x5", gen.Grid(4, 5)},
+		{"figure2", gen.PaperFigure2()},
+	}
+	for _, c := range cases {
+		for _, k := range []int{1, 2, 3} {
+			if k > c.g.NumVertices() {
+				continue
+			}
+			lm := c.g.DegreeOrder()[:k]
+			ix, err := Build(c.g, lm)
+			if err != nil {
+				t.Fatalf("%s k=%d: %v", c.name, k, err)
+			}
+			t.Run(c.name, func(t *testing.T) { checkAllPairs(t, c.g, ix) })
+		}
+	}
+}
+
+// TestRandomGraphsProperty is the main correctness property: on random
+// graphs of every family, HL distances equal BFS distances.
+func TestRandomGraphsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var g *graph.Graph
+		switch rng.Intn(4) {
+		case 0:
+			g = gen.BarabasiAlbert(80+rng.Intn(80), 1+rng.Intn(3), seed)
+		case 1:
+			g = gen.ErdosRenyi(60+rng.Intn(60), int64(100+rng.Intn(200)), seed)
+		case 2:
+			g = gen.RMAT(7, 4, 0.57, 0.19, 0.19, seed)
+		default:
+			g = gen.WattsStrogatz(60+rng.Intn(60), 2, 0.3, seed)
+		}
+		k := 1 + rng.Intn(8)
+		if k > g.NumVertices() {
+			k = g.NumVertices()
+		}
+		lm := g.DegreeOrder()[:k]
+		ix, err := Build(g, lm)
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		sr := ix.NewSearcher()
+		for trial := 0; trial < 60; trial++ {
+			s := int32(rng.Intn(g.NumVertices()))
+			u := int32(rng.Intn(g.NumVertices()))
+			want := bfs.Dist(g, s, u)
+			if want == bfs.Unreachable {
+				want = Infinity
+			}
+			if got := sr.Distance(s, u); got != want {
+				t.Logf("seed=%d s=%d t=%d got=%d want=%d", seed, s, u, got, want)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOrderIndependence verifies Lemma 3.11: permuting the landmark order
+// yields the same labelling (same entries per vertex, same total size).
+func TestOrderIndependence(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := gen.BarabasiAlbert(400, 3, 9)
+	lm := g.DegreeOrder()[:10]
+	ref, err := Build(g, lm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 5; trial++ {
+		perm := make([]int32, len(lm))
+		copy(perm, lm)
+		rng.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+		ix, err := Build(g, perm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ix.NumEntries() != ref.NumEntries() {
+			t.Fatalf("permuted landmark order changed labelling size: %d vs %d",
+				ix.NumEntries(), ref.NumEntries())
+		}
+		// Entry sets per vertex must be identical up to rank renaming.
+		for v := int32(0); v < int32(g.NumVertices()); v++ {
+			if !sameEntrySet(ref, ix, v) {
+				t.Fatalf("vertex %d: label differs across landmark orders", v)
+			}
+		}
+	}
+}
+
+// sameEntrySet compares labels of v in two indexes by landmark *vertex id*
+// (ranks differ when the landmark order is permuted).
+func sameEntrySet(a, b *Index, v int32) bool {
+	ra, da := a.Label(v)
+	rb, db := b.Label(v)
+	if len(ra) != len(rb) {
+		return false
+	}
+	ma := map[int32]int32{}
+	for i := range ra {
+		ma[a.landmarks[ra[i]]] = da[i]
+	}
+	for i := range rb {
+		if d, ok := ma[b.landmarks[rb[i]]]; !ok || d != db[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestParallelMatchesSequential verifies HL-P determinism: any worker
+// count produces an identical index.
+func TestParallelMatchesSequential(t *testing.T) {
+	g := gen.BarabasiAlbert(600, 4, 17)
+	lm := g.DegreeOrder()[:20]
+	seq, err := Build(g, lm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 2, 3, 8} {
+		par, err := BuildOpts(context.Background(), g, lm, Options{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !indexesIdentical(seq, par) {
+			t.Fatalf("workers=%d produced a different index", workers)
+		}
+	}
+}
+
+func indexesIdentical(a, b *Index) bool {
+	if a.NumEntries() != b.NumEntries() || len(a.highway) != len(b.highway) {
+		return false
+	}
+	for i := range a.highway {
+		if a.highway[i] != b.highway[i] {
+			return false
+		}
+	}
+	for i := range a.labelOff {
+		if a.labelOff[i] != b.labelOff[i] {
+			return false
+		}
+	}
+	for i := range a.labelRank {
+		if a.labelRank[i] != b.labelRank[i] || a.labelDist[i] != b.labelDist[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestMinimality verifies Lemma 3.7 in both directions on random graphs:
+// (r,v) is labelled iff no other landmark lies on ANY shortest r-v path.
+func TestMinimality(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 8; trial++ {
+		g := gen.ErdosRenyi(70, 180, int64(trial))
+		k := 2 + rng.Intn(5)
+		lm := g.DegreeOrder()[:k]
+		ix, err := Build(g, lm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Full distance arrays from every landmark.
+		distFrom := make([][]int32, k)
+		for r, l := range lm {
+			distFrom[r] = bfs.Distances(g, l)
+		}
+		isLm := map[int32]bool{}
+		for _, l := range lm {
+			isLm[l] = true
+		}
+		for v := int32(0); v < int32(g.NumVertices()); v++ {
+			if isLm[v] {
+				if ix.LabelSize(v) != 0 {
+					t.Fatalf("landmark %d has a label", v)
+				}
+				continue
+			}
+			ranks, dists := ix.Label(v)
+			labelled := map[uint8]int32{}
+			for i := range ranks {
+				labelled[ranks[i]] = dists[i]
+			}
+			for r := 0; r < k; r++ {
+				d := distFrom[r][v]
+				// Another landmark r2 lies on a shortest path from lm[r]
+				// to v iff d(r,r2) + d(r2,v) == d(r,v).
+				blocked := false
+				for r2 := 0; r2 < k; r2++ {
+					if r2 == r {
+						continue
+					}
+					if distFrom[r][lm[r2]] >= 0 && distFrom[r2][v] >= 0 &&
+						distFrom[r][lm[r2]]+distFrom[r2][v] == d {
+						blocked = true
+						break
+					}
+				}
+				got, has := labelled[uint8(r)]
+				if d == bfs.Unreachable {
+					if has {
+						t.Fatalf("vertex %d labelled by unreachable landmark rank %d", v, r)
+					}
+					continue
+				}
+				if blocked && has {
+					t.Fatalf("vertex %d: entry for rank %d violates minimality", v, r)
+				}
+				if !blocked && !has {
+					t.Fatalf("vertex %d: missing entry for rank %d (breaks highway cover)", v, r)
+				}
+				if has && got != d {
+					t.Fatalf("vertex %d rank %d: stored %d, want %d", v, r, got, d)
+				}
+			}
+		}
+	}
+}
+
+// TestUpperBoundProperties: d⊤ ≥ d always; d⊤ == d iff a shortest path
+// intersects R (Lemma 4.4 / pair coverage definition).
+func TestUpperBoundProperties(t *testing.T) {
+	g := gen.BarabasiAlbert(300, 3, 23)
+	lm := g.DegreeOrder()[:10]
+	ix, err := Build(g, lm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	distFrom := make([][]int32, len(lm))
+	for r, l := range lm {
+		distFrom[r] = bfs.Distances(g, l)
+	}
+	for trial := 0; trial < 300; trial++ {
+		s := int32(rng.Intn(g.NumVertices()))
+		u := int32(rng.Intn(g.NumVertices()))
+		d := bfs.Dist(g, s, u)
+		ub := ix.UpperBound(s, u)
+		if d == bfs.Unreachable {
+			continue
+		}
+		if ub < d {
+			t.Fatalf("d⊤(%d,%d) = %d < d = %d", s, u, ub, d)
+		}
+		covered := false
+		for r := range lm {
+			if distFrom[r][s]+distFrom[r][u] == d {
+				covered = true
+				break
+			}
+		}
+		if covered && ub != d {
+			t.Fatalf("covered pair (%d,%d): d⊤ = %d, want exact %d", s, u, ub, d)
+		}
+		if !covered && ub == d {
+			t.Fatalf("uncovered pair (%d,%d) has exact bound; coverage logic suspect", s, u)
+		}
+	}
+}
+
+// TestLandmarkEndpoints: queries where one or both endpoints are landmarks
+// are answered exactly by labels + highway.
+func TestLandmarkEndpoints(t *testing.T) {
+	g := gen.BarabasiAlbert(200, 3, 31)
+	lm := g.DegreeOrder()[:8]
+	ix, err := Build(g, lm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr := ix.NewSearcher()
+	for _, l := range lm {
+		want := bfs.Distances(g, l)
+		for v := int32(0); v < int32(g.NumVertices()); v++ {
+			w := want[v]
+			if w == bfs.Unreachable {
+				w = Infinity
+			}
+			if got := sr.Distance(l, v); got != w {
+				t.Fatalf("Distance(lm %d, %d) = %d, want %d", l, v, got, w)
+			}
+			if got := sr.Distance(v, l); got != w {
+				t.Fatalf("Distance(%d, lm %d) = %d, want %d", v, l, got, w)
+			}
+		}
+	}
+}
+
+// TestDisconnected covers components with and without landmarks.
+func TestDisconnected(t *testing.T) {
+	// Component A: star 0..4 (center 0); component B: path 5-6-7.
+	g := graph.MustFromEdges(8, [][2]int32{{0, 1}, {0, 2}, {0, 3}, {0, 4}, {5, 6}, {6, 7}})
+	ix, err := Build(g, []int32{0}) // landmark only in component A
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr := ix.NewSearcher()
+	if d := sr.Distance(1, 2); d != 2 {
+		t.Fatalf("within A: %d, want 2", d)
+	}
+	if d := sr.Distance(5, 7); d != 2 {
+		t.Fatalf("within B (no landmark): %d, want 2", d)
+	}
+	if d := sr.Distance(1, 5); d != Infinity {
+		t.Fatalf("across components: %d, want Infinity", d)
+	}
+	if d := sr.Distance(0, 7); d != Infinity {
+		t.Fatalf("landmark to other component: %d, want Infinity", d)
+	}
+}
+
+// TestMultiLandmarkComponents places landmarks in two components so the
+// highway matrix itself contains Infinity entries.
+func TestMultiLandmarkComponents(t *testing.T) {
+	g := graph.MustFromEdges(8, [][2]int32{{0, 1}, {1, 2}, {3, 4}, {4, 5}, {5, 6}, {6, 7}})
+	ix, err := Build(g, []int32{1, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h := ix.Highway(1, 5); h != Infinity {
+		t.Fatalf("cross-component highway = %d, want Infinity", h)
+	}
+	checkAllPairs(t, g, ix)
+}
+
+// TestDistanceOverflow exercises the 8-bit escape on a path of length 600.
+func TestDistanceOverflow(t *testing.T) {
+	g := gen.Path(600)
+	ix, err := Build(g, []int32{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ix.overflow) == 0 {
+		t.Fatal("expected overflow entries on a 600-path")
+	}
+	sr := ix.NewSearcher()
+	if d := sr.Distance(0, 599); d != 599 {
+		t.Fatalf("d(0,599) = %d, want 599", d)
+	}
+	if d := sr.Distance(1, 599); d != 598 {
+		t.Fatalf("d(1,599) = %d, want 598", d)
+	}
+	// Label of the far endpoint decodes through the overflow table.
+	_, dists := ix.Label(599)
+	if len(dists) != 1 || dists[0] != 599 {
+		t.Fatalf("L(599) = %v, want [599]", dists)
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	g := gen.Path(5)
+	if _, err := Build(g, nil); err == nil {
+		t.Error("empty landmark set accepted")
+	}
+	if _, err := Build(g, []int32{0, 0}); err == nil {
+		t.Error("duplicate landmark accepted")
+	}
+	if _, err := Build(g, []int32{99}); err == nil {
+		t.Error("out-of-range landmark accepted")
+	}
+	big := gen.Path(300)
+	lm := make([]int32, 256)
+	for i := range lm {
+		lm[i] = int32(i)
+	}
+	if _, err := Build(big, lm); err == nil {
+		t.Error("256 landmarks accepted (MaxLandmarks=255)")
+	}
+}
+
+func TestBuildCancellation(t *testing.T) {
+	g := gen.BarabasiAlbert(2000, 3, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := BuildOpts(ctx, g, g.DegreeOrder()[:20], Options{Workers: 1}); err == nil {
+		t.Error("sequential build ignored cancelled context")
+	}
+	if _, err := BuildOpts(ctx, g, g.DegreeOrder()[:20], Options{Workers: 4}); err == nil {
+		t.Error("parallel build ignored cancelled context")
+	}
+}
+
+// TestTriangleInequality samples triples and checks Eq. 1 and Eq. 2 hold
+// for oracle distances.
+func TestTriangleInequality(t *testing.T) {
+	g := gen.RMAT(9, 6, 0.57, 0.19, 0.19, 4)
+	lcc, _ := graphLargestComponent(g)
+	ix, err := Build(lcc, lcc.DegreeOrder()[:10])
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr := ix.NewSearcher()
+	rng := rand.New(rand.NewSource(8))
+	n := lcc.NumVertices()
+	for trial := 0; trial < 200; trial++ {
+		s := int32(rng.Intn(n))
+		u := int32(rng.Intn(n))
+		w := int32(rng.Intn(n))
+		dsu := sr.Distance(s, u)
+		dsw := sr.Distance(s, w)
+		dwu := sr.Distance(w, u)
+		if dsu > dsw+dwu {
+			t.Fatalf("triangle violated: d(%d,%d)=%d > %d+%d", s, u, dsu, dsw, dwu)
+		}
+		diff := dsw - dwu
+		if diff < 0 {
+			diff = -diff
+		}
+		if dsu < diff {
+			t.Fatalf("reverse triangle violated: d(%d,%d)=%d < |%d-%d|", s, u, dsu, dsw, dwu)
+		}
+	}
+}
+
+func graphLargestComponent(g *graph.Graph) (*graph.Graph, []int32) {
+	return graph.LargestComponent(g)
+}
+
+// TestStatsAndSizes sanity-checks the accounting helpers.
+func TestStatsAndSizes(t *testing.T) {
+	g := gen.PaperFigure2()
+	ix, err := Build(g, gen.PaperLandmarks())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := ix.Stats()
+	if st.NumEntries != 13 || st.NumLandmarks != 3 || st.NumVertices != 14 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.Bytes32 != 13*5+9*4 {
+		t.Fatalf("Bytes32 = %d", st.Bytes32)
+	}
+	if st.Bytes8 != 13*2+9*4 {
+		t.Fatalf("Bytes8 = %d", st.Bytes8)
+	}
+	if ix.AvgLabelSize() != 13.0/11.0 {
+		t.Fatalf("ALS = %v", ix.AvgLabelSize())
+	}
+	if st.String() == "" {
+		t.Fatal("empty stats string")
+	}
+	if ix.ActualBytes() <= 0 {
+		t.Fatal("ActualBytes not positive")
+	}
+	if ix.Graph() != g {
+		t.Fatal("Graph() accessor broken")
+	}
+	if !ix.IsLandmark(0) || ix.IsLandmark(1) {
+		t.Fatal("IsLandmark wrong")
+	}
+}
+
+// TestConcurrentQueries runs Index.Distance from many goroutines under the
+// race detector.
+func TestConcurrentQueries(t *testing.T) {
+	g := gen.BarabasiAlbert(500, 3, 77)
+	ix, err := BuildParallel(g, g.DegreeOrder()[:10])
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := bfs.Distances(g, 42)
+	done := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		go func(w int) {
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < 200; i++ {
+				v := int32(rng.Intn(500))
+				if got := ix.Distance(42, v); got != truth[v] {
+					done <- errMismatch
+					return
+				}
+			}
+			done <- nil
+		}(w)
+	}
+	for w := 0; w < 8; w++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+var errMismatch = &mismatchError{}
+
+type mismatchError struct{}
+
+func (*mismatchError) Error() string { return "concurrent query mismatch" }

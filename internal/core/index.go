@@ -1,0 +1,203 @@
+// Package core implements the paper's primary contribution: the highway
+// cover distance labelling (Section 3) and the bounded distance querying
+// framework built on it (Section 4), including the optimizations of
+// Section 5 (parallel construction over landmarks, 8-bit label
+// compression, and the common-landmark query shortcut of Lemma 5.1).
+//
+// # Overview
+//
+// Given a set R of landmarks, Build runs one pruned BFS per landmark
+// (Algorithm 1). The pruned BFS from landmark r adds the entry
+// (r, d(r,v)) to L(v) if and only if no other landmark appears on any
+// shortest path between r and v (Lemma 3.7). The landmark-to-landmark
+// distances form the highway δH. The resulting labelling is minimal
+// (Theorem 3.12) and independent of the order in which landmarks are
+// processed (Lemma 3.11), which is why BuildParallel can process
+// landmarks concurrently and still produce a byte-identical index.
+//
+// A query (s,t) computes the upper bound d⊤ = min over label entries of
+// δL(ri,s) + δH(ri,rj) + δL(rj,t) (Equation 4; pairs sharing a landmark
+// use δL(r,s)+δL(r,t) per Lemma 5.1), then refines it with a
+// distance-bounded bidirectional BFS on the sparsified graph G[V\R]
+// (Algorithm 2). The minimum of the two is exact (Theorem 4.6).
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"highway/internal/graph"
+)
+
+// Infinity is the distance reported between disconnected vertices.
+const Infinity int32 = -1
+
+// distOverflow marks an 8-bit stored distance whose real value lives in
+// the overflow table. Complex networks have tiny diameters, so in practice
+// the table stays empty; it exists so that the 8-bit store is still exact
+// on adversarial inputs (long paths, grids).
+const distOverflow uint8 = 0xFF
+
+// MaxLandmarks bounds the landmark count so ranks fit the paper's 8-bit
+// compressed representation ("usually no more than 100 landmarks",
+// Section 5.2).
+const MaxLandmarks = 255
+
+// Index is a highway cover distance labelling over a graph.
+//
+// Labels are stored in CSR form: vertex v's label occupies
+// positions labelOff[v]..labelOff[v+1] of labelRank/labelDist, sorted by
+// landmark rank. Distances are stored in 8 bits with an escape to an
+// overflow table (see distOverflow). The highway matrix stores exact
+// landmark-to-landmark distances row-major; Infinity where disconnected.
+type Index struct {
+	g          *graph.Graph
+	landmarks  []int32 // rank -> vertex id
+	rankOf     []int32 // vertex id -> rank, -1 for non-landmarks
+	isLandmark []bool  // len n; the skip mask for Algorithm 2
+	highway    []int32 // k*k, row-major; Infinity = unreachable
+
+	labelOff  []int64
+	labelRank []uint8
+	labelDist []uint8
+	overflow  map[overflowKey]int32
+
+	pool sync.Pool // of *Searcher, for the concurrency-safe Distance
+}
+
+type overflowKey struct {
+	vertex int32
+	rank   uint8
+}
+
+// Graph returns the underlying graph.
+func (ix *Index) Graph() *graph.Graph { return ix.g }
+
+// Landmarks returns the landmark vertex ids by rank. Callers must not
+// modify the returned slice.
+func (ix *Index) Landmarks() []int32 { return ix.landmarks }
+
+// NumLandmarks returns |R|.
+func (ix *Index) NumLandmarks() int { return len(ix.landmarks) }
+
+// IsLandmark reports whether v is a landmark.
+func (ix *Index) IsLandmark(v int32) bool { return ix.isLandmark[v] }
+
+// Highway returns δH(r1, r2) for two landmark *vertex ids*, or Infinity if
+// they are disconnected. It panics if either vertex is not a landmark.
+func (ix *Index) Highway(r1, r2 int32) int32 {
+	i, j := ix.rankOf[r1], ix.rankOf[r2]
+	if i < 0 || j < 0 {
+		panic(fmt.Sprintf("core: Highway(%d,%d): not landmarks", r1, r2))
+	}
+	return ix.highway[int(i)*len(ix.landmarks)+int(j)]
+}
+
+// Label returns vertex v's label as parallel slices of landmark ranks and
+// distances, decoded from the compressed store. The result is freshly
+// allocated; prefer the internal iteration helpers on hot paths.
+func (ix *Index) Label(v int32) (ranks []uint8, dists []int32) {
+	lo, hi := ix.labelOff[v], ix.labelOff[v+1]
+	ranks = make([]uint8, 0, hi-lo)
+	dists = make([]int32, 0, hi-lo)
+	for p := lo; p < hi; p++ {
+		ranks = append(ranks, ix.labelRank[p])
+		dists = append(dists, ix.entryDist(v, p))
+	}
+	return ranks, dists
+}
+
+// entryDist decodes the distance of label entry p of vertex v.
+func (ix *Index) entryDist(v int32, p int64) int32 {
+	d := ix.labelDist[p]
+	if d != distOverflow {
+		return int32(d)
+	}
+	return ix.overflow[overflowKey{v, ix.labelRank[p]}]
+}
+
+// LabelSize returns |L(v)|, the number of entries in v's label.
+// Landmarks have empty labels (labels are defined on V\R).
+func (ix *Index) LabelSize(v int32) int {
+	return int(ix.labelOff[v+1] - ix.labelOff[v])
+}
+
+// NumEntries returns size(L) = Σ_v |L(v)|, the labelling size measure of
+// the paper (LS in Figure 3).
+func (ix *Index) NumEntries() int64 {
+	return ix.labelOff[len(ix.labelOff)-1]
+}
+
+// AvgLabelSize returns the average number of entries per label (Table 2's
+// ALS column), over non-landmark vertices.
+func (ix *Index) AvgLabelSize() float64 {
+	n := ix.g.NumVertices() - len(ix.landmarks)
+	if n <= 0 {
+		return 0
+	}
+	return float64(ix.NumEntries()) / float64(n)
+}
+
+// SizeBytes32 reports the labelling size under the paper's uncompressed
+// accounting (Table 3's "HL"): 32 bits per landmark id + 8 bits per
+// distance per entry, plus the highway matrix.
+func (ix *Index) SizeBytes32() int64 {
+	return ix.NumEntries()*5 + int64(len(ix.highway))*4
+}
+
+// SizeBytes8 reports the labelling size under the paper's compressed
+// accounting (Table 3's "HL(8)"): 8 bits per landmark id + 8 bits per
+// distance per entry, plus the highway matrix.
+func (ix *Index) SizeBytes8() int64 {
+	return ix.NumEntries()*2 + int64(len(ix.highway))*4
+}
+
+// ActualBytes reports the real in-memory footprint of the index
+// structures (offsets, labels, highway, landmark arrays).
+func (ix *Index) ActualBytes() int64 {
+	return int64(len(ix.labelOff))*8 +
+		int64(len(ix.labelRank)) +
+		int64(len(ix.labelDist)) +
+		int64(len(ix.highway))*4 +
+		int64(len(ix.landmarks))*4 +
+		int64(len(ix.rankOf))*4 +
+		int64(len(ix.isLandmark)) +
+		int64(len(ix.overflow))*16
+}
+
+// Stats summarizes the index for logs and the bench harness.
+type Stats struct {
+	NumVertices  int
+	NumEdges     int64
+	NumLandmarks int
+	NumEntries   int64
+	AvgLabelSize float64
+	MaxLabelSize int
+	Bytes32      int64
+	Bytes8       int64
+}
+
+// Stats returns summary statistics of the index.
+func (ix *Index) Stats() Stats {
+	maxLS := 0
+	for v := 0; v < ix.g.NumVertices(); v++ {
+		if ls := ix.LabelSize(int32(v)); ls > maxLS {
+			maxLS = ls
+		}
+	}
+	return Stats{
+		NumVertices:  ix.g.NumVertices(),
+		NumEdges:     ix.g.NumEdges(),
+		NumLandmarks: len(ix.landmarks),
+		NumEntries:   ix.NumEntries(),
+		AvgLabelSize: ix.AvgLabelSize(),
+		MaxLabelSize: maxLS,
+		Bytes32:      ix.SizeBytes32(),
+		Bytes8:       ix.SizeBytes8(),
+	}
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("n=%d m=%d k=%d entries=%d als=%.2f maxls=%d hl=%dB hl8=%dB",
+		s.NumVertices, s.NumEdges, s.NumLandmarks, s.NumEntries, s.AvgLabelSize, s.MaxLabelSize, s.Bytes32, s.Bytes8)
+}

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"highway/internal/bfs"
+	"highway/internal/gen"
+	"highway/internal/graph"
+)
+
+func validatePath(t *testing.T, g *graph.Graph, path []int32, s, u, wantLen int32) {
+	t.Helper()
+	if wantLen < 0 {
+		if path != nil {
+			t.Fatalf("disconnected pair returned path %v", path)
+		}
+		return
+	}
+	if int32(len(path)) != wantLen+1 {
+		t.Fatalf("path %v has %d vertices, want %d", path, len(path), wantLen+1)
+	}
+	if path[0] != s || path[len(path)-1] != u {
+		t.Fatalf("path %v does not connect %d..%d", path, s, u)
+	}
+	for i := 1; i < len(path); i++ {
+		if !g.HasEdge(path[i-1], path[i]) {
+			t.Fatalf("path %v uses missing edge {%d,%d}", path, path[i-1], path[i])
+		}
+	}
+}
+
+func TestPathSmall(t *testing.T) {
+	g := gen.PaperFigure2()
+	ix, err := Build(g, gen.PaperLandmarks())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr := ix.NewSearcher()
+	// Example 4.3's pair: vertices 2 and 11 (ids 1 and 10), distance 3.
+	p := sr.Path(1, 10)
+	validatePath(t, g, p, 1, 10, 3)
+	// Same vertex.
+	if p := sr.Path(5, 5); len(p) != 1 || p[0] != 5 {
+		t.Fatalf("Path(v,v) = %v", p)
+	}
+	// Landmark endpoints.
+	validatePath(t, g, sr.Path(0, 8), 0, 8, 1)
+}
+
+func TestPathRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := gen.BarabasiAlbert(500, 3, 21)
+	ix, err := Build(g, g.DegreeOrder()[:10])
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr := ix.NewSearcher()
+	for trial := 0; trial < 150; trial++ {
+		s := int32(rng.Intn(500))
+		u := int32(rng.Intn(500))
+		want := bfs.Dist(g, s, u)
+		validatePath(t, g, sr.Path(s, u), s, u, want)
+	}
+}
+
+func TestPathDisconnected(t *testing.T) {
+	g := graph.MustFromEdges(4, [][2]int32{{0, 1}, {2, 3}})
+	ix, err := Build(g, []int32{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := ix.Path(0, 3); p != nil {
+		t.Fatalf("got %v, want nil", p)
+	}
+	// Pooled convenience form on a reachable pair.
+	validatePath(t, g, ix.Path(0, 1), 0, 1, 1)
+}

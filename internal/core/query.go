@@ -1,0 +1,180 @@
+package core
+
+import "highway/internal/bfs"
+
+// Searcher answers distance queries against an Index. It owns the scratch
+// buffers of the bounded bidirectional search, so it is cheap to query
+// repeatedly but must not be shared between goroutines. Create one per
+// querying goroutine with Index.NewSearcher, or use Index.Distance, which
+// draws searchers from an internal pool.
+type Searcher struct {
+	ix *Index
+	sc *bfs.Scratch
+	// common marks landmark ranks present in both endpoint labels
+	// (Lemma 5.1 shortcut).
+	common []bool
+	// virtualBuf/entryBuf stage the two endpoint labels; index 0 is the
+	// s side, index 1 the t side.
+	virtualBuf [2]labelEntry
+	entryBuf   [2][]labelEntry
+}
+
+type labelEntry struct {
+	rank int32
+	dist int32
+}
+
+// NewSearcher returns a Searcher bound to the index.
+func (ix *Index) NewSearcher() *Searcher {
+	return &Searcher{ix: ix, sc: bfs.NewScratch(ix.g.NumVertices())}
+}
+
+// Distance returns the exact shortest-path distance between s and t, or
+// Infinity if they are disconnected. It is safe for concurrent use; for
+// tight query loops prefer a dedicated Searcher.
+func (ix *Index) Distance(s, t int32) int32 {
+	sr, _ := ix.pool.Get().(*Searcher)
+	if sr == nil {
+		sr = ix.NewSearcher()
+	}
+	d := sr.Distance(s, t)
+	ix.pool.Put(sr)
+	return d
+}
+
+// UpperBound returns d⊤st, the best distance through the highway
+// (Equation 4 with the Lemma 5.1 shortcut), or Infinity when the labels
+// connect s and t through no landmark. UpperBound(s,t) ≥ Distance(s,t)
+// always (Lemma 4.4), with equality iff some shortest path intersects R.
+func (ix *Index) UpperBound(s, t int32) int32 {
+	var sr Searcher
+	sr.ix = ix
+	return sr.UpperBound(s, t)
+}
+
+// Distance returns the exact distance between s and t (Theorem 4.6):
+// min(d⊤st, bounded bidirectional BFS on G[V\R]).
+func (sr *Searcher) Distance(s, t int32) int32 {
+	ix := sr.ix
+	if s == t {
+		return 0
+	}
+	ub := sr.UpperBound(s, t)
+	if ix.isLandmark[s] || ix.isLandmark[t] {
+		// Labels plus highway are exact when an endpoint is a landmark:
+		// every s-t path is trivially r-constrained for r = that endpoint,
+		// and the highway cover property covers it. The sparsified graph
+		// does not contain the endpoint, so there is nothing to search.
+		return ub
+	}
+	bound := ub
+	if bound == Infinity {
+		// Labels gave no path through R; only the sparsified graph can
+		// connect s and t.
+		return bfs.BoundedBiBFS(ix.g, s, t, bfs.NoBound, ix.isLandmark, sr.sc)
+	}
+	return bfs.BoundedBiBFS(ix.g, s, t, bound, ix.isLandmark, sr.sc)
+}
+
+// UpperBound is the searcher-local version of Index.UpperBound.
+func (sr *Searcher) UpperBound(s, t int32) int32 {
+	ix := sr.ix
+	if s == t {
+		return 0
+	}
+	ls := sr.labelOf(s, 0)
+	lt := sr.labelOf(t, 1)
+	if len(ls) == 0 || len(lt) == 0 {
+		return Infinity
+	}
+	k := len(ix.landmarks)
+	best := int32(-1)
+	relax := func(d int32) {
+		if d >= 0 && (best < 0 || d < best) {
+			best = d
+		}
+	}
+	// Pass 1: common landmarks (Lemma 5.1): δL(r,s) + δL(r,t). Labels are
+	// sorted by rank, so a single merge finds them. Landmarks common to
+	// both labels also dominate every cross pair they participate in
+	// (triangle inequality), so pass 2 may skip those pairs entirely.
+	commonS := sr.commonMask(ls, lt)
+	i, j := 0, 0
+	for i < len(ls) && j < len(lt) {
+		switch {
+		case ls[i].rank == lt[j].rank:
+			relax(ls[i].dist + lt[j].dist)
+			i++
+			j++
+		case ls[i].rank < lt[j].rank:
+			i++
+		default:
+			j++
+		}
+	}
+	// Pass 2: cross pairs through the highway (Equation 4), skipping any
+	// pair whose side is a shared landmark.
+	for _, es := range ls {
+		if commonS[es.rank] {
+			continue
+		}
+		row := ix.highway[int(es.rank)*k : int(es.rank+1)*k]
+		for _, et := range lt {
+			if commonS[et.rank] {
+				continue
+			}
+			if h := row[et.rank]; h >= 0 {
+				relax(es.dist + h + et.dist)
+			}
+		}
+	}
+	return best
+}
+
+// commonMask returns a bitmask (as a bool slice indexed by rank) of
+// landmarks present in both labels. The mask array is kept on the searcher
+// to avoid allocation.
+func (sr *Searcher) commonMask(ls, lt []labelEntry) []bool {
+	k := len(sr.ix.landmarks)
+	if cap(sr.common) < k {
+		sr.common = make([]bool, k)
+	}
+	mask := sr.common[:k]
+	clear(mask)
+	i, j := 0, 0
+	for i < len(ls) && j < len(lt) {
+		switch {
+		case ls[i].rank == lt[j].rank:
+			mask[ls[i].rank] = true
+			i++
+			j++
+		case ls[i].rank < lt[j].rank:
+			i++
+		default:
+			j++
+		}
+	}
+	return mask
+}
+
+// labelOf materializes v's label as entries sorted by rank. For landmark
+// vertices it returns the virtual label {(rank(v), 0)} of Section 4.2.
+// side selects one of two searcher-owned buffers so both endpoints can be
+// staged simultaneously.
+func (sr *Searcher) labelOf(v int32, side int) []labelEntry {
+	ix := sr.ix
+	if r := ix.rankOf[v]; r >= 0 {
+		sr.virtualBuf[side] = labelEntry{rank: r, dist: 0}
+		return sr.virtualBuf[side : side+1]
+	}
+	lo, hi := ix.labelOff[v], ix.labelOff[v+1]
+	buf := &sr.entryBuf[side]
+	*buf = (*buf)[:0]
+	for p := lo; p < hi; p++ {
+		*buf = append(*buf, labelEntry{
+			rank: int32(ix.labelRank[p]),
+			dist: ix.entryDist(v, p),
+		})
+	}
+	return *buf
+}

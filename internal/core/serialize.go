@@ -1,0 +1,238 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+
+	"highway/internal/bfs"
+	"highway/internal/graph"
+)
+
+// Index binary format (little-endian):
+//
+//	magic     [8]byte "HWLIDX01"
+//	n         uint64
+//	k         uint32
+//	landmarks [k]uint32
+//	highway   [k*k]int32      (-1 = Infinity)
+//	labelOff  [n+1]uint64
+//	labelRank [entries]uint8
+//	labelDist [entries]uint8
+//	nOverflow uint32
+//	overflow  nOverflow × (vertex uint32, rank uint8, dist int32)
+//
+// The graph itself is not embedded: an index is only meaningful together
+// with the graph it was built on, and callers load/store the graph
+// separately (cmd/hlbuild writes both files side by side). Load verifies
+// the vertex count matches.
+var indexMagic = [8]byte{'H', 'W', 'L', 'I', 'D', 'X', '0', '1'}
+
+// Write serializes the index (without the graph).
+func (ix *Index) Write(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := bw.Write(indexMagic[:]); err != nil {
+		return err
+	}
+	n := ix.g.NumVertices()
+	k := len(ix.landmarks)
+	var b8 [8]byte
+	binary.LittleEndian.PutUint64(b8[:], uint64(n))
+	bw.Write(b8[:])
+	binary.LittleEndian.PutUint32(b8[:4], uint32(k))
+	bw.Write(b8[:4])
+	for _, l := range ix.landmarks {
+		binary.LittleEndian.PutUint32(b8[:4], uint32(l))
+		bw.Write(b8[:4])
+	}
+	for _, h := range ix.highway {
+		binary.LittleEndian.PutUint32(b8[:4], uint32(h))
+		bw.Write(b8[:4])
+	}
+	for _, o := range ix.labelOff {
+		binary.LittleEndian.PutUint64(b8[:], uint64(o))
+		bw.Write(b8[:8])
+	}
+	if _, err := bw.Write(ix.labelRank); err != nil {
+		return err
+	}
+	if _, err := bw.Write(ix.labelDist); err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint32(b8[:4], uint32(len(ix.overflow)))
+	bw.Write(b8[:4])
+	// Deterministic order: iterate labels in CSR order and emit entries
+	// whose stored distance is the overflow marker.
+	for v := int32(0); v < int32(n); v++ {
+		for p := ix.labelOff[v]; p < ix.labelOff[v+1]; p++ {
+			if ix.labelDist[p] != distOverflow {
+				continue
+			}
+			r := ix.labelRank[p]
+			binary.LittleEndian.PutUint32(b8[:4], uint32(v))
+			bw.Write(b8[:4])
+			bw.WriteByte(r)
+			binary.LittleEndian.PutUint32(b8[:4], uint32(ix.overflow[overflowKey{v, r}]))
+			bw.Write(b8[:4])
+		}
+	}
+	return bw.Flush()
+}
+
+// Read deserializes an index written by Write and attaches it to g, which
+// must be the graph the index was built on (the vertex count is checked;
+// deeper mismatches surface as wrong distances, which Verify can detect).
+func Read(r io.Reader, g *graph.Graph) (*Index, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("core: reading magic: %w", err)
+	}
+	if magic != indexMagic {
+		return nil, fmt.Errorf("core: bad magic %q (not a HWLIDX01 file)", magic[:])
+	}
+	var b8 [8]byte
+	if _, err := io.ReadFull(br, b8[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint64(b8[:])
+	if int(n) != g.NumVertices() {
+		return nil, fmt.Errorf("core: index built for n=%d, graph has n=%d", n, g.NumVertices())
+	}
+	if _, err := io.ReadFull(br, b8[:4]); err != nil {
+		return nil, err
+	}
+	k := binary.LittleEndian.Uint32(b8[:4])
+	if k == 0 || k > MaxLandmarks {
+		return nil, fmt.Errorf("core: index claims k=%d landmarks", k)
+	}
+	ix := &Index{
+		g:          g,
+		landmarks:  make([]int32, k),
+		rankOf:     make([]int32, n),
+		isLandmark: make([]bool, n),
+		highway:    make([]int32, int(k)*int(k)),
+		labelOff:   make([]int64, n+1),
+		overflow:   make(map[overflowKey]int32),
+	}
+	for i := range ix.rankOf {
+		ix.rankOf[i] = -1
+	}
+	for i := range ix.landmarks {
+		if _, err := io.ReadFull(br, b8[:4]); err != nil {
+			return nil, err
+		}
+		v := int32(binary.LittleEndian.Uint32(b8[:4]))
+		if v < 0 || uint64(v) >= n {
+			return nil, fmt.Errorf("core: landmark %d out of range", v)
+		}
+		if ix.rankOf[v] >= 0 {
+			return nil, fmt.Errorf("core: duplicate landmark %d", v)
+		}
+		ix.landmarks[i] = v
+		ix.rankOf[v] = int32(i)
+		ix.isLandmark[v] = true
+	}
+	for i := range ix.highway {
+		if _, err := io.ReadFull(br, b8[:4]); err != nil {
+			return nil, err
+		}
+		ix.highway[i] = int32(binary.LittleEndian.Uint32(b8[:4]))
+	}
+	for i := range ix.labelOff {
+		if _, err := io.ReadFull(br, b8[:]); err != nil {
+			return nil, err
+		}
+		ix.labelOff[i] = int64(binary.LittleEndian.Uint64(b8[:]))
+	}
+	entries := ix.labelOff[n]
+	if entries < 0 || entries > int64(n)*int64(k) {
+		return nil, fmt.Errorf("core: implausible entry count %d", entries)
+	}
+	for v := uint64(0); v < n; v++ {
+		if ix.labelOff[v] > ix.labelOff[v+1] {
+			return nil, fmt.Errorf("core: label offsets not monotone at %d", v)
+		}
+	}
+	ix.labelRank = make([]uint8, entries)
+	ix.labelDist = make([]uint8, entries)
+	if _, err := io.ReadFull(br, ix.labelRank); err != nil {
+		return nil, err
+	}
+	if _, err := io.ReadFull(br, ix.labelDist); err != nil {
+		return nil, err
+	}
+	for _, r := range ix.labelRank {
+		if uint32(r) >= k {
+			return nil, fmt.Errorf("core: label rank %d out of range [0,%d)", r, k)
+		}
+	}
+	if _, err := io.ReadFull(br, b8[:4]); err != nil {
+		return nil, err
+	}
+	nOv := binary.LittleEndian.Uint32(b8[:4])
+	for i := uint32(0); i < nOv; i++ {
+		var rec [9]byte
+		if _, err := io.ReadFull(br, rec[:]); err != nil {
+			return nil, err
+		}
+		v := int32(binary.LittleEndian.Uint32(rec[0:4]))
+		rank := rec[4]
+		d := int32(binary.LittleEndian.Uint32(rec[5:9]))
+		if v < 0 || uint64(v) >= n || uint32(rank) >= k || d < int32(distOverflow) {
+			return nil, fmt.Errorf("core: bad overflow record (v=%d rank=%d d=%d)", v, rank, d)
+		}
+		ix.overflow[overflowKey{v, rank}] = d
+	}
+	return ix, nil
+}
+
+// Save writes the index to a file.
+func (ix *Index) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := ix.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Load reads an index file and attaches it to g.
+func Load(path string, g *graph.Graph) (*Index, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f, g)
+}
+
+// Verify cross-checks the index against ground-truth BFS on sample vertex
+// pairs; it returns an error describing the first mismatch. Used by
+// cmd/hlbuild --verify and tests.
+func (ix *Index) Verify(samples int, seed int64) error {
+	n := ix.g.NumVertices()
+	if n == 0 {
+		return nil
+	}
+	sr := ix.NewSearcher()
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < samples; i++ {
+		s := int32(rng.Intn(n))
+		t := int32(rng.Intn(n))
+		want := bfs.Dist(ix.g, s, t)
+		if want == bfs.Unreachable {
+			want = Infinity
+		}
+		if got := sr.Distance(s, t); got != want {
+			return fmt.Errorf("core: verify: Distance(%d,%d) = %d, want %d", s, t, got, want)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"highway/internal/gen"
+)
+
+func TestIndexRoundTrip(t *testing.T) {
+	g := gen.BarabasiAlbert(300, 3, 13)
+	ix, err := Build(g, g.DegreeOrder()[:12])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ix.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	ix2, err := Read(&buf, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !indexesIdentical(ix, ix2) {
+		t.Fatal("round trip produced a different index")
+	}
+	for i := range ix.landmarks {
+		if ix.landmarks[i] != ix2.landmarks[i] {
+			t.Fatal("landmarks differ")
+		}
+	}
+	if err := ix2.Verify(200, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIndexRoundTripWithOverflow(t *testing.T) {
+	g := gen.Path(600)
+	ix, err := Build(g, []int32{0, 599})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ix.overflow) == 0 {
+		t.Fatal("test premise broken: no overflow entries")
+	}
+	var buf bytes.Buffer
+	if err := ix.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	ix2, err := Read(&buf, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ix2.overflow) != len(ix.overflow) {
+		t.Fatalf("overflow table: %d entries, want %d", len(ix2.overflow), len(ix.overflow))
+	}
+	sr := ix2.NewSearcher()
+	if d := sr.Distance(5, 595); d != 590 {
+		t.Fatalf("d(5,595) = %d, want 590", d)
+	}
+}
+
+func TestIndexFileRoundTrip(t *testing.T) {
+	g := gen.PaperFigure2()
+	ix, err := Build(g, gen.PaperLandmarks())
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/idx.bin"
+	if err := ix.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	ix2, err := Load(path, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix2.NumEntries() != 13 {
+		t.Fatalf("entries = %d, want 13", ix2.NumEntries())
+	}
+}
+
+func TestReadRejectsCorruptIndex(t *testing.T) {
+	g := gen.PaperFigure2()
+	ix, err := Build(g, gen.PaperLandmarks())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ix.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	// Wrong magic.
+	bad := append([]byte{}, good...)
+	bad[0] = 'X'
+	if _, err := Read(bytes.NewReader(bad), g); err == nil {
+		t.Error("bad magic accepted")
+	}
+	// Wrong graph.
+	if _, err := Read(bytes.NewReader(good), gen.Path(3)); err == nil {
+		t.Error("mismatched graph accepted")
+	}
+	// Truncated stream.
+	if _, err := Read(bytes.NewReader(good[:len(good)-3]), g); err == nil {
+		t.Error("truncated stream accepted")
+	}
+	// Garbage.
+	if _, err := Read(bytes.NewReader([]byte("garbage")), g); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestVerifyDetectsCorruption(t *testing.T) {
+	g := gen.BarabasiAlbert(120, 3, 3)
+	ix, err := Build(g, g.DegreeOrder()[:5])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Verify(100, 2); err != nil {
+		t.Fatalf("clean index failed verify: %v", err)
+	}
+	// Corrupt one stored distance and expect Verify to notice. Pick an
+	// entry with distance ≥ 1 and add 3 (keeps it a valid upper bound on
+	// nothing — bounds must stay ≥ true distances for detection, and a
+	// too-large entry inflates some exact distance).
+	for p := range ix.labelDist {
+		if ix.labelDist[p] >= 1 && ix.labelDist[p] < 200 {
+			ix.labelDist[p] += 3
+			break
+		}
+	}
+	if err := ix.Verify(2000, 2); err == nil {
+		t.Fatal("corrupted index passed verification")
+	}
+}

@@ -1,0 +1,181 @@
+// Package datasets is the registry of the 12 networks of the paper's
+// Table 1, realized as seeded synthetic stand-ins (see DESIGN.md
+// "Substitutions"). The real datasets span 1.7M-2B vertices and 85MB-55GB
+// on disk; each stand-in keeps the network's *shape* — its family
+// (preferential attachment for social graphs, R-MAT for skewed web
+// crawls), its average degree m/n, and its hub structure — at roughly
+// 1:100 the vertex count (1:2000 for ClueWeb09), which is what the
+// paper's algorithms are sensitive to.
+//
+// Every stand-in is generated deterministically from a per-name seed and
+// reduced to its largest connected component (the paper assumes connected
+// graphs, Section 2).
+package datasets
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"highway/internal/gen"
+	"highway/internal/graph"
+)
+
+// Family classifies the generator used for a stand-in.
+type Family string
+
+const (
+	// FamilySocial uses Barabási–Albert preferential attachment.
+	FamilySocial Family = "social"
+	// FamilyWeb uses R-MAT with the classic (0.57,0.19,0.19,0.05) skew.
+	FamilyWeb Family = "web"
+)
+
+// Dataset describes one Table 1 network and its synthetic stand-in.
+type Dataset struct {
+	Name string
+	Type string // the paper's network type column
+	// Paper statistics (for EXPERIMENTS.md comparisons).
+	PaperN string
+	PaperM string
+	// Stand-in parameters.
+	Family Family
+	N      int   // target vertex count before LCC reduction (BA) or 2^scale (R-MAT)
+	Deg    int   // edges per vertex (BA k, R-MAT edge factor) ≈ paper's m/n
+	Scale  uint  // R-MAT scale (2^Scale vertices); 0 for BA
+	Seed   int64 // generation seed
+}
+
+// Registry lists the paper's 12 datasets in Table 1 order.
+var Registry = []Dataset{
+	{Name: "Skitter", Type: "computer", PaperN: "1.7M", PaperM: "11M", Family: FamilySocial, N: 17000, Deg: 7, Seed: 101},
+	{Name: "Flickr", Type: "social", PaperN: "1.7M", PaperM: "16M", Family: FamilySocial, N: 17000, Deg: 9, Seed: 102},
+	{Name: "Hollywood", Type: "social", PaperN: "1.1M", PaperM: "114M", Family: FamilySocial, N: 11000, Deg: 50, Seed: 103},
+	{Name: "Orkut", Type: "social", PaperN: "3.1M", PaperM: "117M", Family: FamilySocial, N: 31000, Deg: 38, Seed: 104},
+	{Name: "enwiki2013", Type: "social", PaperN: "4.2M", PaperM: "101M", Family: FamilySocial, N: 42000, Deg: 22, Seed: 105},
+	{Name: "LiveJournal", Type: "social", PaperN: "4.8M", PaperM: "69M", Family: FamilySocial, N: 48000, Deg: 9, Seed: 106},
+	{Name: "Indochina", Type: "web", PaperN: "7.4M", PaperM: "194M", Family: FamilyWeb, Scale: 16, Deg: 20, Seed: 107},
+	{Name: "it2004", Type: "web", PaperN: "41M", PaperM: "1.2B", Family: FamilyWeb, Scale: 17, Deg: 25, Seed: 108},
+	{Name: "Twitter", Type: "social", PaperN: "42M", PaperM: "1.5B", Family: FamilyWeb, Scale: 17, Deg: 29, Seed: 109},
+	{Name: "Friendster", Type: "social", PaperN: "66M", PaperM: "1.8B", Family: FamilySocial, N: 160000, Deg: 22, Seed: 110},
+	{Name: "uk2007", Type: "web", PaperN: "106M", PaperM: "3.7B", Family: FamilyWeb, Scale: 18, Deg: 31, Seed: 111},
+	{Name: "ClueWeb09", Type: "computer", PaperN: "2B", PaperM: "8B", Family: FamilyWeb, Scale: 20, Deg: 4, Seed: 112},
+}
+
+// ByName returns the registry entry with the given (case-sensitive) name.
+func ByName(name string) (Dataset, error) {
+	for _, d := range Registry {
+		if d.Name == name {
+			return d, nil
+		}
+	}
+	return Dataset{}, fmt.Errorf("datasets: unknown dataset %q (known: %v)", name, Names())
+}
+
+// Names lists the registry names in Table 1 order.
+func Names() []string {
+	names := make([]string, len(Registry))
+	for i, d := range Registry {
+		names[i] = d.Name
+	}
+	return names
+}
+
+// Generate builds the stand-in at 1/shrink of its standard size (shrink=1
+// is the standard ~1:100 stand-in; tests use larger shrinks) and reduces
+// it to its largest connected component.
+func (d Dataset) Generate(shrink int) *graph.Graph {
+	if shrink < 1 {
+		shrink = 1
+	}
+	var g *graph.Graph
+	switch d.Family {
+	case FamilySocial:
+		n := d.N / shrink
+		if n < d.Deg+2 {
+			n = d.Deg + 2
+		}
+		g = gen.BarabasiAlbert(n, d.Deg/2, d.Seed)
+	case FamilyWeb:
+		scale := d.Scale
+		for s := shrink; s > 1 && scale > 8; s /= 2 {
+			scale--
+		}
+		g = gen.RMAT(scale, d.Deg, 0.57, 0.19, 0.19, d.Seed)
+	default:
+		panic(fmt.Sprintf("datasets: unknown family %q", d.Family))
+	}
+	lcc, _ := graph.LargestComponent(g)
+	return lcc
+}
+
+var (
+	cacheMu sync.Mutex
+	cache   = map[string]*graph.Graph{}
+)
+
+// Load returns the stand-in graph, memoizing per (name, shrink) so that
+// benches and the harness reuse one instance.
+func (d Dataset) Load(shrink int) *graph.Graph {
+	key := fmt.Sprintf("%s/%d", d.Name, shrink)
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	if g, ok := cache[key]; ok {
+		return g
+	}
+	g := d.Generate(shrink)
+	cache[key] = g
+	return g
+}
+
+// Stats describes a stand-in for the Table 1 reproduction.
+type Stats struct {
+	Name      string
+	Type      string
+	N         int
+	M         int64
+	MOverN    float64
+	AvgDeg    float64
+	MaxDeg    int
+	SizeBytes int64
+	PaperN    string
+	PaperM    string
+}
+
+// Describe computes the Table 1 row for the generated stand-in.
+func (d Dataset) Describe(g *graph.Graph) Stats {
+	maxDeg, _ := g.MaxDegree()
+	return Stats{
+		Name:      d.Name,
+		Type:      d.Type,
+		N:         g.NumVertices(),
+		M:         g.NumEdges(),
+		MOverN:    float64(g.NumEdges()) / float64(g.NumVertices()),
+		AvgDeg:    g.AvgDegree(),
+		MaxDeg:    maxDeg,
+		SizeBytes: g.SizeBytes(),
+		PaperN:    d.PaperN,
+		PaperM:    d.PaperM,
+	}
+}
+
+// SmallSet returns the registry subset suitable for quick runs (stand-ins
+// that stay under ~0.5M edges at shrink 1), sorted by edge count of their
+// standard size estimate.
+func SmallSet() []Dataset {
+	var out []Dataset
+	for _, d := range Registry {
+		if estEdges(d) <= 500_000 {
+			out = append(out, d)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return estEdges(out[i]) < estEdges(out[j]) })
+	return out
+}
+
+func estEdges(d Dataset) int64 {
+	if d.Family == FamilySocial {
+		return int64(d.N) * int64(d.Deg) / 2
+	}
+	return int64(1<<d.Scale) * int64(d.Deg)
+}

@@ -1,0 +1,110 @@
+package datasets
+
+import (
+	"testing"
+
+	"highway/internal/graph"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	if len(Registry) != 12 {
+		t.Fatalf("registry has %d datasets, want 12 (Table 1)", len(Registry))
+	}
+	seen := map[string]bool{}
+	for _, d := range Registry {
+		if seen[d.Name] {
+			t.Fatalf("duplicate dataset %q", d.Name)
+		}
+		seen[d.Name] = true
+		if d.Seed == 0 {
+			t.Fatalf("%s: zero seed", d.Name)
+		}
+	}
+	for _, want := range []string{"Skitter", "Hollywood", "Twitter", "ClueWeb09"} {
+		if !seen[want] {
+			t.Fatalf("missing Table 1 dataset %q", want)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	d, err := ByName("Flickr")
+	if err != nil || d.Name != "Flickr" {
+		t.Fatalf("ByName(Flickr) = %v, %v", d, err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("unknown name accepted")
+	}
+	if len(Names()) != 12 {
+		t.Fatal("Names() incomplete")
+	}
+}
+
+func TestGenerateShapes(t *testing.T) {
+	// Shrunk heavily so the test stays fast; shapes must still hold.
+	for _, name := range []string{"Skitter", "Indochina"} {
+		d, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := d.Generate(16)
+		if g.NumVertices() < 100 {
+			t.Fatalf("%s: only %d vertices", name, g.NumVertices())
+		}
+		if !graph.IsConnected(g) {
+			t.Fatalf("%s: stand-in not connected after LCC", name)
+		}
+		maxDeg, _ := g.MaxDegree()
+		if float64(maxDeg) < 3*g.AvgDegree() {
+			t.Fatalf("%s: no hubs (max %d avg %.1f)", name, maxDeg, g.AvgDegree())
+		}
+		st := d.Describe(g)
+		if st.N != g.NumVertices() || st.M != g.NumEdges() || st.MaxDeg != maxDeg {
+			t.Fatalf("%s: Describe mismatch: %+v", name, st)
+		}
+	}
+}
+
+func TestLoadMemoizes(t *testing.T) {
+	d, err := ByName("LiveJournal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := d.Load(32)
+	b := d.Load(32)
+	if a != b {
+		t.Fatal("Load did not memoize")
+	}
+	if c := d.Load(64); c == a {
+		t.Fatal("different shrink returned the same graph")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	d, err := ByName("Flickr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := d.Generate(16)
+	b := d.Generate(16)
+	if a.NumVertices() != b.NumVertices() || a.NumEdges() != b.NumEdges() {
+		t.Fatal("generation not deterministic")
+	}
+}
+
+func TestSmallSet(t *testing.T) {
+	small := SmallSet()
+	if len(small) == 0 {
+		t.Fatal("no small datasets")
+	}
+	for _, d := range small {
+		if estEdges(d) > 500_000 {
+			t.Fatalf("%s exceeds the small-set budget", d.Name)
+		}
+	}
+	for i := 1; i < len(small); i++ {
+		if estEdges(small[i-1]) > estEdges(small[i]) {
+			t.Fatal("small set not sorted by size")
+		}
+	}
+}

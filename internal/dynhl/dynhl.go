@@ -1,0 +1,405 @@
+// Package dynhl extends the highway cover labelling to growing graphs
+// (edge insertions), the direction the paper's authors pursued in
+// follow-up work on fully dynamic labelling.
+//
+// The implementation uses *selective landmark rebuild*, which is exact and
+// preserves both minimality and order independence:
+//
+// Inserting an undirected edge {a,b} creates a new shortest path from
+// landmark r if and only if |d(r,a) - d(r,b)| ≥ 1 — when the two
+// endpoints' distances differ by zero, every path through the new edge is
+// strictly longer than an existing one, so neither the distances from r,
+// nor the set of shortest paths from r, nor (therefore) r's pruned BFS
+// outcome can change. Each insertion therefore:
+//
+//  1. queries d(r,a) and d(r,b) for every landmark (landmark-endpoint
+//     queries are answered exactly by labels + highway alone);
+//  2. marks the landmarks with |d(r,a)-d(r,b)| ≥ 1 (or with either
+//     endpoint newly reachable) as dirty;
+//  3. re-runs Algorithm 1's pruned BFS for the dirty landmarks only,
+//     splicing their fresh label rows and highway rows into the index.
+//
+// Because Algorithm 1 is independent per landmark (Lemma 3.11), rebuilding
+// a subset of landmarks yields exactly the index a full rebuild would
+// produce — this invariant is property-tested against from-scratch builds.
+// Batched insertions (InsertEdges) share one rebuild pass across the
+// batch.
+package dynhl
+
+import (
+	"fmt"
+	"sort"
+
+	"highway/internal/bfs"
+	"highway/internal/core"
+	"highway/internal/graph"
+)
+
+// Infinity is the distance reported between disconnected vertices.
+const Infinity int32 = -1
+
+// Index is a mutable highway cover labelling over a growing graph.
+type Index struct {
+	n          int
+	adj        [][]int32 // mutable adjacency (copied from the build graph)
+	landmarks  []int32
+	rankOf     []int32
+	isLandmark []bool
+	highway    []int32 // k*k, Infinity = unreachable
+
+	// labels[v] is v's label sorted by landmark rank; rows[r] lists the
+	// vertices labelled by landmark rank r (the pruned-BFS output), used
+	// to splice a landmark's entries out on rebuild.
+	labels [][]entry
+	rows   [][]int32
+
+	sc *searchState
+}
+
+type entry struct {
+	rank int32
+	dist int32
+}
+
+// Build constructs a dynamic index. The original graph is copied into a
+// mutable adjacency; g itself is not retained.
+func Build(g *graph.Graph, landmarks []int32) (*Index, error) {
+	n := g.NumVertices()
+	if len(landmarks) == 0 {
+		return nil, fmt.Errorf("dynhl: no landmarks")
+	}
+	if len(landmarks) > core.MaxLandmarks {
+		return nil, fmt.Errorf("dynhl: %d landmarks exceeds MaxLandmarks=%d", len(landmarks), core.MaxLandmarks)
+	}
+	ix := &Index{
+		n:          n,
+		adj:        make([][]int32, n),
+		landmarks:  append([]int32(nil), landmarks...),
+		rankOf:     make([]int32, n),
+		isLandmark: make([]bool, n),
+		highway:    make([]int32, len(landmarks)*len(landmarks)),
+		labels:     make([][]entry, n),
+		rows:       make([][]int32, len(landmarks)),
+	}
+	for v := 0; v < n; v++ {
+		nb := g.Neighbors(int32(v))
+		ix.adj[v] = append(make([]int32, 0, len(nb)), nb...)
+	}
+	for i := range ix.rankOf {
+		ix.rankOf[i] = -1
+	}
+	for r, v := range landmarks {
+		if v < 0 || int(v) >= n {
+			return nil, fmt.Errorf("dynhl: landmark %d out of range [0,%d)", v, n)
+		}
+		if ix.rankOf[v] >= 0 {
+			return nil, fmt.Errorf("dynhl: duplicate landmark %d", v)
+		}
+		ix.rankOf[v] = int32(r)
+		ix.isLandmark[v] = true
+	}
+	ix.sc = newSearchState(n)
+	for r := range landmarks {
+		ix.rebuildLandmark(r)
+	}
+	return ix, nil
+}
+
+// NumVertices returns n.
+func (ix *Index) NumVertices() int { return ix.n }
+
+// Neighbors exposes the mutable adjacency (bfs.Adjacency).
+func (ix *Index) Neighbors(v int32) []int32 { return ix.adj[v] }
+
+// NumEntries returns size(L).
+func (ix *Index) NumEntries() int64 {
+	var total int64
+	for _, l := range ix.labels {
+		total += int64(len(l))
+	}
+	return total
+}
+
+// Landmarks returns the landmark vertex ids by rank.
+func (ix *Index) Landmarks() []int32 { return ix.landmarks }
+
+// InsertEdge adds {a,b} and repairs the labelling exactly. Self-loops and
+// existing edges are no-ops.
+func (ix *Index) InsertEdge(a, b int32) error {
+	return ix.InsertEdges([][2]int32{{a, b}})
+}
+
+// InsertEdges applies a batch of insertions with a single repair pass:
+// dirty landmarks are collected across the whole batch and rebuilt once.
+func (ix *Index) InsertEdges(edges [][2]int32) error {
+	dirty := make([]bool, len(ix.landmarks))
+	inserted := 0
+	for _, e := range edges {
+		a, b := e[0], e[1]
+		if a < 0 || b < 0 || int(a) >= ix.n || int(b) >= ix.n {
+			return fmt.Errorf("dynhl: edge {%d,%d} out of range [0,%d)", a, b, ix.n)
+		}
+		if a == b || ix.hasEdge(a, b) {
+			continue
+		}
+		// Mark dirty landmarks BEFORE mutating adjacency, using exact
+		// landmark-endpoint distances from the current index.
+		for r := range ix.landmarks {
+			if dirty[r] {
+				continue
+			}
+			da := ix.distFromLandmark(r, a)
+			db := ix.distFromLandmark(r, b)
+			switch {
+			case da < 0 && db < 0:
+				// Landmark reaches neither endpoint: the new edge cannot
+				// create any path from it.
+			case da < 0 || db < 0:
+				dirty[r] = true // one side newly reachable
+			case da != db:
+				dirty[r] = true // |da-db| ≥ 1: new shortest paths appear
+			}
+		}
+		ix.adj[a] = append(ix.adj[a], b)
+		ix.adj[b] = append(ix.adj[b], a)
+		inserted++
+	}
+	if inserted == 0 {
+		return nil
+	}
+	for r, d := range dirty {
+		if d {
+			ix.rebuildLandmark(r)
+		}
+	}
+	return nil
+}
+
+func (ix *Index) hasEdge(a, b int32) bool {
+	nb := ix.adj[a]
+	if len(ix.adj[b]) < len(nb) {
+		nb = ix.adj[b]
+		b = a
+	}
+	for _, w := range nb {
+		if w == b {
+			return true
+		}
+	}
+	return false
+}
+
+// distFromLandmark returns the exact current distance from landmark rank
+// r to vertex v using only labels + highway (Section 4.2's exactness for
+// landmark endpoints).
+func (ix *Index) distFromLandmark(r int, v int32) int32 {
+	if vr := ix.rankOf[v]; vr >= 0 {
+		return ix.highway[r*len(ix.landmarks)+int(vr)]
+	}
+	k := len(ix.landmarks)
+	best := Infinity
+	for _, e := range ix.labels[v] {
+		h := ix.highway[r*k+int(e.rank)]
+		if h < 0 {
+			continue
+		}
+		if d := h + e.dist; best < 0 || d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// rebuildLandmark re-runs the pruned BFS (Algorithm 1) for one landmark
+// rank on the current adjacency, replacing its label row and highway row.
+func (ix *Index) rebuildLandmark(r int) {
+	// Splice out the old row.
+	for _, v := range ix.rows[r] {
+		l := ix.labels[v]
+		for i, e := range l {
+			if e.rank == int32(r) {
+				ix.labels[v] = append(l[:i], l[i+1:]...)
+				break
+			}
+		}
+	}
+	k := len(ix.landmarks)
+	hwRow := ix.highway[r*k : (r+1)*k]
+	for i := range hwRow {
+		hwRow[i] = Infinity
+	}
+	newRow := ix.prunedBFS(ix.landmarks[r], int32(r), hwRow)
+	// Splice in, keeping per-vertex labels sorted by rank, and mirror the
+	// highway row into the column (the matrix is symmetric).
+	for _, v := range newRow {
+		l := ix.labels[v.vertex]
+		pos := sort.Search(len(l), func(i int) bool { return l[i].rank >= int32(r) })
+		l = append(l, entry{})
+		copy(l[pos+1:], l[pos:])
+		l[pos] = entry{rank: int32(r), dist: v.dist}
+		ix.labels[v.vertex] = l
+	}
+	ix.rows[r] = ix.rows[r][:0]
+	for _, v := range newRow {
+		ix.rows[r] = append(ix.rows[r], v.vertex)
+	}
+	for j := 0; j < k; j++ {
+		ix.highway[j*k+r] = hwRow[j]
+	}
+}
+
+type rowEntry struct {
+	vertex int32
+	dist   int32
+}
+
+// prunedBFS is Algorithm 1 on the mutable adjacency (prune frontier
+// expands before the label frontier at every depth; see internal/core).
+func (ix *Index) prunedBFS(root, rank int32, hwRow []int32) []rowEntry {
+	sc := ix.sc
+	sc.epoch++
+	if sc.epoch == 0 {
+		clear(sc.visited)
+		sc.epoch = 1
+	}
+	ep := sc.epoch
+	var out []rowEntry
+	labelF := append(sc.bufA[:0], root)
+	pruneF := sc.bufB[:0]
+	sc.visited[root] = ep
+	hwRow[rank] = 0
+	found := 1
+	k := len(ix.landmarks)
+	for d := int32(0); len(labelF) > 0 || (found < k && len(pruneF) > 0); d++ {
+		nextL := sc.bufC[:0]
+		nextP := sc.bufD[:0]
+		for _, u := range pruneF {
+			for _, v := range ix.adj[u] {
+				if sc.visited[v] == ep {
+					continue
+				}
+				sc.visited[v] = ep
+				if rr := ix.rankOf[v]; rr >= 0 {
+					hwRow[rr] = d + 1
+					found++
+				}
+				nextP = append(nextP, v)
+			}
+		}
+		for _, u := range labelF {
+			for _, v := range ix.adj[u] {
+				if sc.visited[v] == ep {
+					continue
+				}
+				sc.visited[v] = ep
+				if rr := ix.rankOf[v]; rr >= 0 {
+					hwRow[rr] = d + 1
+					found++
+					nextP = append(nextP, v)
+				} else {
+					nextL = append(nextL, v)
+					out = append(out, rowEntry{vertex: v, dist: d + 1})
+				}
+			}
+		}
+		labelF, sc.bufC = nextL, labelF[:0]
+		pruneF, sc.bufD = nextP, pruneF[:0]
+	}
+	sc.bufA, sc.bufB = labelF, pruneF
+	return out
+}
+
+type searchState struct {
+	visited                []uint32
+	epoch                  uint32
+	bufA, bufB, bufC, bufD []int32
+	bi                     *bfs.Scratch
+}
+
+func newSearchState(n int) *searchState {
+	return &searchState{
+		visited: make([]uint32, n),
+		bufA:    make([]int32, 0, 1024),
+		bufB:    make([]int32, 0, 1024),
+		bufC:    make([]int32, 0, 1024),
+		bufD:    make([]int32, 0, 1024),
+		bi:      bfs.NewScratch(n),
+	}
+}
+
+// Distance returns the exact current distance between s and t, or
+// Infinity. The index is not safe for concurrent use (it is a mutable
+// structure); serialize queries with updates.
+func (ix *Index) Distance(s, t int32) int32 {
+	if s == t {
+		return 0
+	}
+	ub := ix.UpperBound(s, t)
+	if ix.isLandmark[s] || ix.isLandmark[t] {
+		return ub
+	}
+	bound := ub
+	if bound == Infinity {
+		bound = bfs.NoBound
+	}
+	d := bfs.BoundedBiBFS(ix, s, t, bound, ix.isLandmark, ix.sc.bi)
+	if d == bfs.Unreachable {
+		return ub
+	}
+	return d
+}
+
+// UpperBound returns d⊤st from labels + highway (Equation 4 with the
+// Lemma 5.1 common-landmark shortcut).
+func (ix *Index) UpperBound(s, t int32) int32 {
+	if s == t {
+		return 0
+	}
+	k := len(ix.landmarks)
+	var sVirt, tVirt [1]entry
+	ls, lt := ix.labels[s], ix.labels[t]
+	if r := ix.rankOf[s]; r >= 0 {
+		sVirt[0] = entry{rank: r}
+		ls = sVirt[:]
+	}
+	if r := ix.rankOf[t]; r >= 0 {
+		tVirt[0] = entry{rank: r}
+		lt = tVirt[:]
+	}
+	best := Infinity
+	relax := func(d int32) {
+		if best < 0 || d < best {
+			best = d
+		}
+	}
+	common := make(map[int32]bool, 4)
+	i, j := 0, 0
+	for i < len(ls) && j < len(lt) {
+		switch {
+		case ls[i].rank == lt[j].rank:
+			common[ls[i].rank] = true
+			relax(ls[i].dist + lt[j].dist)
+			i++
+			j++
+		case ls[i].rank < lt[j].rank:
+			i++
+		default:
+			j++
+		}
+	}
+	for _, es := range ls {
+		if common[es.rank] {
+			continue
+		}
+		row := ix.highway[int(es.rank)*k : (int(es.rank)+1)*k]
+		for _, et := range lt {
+			if common[et.rank] {
+				continue
+			}
+			if h := row[et.rank]; h >= 0 {
+				relax(es.dist + h + et.dist)
+			}
+		}
+	}
+	return best
+}

@@ -1,0 +1,269 @@
+package dynhl
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"highway/internal/bfs"
+	"highway/internal/core"
+	"highway/internal/gen"
+	"highway/internal/graph"
+)
+
+// mirror maintains the evolving edge list for ground truth.
+type mirror struct {
+	n     int
+	edges [][2]int32
+}
+
+func newMirror(g *graph.Graph) *mirror {
+	m := &mirror{n: g.NumVertices()}
+	for u := int32(0); u < int32(g.NumVertices()); u++ {
+		for _, v := range g.Neighbors(u) {
+			if u < v {
+				m.edges = append(m.edges, [2]int32{u, v})
+			}
+		}
+	}
+	return m
+}
+
+func (m *mirror) insert(a, b int32) {
+	if a != b {
+		m.edges = append(m.edges, [2]int32{a, b})
+	}
+}
+
+func (m *mirror) graph() *graph.Graph { return graph.MustFromEdges(m.n, m.edges) }
+
+func TestStaticMatchesCore(t *testing.T) {
+	g := gen.BarabasiAlbert(400, 3, 5)
+	lm := g.DegreeOrder()[:10]
+	dyn, err := Build(g, lm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := core.Build(g, lm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dyn.NumEntries() != ref.NumEntries() {
+		t.Fatalf("entries: dyn %d vs core %d", dyn.NumEntries(), ref.NumEntries())
+	}
+	rng := rand.New(rand.NewSource(1))
+	sr := ref.NewSearcher()
+	for i := 0; i < 500; i++ {
+		s, u := int32(rng.Intn(400)), int32(rng.Intn(400))
+		if got, want := dyn.Distance(s, u), sr.Distance(s, u); got != want {
+			t.Fatalf("Distance(%d,%d) = %d, core says %d", s, u, got, want)
+		}
+	}
+}
+
+// TestInsertMatchesRebuild is the core invariant: after any insertion
+// sequence, the dynamic index is identical (labels and highway) to a
+// from-scratch build on the final graph.
+func TestInsertMatchesRebuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := gen.BarabasiAlbert(150, 2, 3)
+	lm := g.DegreeOrder()[:6]
+	dyn, err := Build(g, lm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := newMirror(g)
+	for round := 0; round < 25; round++ {
+		a, b := int32(rng.Intn(150)), int32(rng.Intn(150))
+		if err := dyn.InsertEdge(a, b); err != nil {
+			t.Fatal(err)
+		}
+		m.insert(a, b)
+		ref, err := core.Build(m.graph(), lm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dyn.NumEntries() != ref.NumEntries() {
+			t.Fatalf("round %d: entries dyn=%d ref=%d", round, dyn.NumEntries(), ref.NumEntries())
+		}
+		// Labels must match exactly per vertex.
+		for v := int32(0); v < 150; v++ {
+			ranks, dists := ref.Label(v)
+			dl := dyn.labels[v]
+			if len(dl) != len(ranks) {
+				t.Fatalf("round %d vertex %d: |L| dyn=%d ref=%d", round, v, len(dl), len(ranks))
+			}
+			for i := range dl {
+				if dl[i].rank != int32(ranks[i]) || dl[i].dist != dists[i] {
+					t.Fatalf("round %d vertex %d entry %d: dyn=(%d,%d) ref=(%d,%d)",
+						round, v, i, dl[i].rank, dl[i].dist, ranks[i], dists[i])
+				}
+			}
+		}
+	}
+}
+
+// TestInsertQueriesExact checks distances against BFS on the evolving
+// graph after every batch.
+func TestInsertQueriesExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := gen.ErdosRenyi(120, 200, 2)
+	lm := g.DegreeOrder()[:5]
+	dyn, err := Build(g, lm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := newMirror(g)
+	for round := 0; round < 10; round++ {
+		batch := make([][2]int32, 5)
+		for i := range batch {
+			batch[i] = [2]int32{int32(rng.Intn(120)), int32(rng.Intn(120))}
+			m.insert(batch[i][0], batch[i][1])
+		}
+		if err := dyn.InsertEdges(batch); err != nil {
+			t.Fatal(err)
+		}
+		truth := m.graph()
+		for trial := 0; trial < 60; trial++ {
+			s, u := int32(rng.Intn(120)), int32(rng.Intn(120))
+			want := bfs.Dist(truth, s, u)
+			if want == bfs.Unreachable {
+				want = Infinity
+			}
+			if got := dyn.Distance(s, u); got != want {
+				t.Fatalf("round %d: Distance(%d,%d) = %d, want %d", round, s, u, got, want)
+			}
+		}
+	}
+}
+
+// TestInsertConnectsComponents exercises the newly-reachable path.
+func TestInsertConnectsComponents(t *testing.T) {
+	g := graph.MustFromEdges(7, [][2]int32{{0, 1}, {1, 2}, {3, 4}, {4, 5}, {5, 6}})
+	dyn, err := Build(g, []int32{1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := dyn.Distance(0, 6); d != Infinity {
+		t.Fatalf("pre-insert d(0,6) = %d", d)
+	}
+	if h := dyn.highway[1]; h != Infinity {
+		t.Fatalf("cross-component highway = %d", h)
+	}
+	if err := dyn.InsertEdge(2, 3); err != nil {
+		t.Fatal(err)
+	}
+	if d := dyn.Distance(0, 6); d != 6 {
+		t.Fatalf("post-insert d(0,6) = %d, want 6", d)
+	}
+	if h := dyn.highway[1]; h != 3 {
+		t.Fatalf("post-insert δH = %d, want 3 (1-2-3-4)", h)
+	}
+}
+
+func TestInsertNoOps(t *testing.T) {
+	g := gen.Cycle(8)
+	dyn, err := Build(g, []int32{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := dyn.NumEntries()
+	if err := dyn.InsertEdge(3, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := dyn.InsertEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if dyn.NumEntries() != before {
+		t.Fatal("no-op insertions changed the labelling")
+	}
+	if err := dyn.InsertEdge(0, 99); err == nil {
+		t.Fatal("out-of-range edge accepted")
+	}
+	if err := dyn.InsertEdges(nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	g := gen.Path(5)
+	if _, err := Build(g, nil); err == nil {
+		t.Error("no landmarks accepted")
+	}
+	if _, err := Build(g, []int32{0, 0}); err == nil {
+		t.Error("duplicate landmark accepted")
+	}
+	if _, err := Build(g, []int32{9}); err == nil {
+		t.Error("out-of-range landmark accepted")
+	}
+}
+
+// TestDirtyDetectionSkipsCleanLandmarks verifies the |da-db| = 0 skip: an
+// edge between two vertices equidistant from the landmark must not change
+// its label row.
+func TestDirtyDetectionSkipsCleanLandmarks(t *testing.T) {
+	// Star with center 0: all leaves at distance 1 from landmark 0.
+	g := gen.Star(10)
+	dyn, err := Build(g, []int32{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rowLen := len(dyn.rows[0])
+	// Leaf-leaf edge: both endpoints at distance 1 → landmark clean.
+	if err := dyn.InsertEdge(3, 7); err != nil {
+		t.Fatal(err)
+	}
+	if len(dyn.rows[0]) != rowLen {
+		t.Fatal("clean landmark was rebuilt (row changed)")
+	}
+	// Distances still exact.
+	if d := dyn.Distance(3, 7); d != 1 {
+		t.Fatalf("d(3,7) = %d, want 1", d)
+	}
+	if d := dyn.Distance(3, 8); d != 2 {
+		t.Fatalf("d(3,8) = %d, want 2", d)
+	}
+}
+
+// TestRandomizedAgainstRebuildProperty runs randomized insertion
+// sequences over multiple graph families.
+func TestRandomizedAgainstRebuildProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var g *graph.Graph
+		if seed%2 == 0 {
+			g = gen.ErdosRenyi(60, 90, seed)
+		} else {
+			g = gen.WattsStrogatz(60, 2, 0.2, seed)
+		}
+		k := 1 + rng.Intn(5)
+		lm := g.DegreeOrder()[:k]
+		dyn, err := Build(g, lm)
+		if err != nil {
+			return false
+		}
+		m := newMirror(g)
+		for round := 0; round < 8; round++ {
+			a, b := int32(rng.Intn(60)), int32(rng.Intn(60))
+			if dyn.InsertEdge(a, b) != nil {
+				return false
+			}
+			m.insert(a, b)
+		}
+		truth := m.graph()
+		for trial := 0; trial < 40; trial++ {
+			s, u := int32(rng.Intn(60)), int32(rng.Intn(60))
+			want := bfs.Dist(truth, s, u)
+			if want == bfs.Unreachable {
+				want = Infinity
+			}
+			if dyn.Distance(s, u) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,260 @@
+// Package gen produces synthetic networks that stand in for the paper's 12
+// real-world datasets (Table 1). The paper's algorithms are sensitive to
+// the *shape* of a network — power-law degree distributions, high-degree
+// hubs, small diameters — so the generators cover the relevant families:
+//
+//   - Barabási–Albert preferential attachment: scale-free "social"
+//     networks (Flickr, Orkut, LiveJournal, Friendster stand-ins).
+//   - R-MAT (recursive matrix): heavily skewed "web" graphs with very
+//     high-degree hubs (Indochina, it2004, uk2007, ClueWeb09 stand-ins).
+//   - Erdős–Rényi: homogeneous random baseline (worst case for
+//     landmark-based methods, since there are no hubs).
+//   - Watts–Strogatz: small-world ring lattices (long-ish distances, used
+//     to exercise distance > 255 escape paths and bounded searches).
+//   - Deterministic shapes (path, cycle, star, grid, complete) for tests.
+//
+// All generators are deterministic given a seed.
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"highway/internal/graph"
+)
+
+// ErdosRenyi returns a G(n, m)-style random graph: m distinct undirected
+// edges sampled uniformly. Duplicate samples are retried, so the result has
+// exactly min(m, n*(n-1)/2) edges.
+func ErdosRenyi(n int, m int64, seed int64) *graph.Graph {
+	if n < 0 {
+		panic(fmt.Sprintf("gen: ErdosRenyi n=%d", n))
+	}
+	maxM := int64(n) * int64(n-1) / 2
+	if m > maxM {
+		m = maxM
+	}
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(n)
+	seen := make(map[uint64]struct{}, m)
+	for int64(len(seen)) < m {
+		u := int32(rng.Intn(n))
+		v := int32(rng.Intn(n))
+		if u == v {
+			continue
+		}
+		if u > v {
+			u, v = v, u
+		}
+		key := uint64(u)<<32 | uint64(uint32(v))
+		if _, dup := seen[key]; dup {
+			continue
+		}
+		seen[key] = struct{}{}
+		b.AddEdge(u, v)
+	}
+	return b.MustBuild()
+}
+
+// BarabasiAlbert returns a preferential-attachment scale-free graph: start
+// from a k-clique seed, then each new vertex attaches to k distinct
+// existing vertices chosen proportionally to degree. The result is
+// connected with roughly n*k edges and a power-law degree tail — the shape
+// of the paper's social networks.
+func BarabasiAlbert(n, k int, seed int64) *graph.Graph {
+	if k < 1 {
+		k = 1
+	}
+	if n < k+1 {
+		n = k + 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(n)
+	// repeated stores every edge endpoint twice; uniform sampling from it
+	// realizes degree-proportional selection.
+	repeated := make([]int32, 0, 2*int64(n)*int64(k))
+	for u := 0; u < k+1; u++ {
+		for v := u + 1; v < k+1; v++ {
+			b.AddEdge(int32(u), int32(v))
+			repeated = append(repeated, int32(u), int32(v))
+		}
+	}
+	chosen := make([]int32, 0, k)
+	for v := k + 1; v < n; v++ {
+		chosen = chosen[:0]
+		for len(chosen) < k {
+			t := repeated[rng.Intn(len(repeated))]
+			dup := false
+			for _, c := range chosen {
+				if c == t {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				chosen = append(chosen, t)
+			}
+		}
+		for _, t := range chosen {
+			b.AddEdge(int32(v), t)
+			repeated = append(repeated, int32(v), t)
+		}
+	}
+	return b.MustBuild()
+}
+
+// RMAT returns an R-MAT graph with 2^scale vertices and approximately
+// edgeFactor * 2^scale undirected edges. Partition probabilities (a,b,c,d)
+// must sum to 1; the classic web-graph skew is (0.57, 0.19, 0.19, 0.05).
+// Duplicate and self-loop samples are dropped (not retried), so the final
+// edge count is slightly below the target — matching standard practice.
+// R-MAT yields extremely high-degree hubs, the shape of the paper's web
+// crawls where "pair coverage" approaches 1.
+func RMAT(scale uint, edgeFactor int, a, b, c float64, seed int64) *graph.Graph {
+	if scale > 30 {
+		panic(fmt.Sprintf("gen: RMAT scale=%d too large", scale))
+	}
+	d := 1.0 - a - b - c
+	if a < 0 || b < 0 || c < 0 || d < 0 {
+		panic(fmt.Sprintf("gen: RMAT probabilities (%v,%v,%v,%v) invalid", a, b, c, d))
+	}
+	n := 1 << scale
+	target := int64(edgeFactor) * int64(n)
+	rng := rand.New(rand.NewSource(seed))
+	bld := graph.NewBuilder(n)
+	for i := int64(0); i < target; i++ {
+		u, v := 0, 0
+		for bit := 0; bit < int(scale); bit++ {
+			r := rng.Float64()
+			switch {
+			case r < a:
+				// top-left: no bits set
+			case r < a+b:
+				v |= 1 << bit
+			case r < a+b+c:
+				u |= 1 << bit
+			default:
+				u |= 1 << bit
+				v |= 1 << bit
+			}
+		}
+		bld.AddEdge(int32(u), int32(v)) // self-loops dropped by builder
+	}
+	return bld.MustBuild()
+}
+
+// WattsStrogatz returns a small-world graph: a ring of n vertices each
+// connected to its k nearest neighbors on each side, with every edge
+// rewired with probability beta. k must satisfy 2k < n.
+func WattsStrogatz(n, k int, beta float64, seed int64) *graph.Graph {
+	if n < 3 || k < 1 || 2*k >= n {
+		panic(fmt.Sprintf("gen: WattsStrogatz invalid n=%d k=%d", n, k))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(n)
+	for u := 0; u < n; u++ {
+		for j := 1; j <= k; j++ {
+			v := (u + j) % n
+			if beta > 0 && rng.Float64() < beta {
+				// Rewire the far endpoint uniformly (possible duplicates
+				// are deduplicated by the builder; self-loops dropped).
+				v = rng.Intn(n)
+			}
+			b.AddEdge(int32(u), int32(v))
+		}
+	}
+	return b.MustBuild()
+}
+
+// Path returns the path graph 0-1-...-(n-1). Its diameter n-1 exercises
+// distance-overflow handling (> 255) in label stores.
+func Path(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := 0; i+1 < n; i++ {
+		b.AddEdge(int32(i), int32(i+1))
+	}
+	return b.MustBuild()
+}
+
+// Cycle returns the n-cycle.
+func Cycle(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := 0; i < n; i++ {
+		b.AddEdge(int32(i), int32((i+1)%n))
+	}
+	return b.MustBuild()
+}
+
+// Star returns the star with center 0 and n-1 leaves.
+func Star(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := 1; i < n; i++ {
+		b.AddEdge(0, int32(i))
+	}
+	return b.MustBuild()
+}
+
+// Complete returns the complete graph K_n.
+func Complete(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			b.AddEdge(int32(u), int32(v))
+		}
+	}
+	return b.MustBuild()
+}
+
+// Grid returns the rows×cols 4-connected grid; vertex (r,c) has id
+// r*cols+c.
+func Grid(rows, cols int) *graph.Graph {
+	b := graph.NewBuilder(rows * cols)
+	id := func(r, c int) int32 { return int32(r*cols + c) }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				b.AddEdge(id(r, c), id(r, c+1))
+			}
+			if r+1 < rows {
+				b.AddEdge(id(r, c), id(r+1, c))
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+// PaperFigure2 returns the exact 14-vertex example graph of the paper's
+// Figure 2(a), with the paper's 1-based vertex labels mapped to 0-based ids
+// (paper vertex i is id i-1). Landmarks in the paper's example are
+// {1, 5, 9}, i.e. ids {0, 4, 8}.
+//
+// Edges are transcribed from the figure: the worked examples in the paper
+// (labelling size 13 for HL, 25/30 for PLL, the label table of Fig. 2(c),
+// and the query walkthroughs of Examples 4.2/4.3) all hold on this graph,
+// and the unit tests verify each of them.
+func PaperFigure2() *graph.Graph {
+	// Edge list reconstructed from the label table of Fig. 2(c), the
+	// pruned-BFS walkthroughs of Fig. 3 (labelling size 13), the PLL
+	// orderings of Fig. 4 (sizes 25 and 30), Example 4.2 (upper bound 3
+	// between vertices 2 and 11) and the sparsified neighborhoods of
+	// Fig. 5(b). All of those are asserted by unit tests.
+	edges := [][2]int32{
+		// paper (1-based): 1-4, 1-11, 1-13, 1-14, 1-5, 1-9
+		{0, 3}, {0, 10}, {0, 12}, {0, 13}, {0, 4}, {0, 8},
+		// 2-5, 2-7, 2-12, 2-14
+		{1, 4}, {1, 6}, {1, 11}, {1, 13},
+		// 3-5, 3-8
+		{2, 4}, {2, 7},
+		// 4-11, 5-8, 5-12
+		{3, 10}, {4, 7}, {4, 11},
+		// 6-9, 6-7, 7-9
+		{5, 8}, {5, 6}, {6, 8},
+		// 9-10, 10-11, 13-14
+		{8, 9}, {9, 10}, {12, 13},
+	}
+	return graph.MustFromEdges(14, edges)
+}
+
+// PaperLandmarks are the landmark vertex ids {1,5,9} of the paper's running
+// example, as 0-based ids.
+func PaperLandmarks() []int32 { return []int32{0, 4, 8} }

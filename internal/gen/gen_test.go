@@ -1,0 +1,175 @@
+package gen
+
+import (
+	"testing"
+	"testing/quick"
+
+	"highway/internal/graph"
+)
+
+func TestErdosRenyi(t *testing.T) {
+	g := ErdosRenyi(100, 300, 1)
+	if g.NumVertices() != 100 || g.NumEdges() != 300 {
+		t.Fatalf("got n=%d m=%d, want 100, 300", g.NumVertices(), g.NumEdges())
+	}
+	// Deterministic for the same seed, different for another seed.
+	g2 := ErdosRenyi(100, 300, 1)
+	if g.String() != g2.String() || g.Neighbors(0)[0] != g2.Neighbors(0)[0] {
+		t.Fatal("same seed produced different graphs")
+	}
+	// m capped at complete graph.
+	gk := ErdosRenyi(5, 1000, 2)
+	if gk.NumEdges() != 10 {
+		t.Fatalf("capped m = %d, want 10", gk.NumEdges())
+	}
+}
+
+func TestBarabasiAlbertShape(t *testing.T) {
+	g := BarabasiAlbert(2000, 5, 42)
+	if g.NumVertices() != 2000 {
+		t.Fatalf("n = %d", g.NumVertices())
+	}
+	if !graph.IsConnected(g) {
+		t.Fatal("BA graph must be connected")
+	}
+	// Preferential attachment yields hubs: max degree far above average.
+	maxDeg, _ := g.MaxDegree()
+	if avg := g.AvgDegree(); float64(maxDeg) < 5*avg {
+		t.Fatalf("no hubs: max degree %d vs avg %.1f", maxDeg, avg)
+	}
+	// Every non-seed vertex attaches with exactly k edges, so m is near n*k.
+	if m := g.NumEdges(); m < 9500 || m > 10200 {
+		t.Fatalf("m = %d, want ≈10000", m)
+	}
+}
+
+func TestBarabasiAlbertSmallArgs(t *testing.T) {
+	g := BarabasiAlbert(0, 0, 1) // degenerate args clamped
+	if g.NumVertices() < 2 {
+		t.Fatalf("n = %d", g.NumVertices())
+	}
+	if !graph.IsConnected(g) {
+		t.Fatal("clamped BA not connected")
+	}
+}
+
+func TestRMATShape(t *testing.T) {
+	g := RMAT(12, 8, 0.57, 0.19, 0.19, 7)
+	if g.NumVertices() != 1<<12 {
+		t.Fatalf("n = %d", g.NumVertices())
+	}
+	if g.NumEdges() == 0 || g.NumEdges() > 8*(1<<12) {
+		t.Fatalf("m = %d out of range", g.NumEdges())
+	}
+	maxDeg, _ := g.MaxDegree()
+	if float64(maxDeg) < 8*g.AvgDegree() {
+		t.Fatalf("R-MAT should be heavily skewed: max %d avg %.1f", maxDeg, g.AvgDegree())
+	}
+}
+
+func TestRMATRejectsBadProbs(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid probabilities accepted")
+		}
+	}()
+	RMAT(4, 2, 0.9, 0.9, 0.9, 1)
+}
+
+func TestWattsStrogatz(t *testing.T) {
+	// beta=0: deterministic ring lattice, every vertex has degree 2k.
+	g := WattsStrogatz(50, 3, 0, 1)
+	for v := int32(0); v < 50; v++ {
+		if g.Degree(v) != 6 {
+			t.Fatalf("degree(%d) = %d, want 6", v, g.Degree(v))
+		}
+	}
+	// beta>0 stays near the same edge count (rewiring, not deletion).
+	g2 := WattsStrogatz(500, 4, 0.2, 9)
+	if m := g2.NumEdges(); m < 1900 || m > 2000 {
+		t.Fatalf("rewired m = %d, want ≈2000", m)
+	}
+}
+
+func TestWattsStrogatzPanicsOnBadArgs(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid args accepted")
+		}
+	}()
+	WattsStrogatz(4, 2, 0, 1)
+}
+
+func TestDeterministicShapes(t *testing.T) {
+	if g := Path(5); g.NumEdges() != 4 || g.Degree(0) != 1 || g.Degree(2) != 2 {
+		t.Errorf("Path(5) wrong: %v", g)
+	}
+	if g := Cycle(5); g.NumEdges() != 5 || g.Degree(0) != 2 {
+		t.Errorf("Cycle(5) wrong: %v", g)
+	}
+	if g := Star(5); g.NumEdges() != 4 || g.Degree(0) != 4 {
+		t.Errorf("Star(5) wrong: %v", g)
+	}
+	if g := Complete(5); g.NumEdges() != 10 || g.Degree(3) != 4 {
+		t.Errorf("Complete(5) wrong: %v", g)
+	}
+	if g := Grid(3, 4); g.NumVertices() != 12 || g.NumEdges() != 17 {
+		t.Errorf("Grid(3,4) wrong: %v", g)
+	}
+}
+
+func TestGeneratorsDeterministicProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		a := BarabasiAlbert(200, 3, seed)
+		b := BarabasiAlbert(200, 3, seed)
+		if a.NumEdges() != b.NumEdges() {
+			return false
+		}
+		for v := int32(0); v < int32(a.NumVertices()); v++ {
+			na, nb := a.Neighbors(v), b.Neighbors(v)
+			if len(na) != len(nb) {
+				return false
+			}
+			for i := range na {
+				if na[i] != nb[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPaperFigure2Structure(t *testing.T) {
+	g := PaperFigure2()
+	if g.NumVertices() != 14 {
+		t.Fatalf("n = %d, want 14", g.NumVertices())
+	}
+	if g.NumEdges() != 21 {
+		t.Fatalf("m = %d, want 21", g.NumEdges())
+	}
+	if !graph.IsConnected(g) {
+		t.Fatal("Figure 2 graph must be connected")
+	}
+	// Spot-check adjacency facts used by the paper's walkthroughs
+	// (1-based vertices in comments).
+	type pair struct{ u, v int32 }
+	has := []pair{{0, 3} /* 1-4 */, {0, 10} /* 1-11 */, {1, 6} /* 2-7 */, {3, 10} /* 4-11 */, {8, 9} /* 9-10 */}
+	hasNot := []pair{{4, 6} /* 5-7: d=2 per L(7) */, {1, 8} /* 2-9: d=2 per L(2) */, {4, 8} /* 5-9: d=2 */}
+	for _, p := range has {
+		if !g.HasEdge(p.u, p.v) {
+			t.Errorf("edge {%d,%d} missing", p.u+1, p.v+1)
+		}
+	}
+	for _, p := range hasNot {
+		if g.HasEdge(p.u, p.v) {
+			t.Errorf("edge {%d,%d} must not exist", p.u+1, p.v+1)
+		}
+	}
+	if lm := PaperLandmarks(); len(lm) != 3 || lm[0] != 0 || lm[1] != 4 || lm[2] != 8 {
+		t.Fatalf("PaperLandmarks = %v", lm)
+	}
+}

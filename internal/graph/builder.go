@@ -1,0 +1,156 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Builder accumulates undirected edges and produces a deduplicated CSR
+// Graph. It is the single entry point for constructing graphs: generators,
+// file loaders and tests all go through it, so self-loop and multi-edge
+// handling is uniform everywhere.
+//
+// Builder is not safe for concurrent use.
+type Builder struct {
+	n     int
+	edges []uint64 // packed (min<<32 | max)
+}
+
+// NewBuilder returns a Builder for a graph with n vertices. Edges to
+// vertices outside [0,n) grow n automatically if AutoGrow is used via
+// AddEdgeGrow; AddEdge rejects them at Build time.
+func NewBuilder(n int) *Builder {
+	return &Builder{n: n}
+}
+
+// Grow raises the vertex count to at least n.
+func (b *Builder) Grow(n int) {
+	if n > b.n {
+		b.n = n
+	}
+}
+
+// NumVertices returns the current vertex count.
+func (b *Builder) NumVertices() int { return b.n }
+
+// NumAddedEdges returns the number of AddEdge calls so far (before dedup).
+func (b *Builder) NumAddedEdges() int { return len(b.edges) }
+
+// AddEdge records the undirected edge {u,v}. Self-loops are dropped
+// silently (the paper's graphs are simple). Ordering of endpoints does not
+// matter. Out-of-range endpoints are reported by Build.
+func (b *Builder) AddEdge(u, v int32) {
+	if u == v {
+		return
+	}
+	if u > v {
+		u, v = v, u
+	}
+	b.edges = append(b.edges, uint64(uint32(u))<<32|uint64(uint32(v)))
+}
+
+// AddEdgeGrow records {u,v} and grows the vertex count to cover both
+// endpoints. Useful when loading edge lists whose vertex count is unknown.
+func (b *Builder) AddEdgeGrow(u, v int32) {
+	max := u
+	if v > max {
+		max = v
+	}
+	b.Grow(int(max) + 1)
+	b.AddEdge(u, v)
+}
+
+// Build produces the deduplicated CSR graph. The Builder can be reused
+// afterwards (its edge buffer is retained).
+func (b *Builder) Build() (*Graph, error) {
+	for _, e := range b.edges {
+		u, v := int32(e>>32), int32(uint32(e))
+		if u < 0 || v < 0 || int(v) >= b.n {
+			return nil, fmt.Errorf("graph: edge {%d,%d} out of range [0,%d)", u, v, b.n)
+		}
+	}
+	sort.Slice(b.edges, func(i, j int) bool { return b.edges[i] < b.edges[j] })
+
+	// Deduplicate and count degrees.
+	deg := make([]int64, b.n+1)
+	unique := int64(0)
+	var prev uint64
+	for i, e := range b.edges {
+		if i > 0 && e == prev {
+			continue
+		}
+		prev = e
+		unique++
+		deg[int32(e>>32)+1]++
+		deg[int32(uint32(e))+1]++
+	}
+	offsets := make([]int64, b.n+1)
+	for v := 1; v <= b.n; v++ {
+		offsets[v] = offsets[v-1] + deg[v]
+	}
+	targets := make([]int32, 2*unique)
+	cursor := make([]int64, b.n)
+	copy(cursor, offsets[:b.n])
+	prev = 0
+	for i, e := range b.edges {
+		if i > 0 && e == prev {
+			continue
+		}
+		prev = e
+		u, v := int32(e>>32), int32(uint32(e))
+		targets[cursor[u]] = v
+		cursor[u]++
+		targets[cursor[v]] = u
+		cursor[v]++
+	}
+	g := &Graph{offsets: offsets, targets: targets}
+	// Edges were added in sorted (u,v) order per source vertex u, but the
+	// reverse direction (v's list) is also filled in ascending u order
+	// because the packed edges sort primarily by min endpoint... which does
+	// not guarantee v's list is sorted. Sort each adjacency list.
+	for v := 0; v < b.n; v++ {
+		nb := targets[offsets[v]:offsets[v+1]]
+		if !int32sSorted(nb) {
+			sort.Slice(nb, func(i, j int) bool { return nb[i] < nb[j] })
+		}
+	}
+	return g, nil
+}
+
+// MustBuild is Build that panics on error; for tests and generators whose
+// inputs are in-range by construction.
+func (b *Builder) MustBuild() *Graph {
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func int32sSorted(s []int32) bool {
+	for i := 1; i < len(s); i++ {
+		if s[i-1] > s[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// FromEdges is a convenience constructor used heavily in tests: it builds a
+// graph with n vertices from an explicit edge list.
+func FromEdges(n int, edges [][2]int32) (*Graph, error) {
+	b := NewBuilder(n)
+	for _, e := range edges {
+		b.AddEdge(e[0], e[1])
+	}
+	return b.Build()
+}
+
+// MustFromEdges is FromEdges that panics on error.
+func MustFromEdges(n int, edges [][2]int32) *Graph {
+	g, err := FromEdges(n, edges)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}

@@ -1,0 +1,204 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Text edge-list format: one edge per line, "u v" (whitespace separated),
+// lines starting with '#' or '%' are comments (SNAP and KONECT conventions,
+// the sources of the paper's datasets). Vertex ids must be non-negative
+// integers; they are used as-is, so files should be densely numbered or the
+// caller should compact afterwards via LargestComponent or InducedSubgraph.
+
+// ReadEdgeList parses a text edge list from r.
+func ReadEdgeList(r io.Reader) (*Graph, error) {
+	b := NewBuilder(0)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || line[0] == '#' || line[0] == '%' {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("graph: line %d: want at least 2 fields, got %q", lineNo, line)
+		}
+		u, err := strconv.ParseInt(fields[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: bad vertex %q: %v", lineNo, fields[0], err)
+		}
+		v, err := strconv.ParseInt(fields[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: bad vertex %q: %v", lineNo, fields[1], err)
+		}
+		if u < 0 || v < 0 {
+			return nil, fmt.Errorf("graph: line %d: negative vertex id", lineNo)
+		}
+		b.AddEdgeGrow(int32(u), int32(v))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("graph: reading edge list: %w", err)
+	}
+	return b.Build()
+}
+
+// LoadEdgeList reads a text edge list file.
+func LoadEdgeList(path string) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadEdgeList(bufio.NewReaderSize(f, 1<<20))
+}
+
+// WriteEdgeList writes the graph as a text edge list (each undirected edge
+// once, with u < v).
+func (g *Graph) WriteEdgeList(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	fmt.Fprintf(bw, "# undirected graph: %d vertices, %d edges\n", g.NumVertices(), g.NumEdges())
+	for u := int32(0); u < int32(g.NumVertices()); u++ {
+		for _, v := range g.Neighbors(u) {
+			if u < v {
+				fmt.Fprintf(bw, "%d %d\n", u, v)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Binary format:
+//
+//	magic   [8]byte  "HWGRAPH1"
+//	n       uint64
+//	len2m   uint64   (len(targets))
+//	offsets [n+1]uint64
+//	targets [2m]uint32
+//
+// Little-endian throughout. The version byte in the magic allows future
+// int64-target formats without breaking readers.
+var binaryMagic = [8]byte{'H', 'W', 'G', 'R', 'A', 'P', 'H', '1'}
+
+// WriteBinary serializes the graph in the compact binary format.
+func (g *Graph) WriteBinary(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := bw.Write(binaryMagic[:]); err != nil {
+		return err
+	}
+	var hdr [16]byte
+	binary.LittleEndian.PutUint64(hdr[0:], uint64(g.NumVertices()))
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(len(g.targets)))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	var buf [8]byte
+	for _, o := range g.offsets {
+		binary.LittleEndian.PutUint64(buf[:], uint64(o))
+		if _, err := bw.Write(buf[:8]); err != nil {
+			return err
+		}
+	}
+	for _, t := range g.targets {
+		binary.LittleEndian.PutUint32(buf[:4], uint32(t))
+		if _, err := bw.Write(buf[:4]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary deserializes a graph written by WriteBinary.
+func ReadBinary(r io.Reader) (*Graph, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("graph: reading magic: %w", err)
+	}
+	if magic != binaryMagic {
+		return nil, fmt.Errorf("graph: bad magic %q (not a HWGRAPH1 file)", magic[:])
+	}
+	var hdr [16]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("graph: reading header: %w", err)
+	}
+	n := binary.LittleEndian.Uint64(hdr[0:])
+	len2m := binary.LittleEndian.Uint64(hdr[8:])
+	const maxVerts = 1 << 31
+	if n > maxVerts || len2m > 1<<33 {
+		return nil, fmt.Errorf("graph: header claims n=%d, 2m=%d: too large", n, len2m)
+	}
+	g := &Graph{
+		offsets: make([]int64, n+1),
+		targets: make([]int32, len2m),
+	}
+	var buf [8]byte
+	for i := range g.offsets {
+		if _, err := io.ReadFull(br, buf[:8]); err != nil {
+			return nil, fmt.Errorf("graph: reading offsets: %w", err)
+		}
+		g.offsets[i] = int64(binary.LittleEndian.Uint64(buf[:8]))
+	}
+	for i := range g.targets {
+		if _, err := io.ReadFull(br, buf[:4]); err != nil {
+			return nil, fmt.Errorf("graph: reading targets: %w", err)
+		}
+		g.targets[i] = int32(binary.LittleEndian.Uint32(buf[:4]))
+	}
+	if err := validate(g); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// SaveBinary writes the graph to a file in binary format.
+func (g *Graph) SaveBinary(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := g.WriteBinary(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadBinary reads a binary graph file.
+func LoadBinary(path string) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadBinary(f)
+}
+
+func validate(g *Graph) error {
+	n := int64(g.NumVertices())
+	if g.offsets[0] != 0 {
+		return fmt.Errorf("graph: offsets[0] = %d, want 0", g.offsets[0])
+	}
+	for v := int64(0); v < n; v++ {
+		if g.offsets[v] > g.offsets[v+1] {
+			return fmt.Errorf("graph: offsets not monotone at vertex %d", v)
+		}
+	}
+	if g.offsets[n] != int64(len(g.targets)) {
+		return fmt.Errorf("graph: offsets[n]=%d != len(targets)=%d", g.offsets[n], len(g.targets))
+	}
+	for _, t := range g.targets {
+		if t < 0 || int64(t) >= n {
+			return fmt.Errorf("graph: target %d out of range [0,%d)", t, n)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,474 @@
+// Package isl implements the IS-Label baseline (Fu, Wu, Cheng, Wong,
+// VLDB 2013), the independent-set based hybrid labelling the paper
+// compares against in Tables 2-3 (its "IS-L").
+//
+// Construction builds a k-level hierarchy: each round removes an
+// independent set of low-degree vertices from the current (weighted)
+// graph, adding augmenting edges between the removed vertex's neighbors so
+// that distances among the surviving vertices are preserved exactly. After
+// k rounds the survivors form the "core". Every removed vertex keeps its
+// adjacency at removal time ("up-edges", which by independence lead only
+// to strictly higher levels), and its label is the cheapest up-chain
+// distance to every reachable higher-level vertex, computed by dynamic
+// programming from the highest level down.
+//
+// A query (s,t) takes the minimum of (i) the best label entry common to
+// L(s) and L(t) and (ii) the best path through the core: a multi-source
+// Dijkstra over the weighted core graph seeded with L(s)'s core entries
+// and scored against L(t)'s core entries. Correctness follows from the
+// IS-Label hierarchy theorem: distance-preserving augmentation plus
+// Bellman expansion of the lower-level endpoint decomposes every shortest
+// path into two up-chains joined at a common vertex or by a core path.
+package isl
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+
+	"highway/internal/graph"
+)
+
+// Infinity is the distance reported between disconnected vertices.
+const Infinity int32 = -1
+
+// Options configures construction.
+type Options struct {
+	// Levels is the number of independent-set removal rounds (the paper
+	// runs IS-L with k = 6 on graphs over one million vertices).
+	Levels int
+	// FillCap skips independent-set candidates whose current degree
+	// exceeds this bound, limiting the quadratic fill-in of augmenting
+	// edges. 0 selects the default of 32.
+	FillCap int
+}
+
+// DefaultOptions mirror the paper's experimental setting.
+func DefaultOptions() Options { return Options{Levels: 6, FillCap: 32} }
+
+// Index is an IS-Label distance oracle.
+type Index struct {
+	g      *graph.Graph
+	levels int
+	level  []int32 // removal round of each vertex; == levels for core
+
+	// Per-vertex labels in CSR form, sorted by target vertex id. Entries
+	// of core vertices are exactly {(v,0)}.
+	labelOff  []int64
+	labelTo   []int32
+	labelDist []int32
+
+	// Weighted core graph in CSR form over original vertex ids.
+	coreOff []int64
+	coreNbr []int32
+	coreW   []int32
+	numCore int
+}
+
+// Build constructs the IS-Label index. The context is checked between
+// rounds and periodically during label propagation.
+func Build(ctx context.Context, g *graph.Graph, opt Options) (*Index, error) {
+	if opt.Levels <= 0 {
+		return nil, fmt.Errorf("isl: Levels = %d, want ≥ 1", opt.Levels)
+	}
+	fillCap := opt.FillCap
+	if fillCap <= 0 {
+		fillCap = 32
+	}
+	n := g.NumVertices()
+
+	// Mutable weighted adjacency. Map per vertex: neighbor -> weight.
+	adj := make([]map[int32]int32, n)
+	for v := 0; v < n; v++ {
+		nb := g.Neighbors(int32(v))
+		m := make(map[int32]int32, len(nb))
+		for _, w := range nb {
+			m[w] = 1
+		}
+		adj[v] = m
+	}
+
+	level := make([]int32, n)
+	for i := range level {
+		level[i] = int32(opt.Levels)
+	}
+	alive := make([]bool, n)
+	for i := range alive {
+		alive[i] = true
+	}
+	// upEdges[v] is v's adjacency snapshot at removal.
+	type upEdge struct {
+		to int32
+		w  int32
+	}
+	upEdges := make([][]upEdge, n)
+	removedByLevel := make([][]int32, opt.Levels)
+
+	order := make([]int32, 0, n)
+	for round := 0; round < opt.Levels; round++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		// Candidates sorted by (current degree, id) for determinism.
+		order = order[:0]
+		for v := 0; v < n; v++ {
+			if alive[v] && len(adj[v]) <= fillCap {
+				order = append(order, int32(v))
+			}
+		}
+		sort.Slice(order, func(i, j int) bool {
+			di, dj := len(adj[order[i]]), len(adj[order[j]])
+			if di != dj {
+				return di < dj
+			}
+			return order[i] < order[j]
+		})
+		// Greedy maximal independent set among the candidates.
+		blocked := make(map[int32]bool)
+		var is []int32
+		for _, v := range order {
+			if blocked[v] {
+				continue
+			}
+			is = append(is, v)
+			for u := range adj[v] {
+				blocked[u] = true
+			}
+		}
+		if len(is) == 0 {
+			break
+		}
+		removedByLevel[round] = is
+		// Remove the set with augmentation.
+		for vi, v := range is {
+			if vi%256 == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
+			level[v] = int32(round)
+			alive[v] = false
+			nbs := make([]upEdge, 0, len(adj[v]))
+			for u, w := range adj[v] {
+				nbs = append(nbs, upEdge{to: u, w: w})
+			}
+			sort.Slice(nbs, func(i, j int) bool { return nbs[i].to < nbs[j].to })
+			upEdges[v] = nbs
+			// Augment distances between each pair of neighbors.
+			for i := 0; i < len(nbs); i++ {
+				a := nbs[i]
+				delete(adj[a.to], v)
+				for j := i + 1; j < len(nbs); j++ {
+					b := nbs[j]
+					w := a.w + b.w
+					if old, ok := adj[a.to][b.to]; !ok || w < old {
+						adj[a.to][b.to] = w
+						adj[b.to][a.to] = w
+					}
+				}
+			}
+			adj[v] = nil
+		}
+	}
+
+	ix := &Index{g: g, levels: opt.Levels, level: level}
+
+	// Freeze the core graph.
+	coreVerts := 0
+	var coreEdges int64
+	for v := 0; v < n; v++ {
+		if alive[v] {
+			coreVerts++
+			coreEdges += int64(len(adj[v]))
+		}
+	}
+	ix.numCore = coreVerts
+	ix.coreOff = make([]int64, n+1)
+	ix.coreNbr = make([]int32, coreEdges)
+	ix.coreW = make([]int32, coreEdges)
+	pos := int64(0)
+	for v := 0; v < n; v++ {
+		ix.coreOff[v] = pos
+		if alive[v] {
+			start := pos
+			for u, w := range adj[v] {
+				ix.coreNbr[pos] = u
+				ix.coreW[pos] = w
+				pos++
+			}
+			sortCoreRange(ix.coreNbr[start:pos], ix.coreW[start:pos])
+		}
+	}
+	ix.coreOff[n] = pos
+
+	// Label propagation, highest removal level first. labels[v] maps
+	// target -> best up-chain distance.
+	labels := make([][]labelEntry, n)
+	for v := 0; v < n; v++ {
+		if alive[v] {
+			labels[v] = []labelEntry{{to: int32(v), d: 0}}
+		}
+	}
+	merge := make(map[int32]int32)
+	for round := opt.Levels - 1; round >= 0; round-- {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		for vi, v := range removedByLevel[round] {
+			if vi%1024 == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
+			clear(merge)
+			merge[v] = 0
+			for _, e := range upEdges[v] {
+				for _, le := range labels[e.to] {
+					d := e.w + le.d
+					if old, ok := merge[le.to]; !ok || d < old {
+						merge[le.to] = d
+					}
+				}
+			}
+			lv := make([]labelEntry, 0, len(merge))
+			for to, d := range merge {
+				lv = append(lv, labelEntry{to: to, d: d})
+			}
+			sort.Slice(lv, func(i, j int) bool { return lv[i].to < lv[j].to })
+			labels[v] = lv
+		}
+	}
+
+	// Pack labels to CSR.
+	ix.labelOff = make([]int64, n+1)
+	var total int64
+	for v := 0; v < n; v++ {
+		total += int64(len(labels[v]))
+		ix.labelOff[v+1] = total
+	}
+	ix.labelTo = make([]int32, total)
+	ix.labelDist = make([]int32, total)
+	for v := 0; v < n; v++ {
+		base := ix.labelOff[v]
+		for i, e := range labels[v] {
+			ix.labelTo[base+int64(i)] = e.to
+			ix.labelDist[base+int64(i)] = e.d
+		}
+	}
+	return ix, nil
+}
+
+type labelEntry struct {
+	to int32
+	d  int32
+}
+
+func sortCoreRange(nbr []int32, w []int32) {
+	idx := make([]int, len(nbr))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return nbr[idx[a]] < nbr[idx[b]] })
+	nbrCopy := append([]int32(nil), nbr...)
+	wCopy := append([]int32(nil), w...)
+	for i, j := range idx {
+		nbr[i] = nbrCopy[j]
+		w[i] = wCopy[j]
+	}
+}
+
+// Searcher carries the per-goroutine Dijkstra scratch.
+type Searcher struct {
+	ix     *Index
+	dist   []int32
+	distEp []uint32
+	target []int32
+	targEp []uint32
+	epoch  uint32
+	heap   pairHeap
+}
+
+// NewSearcher returns a query searcher bound to the index.
+func (ix *Index) NewSearcher() *Searcher {
+	n := ix.g.NumVertices()
+	return &Searcher{
+		ix:     ix,
+		dist:   make([]int32, n),
+		distEp: make([]uint32, n),
+		target: make([]int32, n),
+		targEp: make([]uint32, n),
+	}
+}
+
+// Distance returns the exact distance between s and t, or Infinity.
+func (sr *Searcher) Distance(s, t int32) int32 {
+	ix := sr.ix
+	if s == t {
+		return 0
+	}
+	sr.epoch++
+	if sr.epoch == 0 {
+		clear(sr.distEp)
+		clear(sr.targEp)
+		sr.epoch = 1
+	}
+	ep := sr.epoch
+
+	ls0, ls1 := ix.labelOff[s], ix.labelOff[s+1]
+	lt0, lt1 := ix.labelOff[t], ix.labelOff[t+1]
+
+	best := int32(math.MaxInt32)
+	// (i) Common label targets, via sorted merge.
+	i, j := ls0, lt0
+	for i < ls1 && j < lt1 {
+		a, b := ix.labelTo[i], ix.labelTo[j]
+		switch {
+		case a == b:
+			if d := ix.labelDist[i] + ix.labelDist[j]; d < best {
+				best = d
+			}
+			i++
+			j++
+		case a < b:
+			i++
+		default:
+			j++
+		}
+	}
+
+	// (ii) Core search: stage t's core entries as targets, then
+	// multi-source Dijkstra from s's core entries over the core graph.
+	nTargets := 0
+	for p := lt0; p < lt1; p++ {
+		c := ix.labelTo[p]
+		if ix.level[c] == int32(ix.levels) {
+			sr.target[c] = ix.labelDist[p]
+			sr.targEp[c] = ep
+			nTargets++
+		}
+	}
+	if nTargets > 0 {
+		h := sr.heap[:0]
+		for p := ls0; p < ls1; p++ {
+			c := ix.labelTo[p]
+			if ix.level[c] != int32(ix.levels) {
+				continue
+			}
+			d := ix.labelDist[p]
+			if sr.distEp[c] != ep || d < sr.dist[c] {
+				sr.dist[c] = d
+				sr.distEp[c] = ep
+				h = h.push(pair{d: d, v: c})
+			}
+		}
+		for len(h) > 0 {
+			var top pair
+			top, h = h.pop()
+			if top.d >= best {
+				break // nothing reachable can improve the answer
+			}
+			if sr.distEp[top.v] == ep && sr.dist[top.v] < top.d {
+				continue // stale heap entry
+			}
+			if sr.targEp[top.v] == ep {
+				if d := top.d + sr.target[top.v]; d < best {
+					best = d
+				}
+			}
+			for p := ix.coreOff[top.v]; p < ix.coreOff[top.v+1]; p++ {
+				u := ix.coreNbr[p]
+				nd := top.d + ix.coreW[p]
+				if nd >= best {
+					continue
+				}
+				if sr.distEp[u] != ep || nd < sr.dist[u] {
+					sr.dist[u] = nd
+					sr.distEp[u] = ep
+					h = h.push(pair{d: nd, v: u})
+				}
+			}
+		}
+		sr.heap = h[:0]
+	}
+
+	if best == math.MaxInt32 {
+		return Infinity
+	}
+	return best
+}
+
+// Distance is the convenience form allocating a fresh searcher.
+func (ix *Index) Distance(s, t int32) int32 {
+	return ix.NewSearcher().Distance(s, t)
+}
+
+// pair is a binary-heap element.
+type pair struct {
+	d int32
+	v int32
+}
+
+type pairHeap []pair
+
+func (h pairHeap) push(p pair) pairHeap {
+	h = append(h, p)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h[parent].d <= h[i].d {
+			break
+		}
+		h[parent], h[i] = h[i], h[parent]
+		i = parent
+	}
+	return h
+}
+
+func (h pairHeap) pop() (pair, pairHeap) {
+	top := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	h = h[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(h) && h[l].d < h[small].d {
+			small = l
+		}
+		if r < len(h) && h[r].d < h[small].d {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		h[i], h[small] = h[small], h[i]
+		i = small
+	}
+	return top, h
+}
+
+// NumCore returns the number of core (never removed) vertices.
+func (ix *Index) NumCore() int { return ix.numCore }
+
+// Level returns a vertex's removal round (== Levels for core vertices).
+func (ix *Index) Level(v int32) int { return int(ix.level[v]) }
+
+// NumEntries returns size(L) = Σ_v |L(v)|.
+func (ix *Index) NumEntries() int64 { return ix.labelOff[len(ix.labelOff)-1] }
+
+// AvgLabelSize returns the average entries per vertex (Table 2's ALS).
+func (ix *Index) AvgLabelSize() float64 {
+	if ix.g.NumVertices() == 0 {
+		return 0
+	}
+	return float64(ix.NumEntries()) / float64(ix.g.NumVertices())
+}
+
+// SizeBytes reports the labelling size under the paper's accounting
+// (32-bit vertex + 8-bit distance per entry) plus the augmented core graph
+// the queries need (8 bytes per directed core edge).
+func (ix *Index) SizeBytes() int64 {
+	return ix.NumEntries()*5 + int64(len(ix.coreNbr))*8
+}

@@ -1,0 +1,162 @@
+// Package landmark selects the landmark set R used by the highway cover
+// labelling and the baselines. The paper uses the k highest-degree
+// vertices ("we chose top 20 vertices as landmarks after sorting based on
+// decreasing order of their degrees", Section 6.3); the paper's conclusion
+// names landmark selection strategies as future work, so this package also
+// implements the natural alternatives used by the ablation benches.
+package landmark
+
+import (
+	"fmt"
+	"math/rand"
+
+	"highway/internal/bfs"
+	"highway/internal/graph"
+)
+
+// Strategy identifies a landmark selection strategy.
+type Strategy string
+
+const (
+	// Degree picks the k highest-degree vertices (the paper's choice).
+	Degree Strategy = "degree"
+	// Random picks k vertices uniformly at random (seeded).
+	Random Strategy = "random"
+	// Closeness picks the k vertices with the highest approximate
+	// closeness centrality, estimated from a fixed sample of BFS sources.
+	Closeness Strategy = "closeness"
+	// DegreeSpread picks high-degree vertices while forbidding landmarks
+	// to be adjacent to an already chosen landmark, spreading the highway
+	// over the graph.
+	DegreeSpread Strategy = "degree-spread"
+)
+
+// Options configures Select.
+type Options struct {
+	K        int      // number of landmarks (required, ≥ 1)
+	Strategy Strategy // defaults to Degree
+	Seed     int64    // used by Random and Closeness sampling
+}
+
+// Select returns K landmark vertex ids ordered by decreasing preference.
+// The returned slice is sorted by selection rank (rank 0 first), which is
+// the rank order the labelling stores.
+func Select(g *graph.Graph, opt Options) ([]int32, error) {
+	n := g.NumVertices()
+	if opt.K < 1 {
+		return nil, fmt.Errorf("landmark: K = %d, want ≥ 1", opt.K)
+	}
+	if opt.K > n {
+		return nil, fmt.Errorf("landmark: K = %d exceeds vertex count %d", opt.K, n)
+	}
+	st := opt.Strategy
+	if st == "" {
+		st = Degree
+	}
+	switch st {
+	case Degree:
+		return g.DegreeOrder()[:opt.K], nil
+	case Random:
+		rng := rand.New(rand.NewSource(opt.Seed))
+		perm := rng.Perm(n)
+		out := make([]int32, opt.K)
+		for i := range out {
+			out[i] = int32(perm[i])
+		}
+		return out, nil
+	case Closeness:
+		return byCloseness(g, opt.K, opt.Seed), nil
+	case DegreeSpread:
+		return bySpread(g, opt.K), nil
+	default:
+		return nil, fmt.Errorf("landmark: unknown strategy %q", st)
+	}
+}
+
+// byCloseness estimates closeness centrality by running BFS from
+// min(64, n) sampled sources and scoring each vertex by the negated sum of
+// distances to the samples (unreachable counts as a large penalty).
+func byCloseness(g *graph.Graph, k int, seed int64) []int32 {
+	n := g.NumVertices()
+	samples := 64
+	if samples > n {
+		samples = n
+	}
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(n)
+	score := make([]int64, n)
+	const penalty = int64(1) << 30
+	dist := make([]int32, n)
+	for s := 0; s < samples; s++ {
+		for i := range dist {
+			dist[i] = bfs.Unreachable
+		}
+		bfs.DistancesInto(g, int32(perm[s]), dist)
+		for v, d := range dist {
+			if d == bfs.Unreachable {
+				score[v] += penalty
+			} else {
+				score[v] += int64(d)
+			}
+		}
+	}
+	// Select k smallest total distances; ties by degree then id for
+	// determinism.
+	order := g.DegreeOrder()
+	better := func(a, b int32) bool {
+		if score[a] != score[b] {
+			return score[a] < score[b]
+		}
+		return false // DegreeOrder position already encodes the tiebreak
+	}
+	// Simple selection over the degree order: stable partial sort.
+	out := make([]int32, 0, k)
+	chosen := make([]bool, n)
+	for len(out) < k {
+		var best int32 = -1
+		for _, v := range order {
+			if chosen[v] {
+				continue
+			}
+			if best < 0 || better(v, best) {
+				best = v
+			}
+		}
+		chosen[best] = true
+		out = append(out, best)
+	}
+	return out
+}
+
+// bySpread walks the degree order, skipping vertices adjacent to an
+// already selected landmark; if the graph runs out of non-adjacent
+// candidates the remaining slots fall back to plain degree order.
+func bySpread(g *graph.Graph, k int) []int32 {
+	order := g.DegreeOrder()
+	out := make([]int32, 0, k)
+	taken := make([]bool, g.NumVertices())
+	blocked := make([]bool, g.NumVertices())
+	for _, v := range order {
+		if len(out) == k {
+			break
+		}
+		if blocked[v] {
+			continue
+		}
+		out = append(out, v)
+		taken[v] = true
+		for _, w := range g.Neighbors(v) {
+			blocked[w] = true
+		}
+	}
+	for _, v := range order {
+		if len(out) == k {
+			break
+		}
+		if !taken[v] {
+			out = append(out, v)
+			taken[v] = true
+		}
+	}
+	return out
+}

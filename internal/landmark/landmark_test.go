@@ -1,0 +1,133 @@
+package landmark
+
+import (
+	"testing"
+
+	"highway/internal/gen"
+)
+
+func TestSelectDegree(t *testing.T) {
+	g := gen.Star(10) // center 0 has the top degree
+	lm, err := Select(g, Options{K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lm) != 1 || lm[0] != 0 {
+		t.Fatalf("lm = %v, want [0]", lm)
+	}
+}
+
+func TestSelectDegreeTop20(t *testing.T) {
+	g := gen.BarabasiAlbert(500, 4, 1)
+	lm, err := Select(g, Options{K: 20, Strategy: Degree})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lm) != 20 {
+		t.Fatalf("len = %d", len(lm))
+	}
+	// Decreasing degree.
+	for i := 1; i < len(lm); i++ {
+		if g.Degree(lm[i-1]) < g.Degree(lm[i]) {
+			t.Fatalf("not sorted by degree at %d", i)
+		}
+	}
+	// The minimum selected degree must be ≥ the max unselected degree.
+	sel := make(map[int32]bool)
+	for _, v := range lm {
+		sel[v] = true
+	}
+	minSel := g.Degree(lm[len(lm)-1])
+	for v := int32(0); v < int32(g.NumVertices()); v++ {
+		if !sel[v] && g.Degree(v) > minSel {
+			t.Fatalf("vertex %d (deg %d) beats selected landmark (deg %d)", v, g.Degree(v), minSel)
+		}
+	}
+}
+
+func TestSelectErrors(t *testing.T) {
+	g := gen.Path(5)
+	if _, err := Select(g, Options{K: 0}); err == nil {
+		t.Error("K=0 accepted")
+	}
+	if _, err := Select(g, Options{K: 6}); err == nil {
+		t.Error("K>n accepted")
+	}
+	if _, err := Select(g, Options{K: 2, Strategy: "nope"}); err == nil {
+		t.Error("unknown strategy accepted")
+	}
+}
+
+func TestSelectRandomDeterministic(t *testing.T) {
+	g := gen.Cycle(50)
+	a, err := Select(g, Options{K: 5, Strategy: Random, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := Select(g, Options{K: 5, Strategy: Random, Seed: 7})
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("random selection not deterministic for fixed seed")
+		}
+	}
+	c, _ := Select(g, Options{K: 5, Strategy: Random, Seed: 8})
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical selection (suspicious)")
+	}
+	seen := map[int32]bool{}
+	for _, v := range a {
+		if seen[v] {
+			t.Fatal("duplicate landmark")
+		}
+		seen[v] = true
+	}
+}
+
+func TestSelectCloseness(t *testing.T) {
+	// On a path, the middle vertex has the best closeness.
+	g := gen.Path(21)
+	lm, err := Select(g, Options{K: 1, Strategy: Closeness, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lm[0] < 7 || lm[0] > 13 {
+		t.Fatalf("closeness landmark = %d, want near the middle of the path", lm[0])
+	}
+}
+
+func TestSelectDegreeSpread(t *testing.T) {
+	// Two stars joined by an edge between their centers: spread must not
+	// pick both centers' neighbors.
+	g := gen.Star(6) // center 0
+	lm, err := Select(g, Options{K: 2, Strategy: DegreeSpread})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lm[0] != 0 {
+		t.Fatalf("first landmark = %d, want center 0", lm[0])
+	}
+	// All other vertices are adjacent to 0, so the fallback fills slot 2.
+	if len(lm) != 2 || lm[1] == 0 {
+		t.Fatalf("lm = %v", lm)
+	}
+	// Spread on a larger graph: no two early landmarks adjacent when
+	// avoidable.
+	g2 := gen.Grid(10, 10)
+	lm2, err := Select(g2, Options{K: 5, Strategy: DegreeSpread})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(lm2); i++ {
+		for j := i + 1; j < len(lm2); j++ {
+			if g2.HasEdge(lm2[i], lm2[j]) {
+				t.Fatalf("landmarks %d and %d adjacent", lm2[i], lm2[j])
+			}
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package pll
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"highway/internal/bfs"
+	"highway/internal/gen"
+	"highway/internal/graph"
+)
+
+// Tree-level mask/bound tests live in internal/bptree; these tests cover
+// the BP-augmented PLL index.
+
+// TestBuildBPExact: the BP-augmented full index answers every pair
+// exactly on assorted graphs.
+func TestBuildBPExact(t *testing.T) {
+	cases := []*graph.Graph{
+		gen.PaperFigure2(),
+		gen.Path(15),
+		gen.Grid(4, 5),
+		gen.Star(12),
+		graph.MustFromEdges(6, [][2]int32{{0, 1}, {1, 2}, {3, 4}}),
+	}
+	for _, g := range cases {
+		for _, nbp := range []int{1, 3} {
+			ix, err := BuildBP(context.Background(), g, nbp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			n := int32(g.NumVertices())
+			for s := int32(0); s < n; s++ {
+				want := bfs.Distances(g, s)
+				for u := int32(0); u < n; u++ {
+					w := want[u]
+					if w == bfs.Unreachable {
+						w = Infinity
+					}
+					if got := ix.Distance(s, u); got != w {
+						t.Fatalf("nbp=%d: Distance(%d,%d) = %d, want %d", nbp, s, u, got, w)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestBuildBPRandomProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := gen.BarabasiAlbert(70+rng.Intn(80), 1+rng.Intn(3), seed)
+		ix, err := BuildBP(context.Background(), g, 1+rng.Intn(5))
+		if err != nil {
+			return false
+		}
+		for trial := 0; trial < 50; trial++ {
+			s := int32(rng.Intn(g.NumVertices()))
+			u := int32(rng.Intn(g.NumVertices()))
+			want := bfs.Dist(g, s, u)
+			if want == bfs.Unreachable {
+				want = Infinity
+			}
+			if ix.Distance(s, u) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBPShrinksLabels: BP trees absorb hub coverage, so the normal label
+// count must not grow (and typically shrinks a lot on hub-heavy graphs).
+func TestBPShrinksLabels(t *testing.T) {
+	g := gen.BarabasiAlbert(800, 4, 3)
+	plain, err := Build(context.Background(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bp, err := BuildBP(context.Background(), g, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bp.NumEntries() >= plain.NumEntries() {
+		t.Fatalf("BP entries %d ≥ plain entries %d", bp.NumEntries(), plain.NumEntries())
+	}
+	if bp.NumBPTrees() != 8 {
+		t.Fatalf("trees = %d", bp.NumBPTrees())
+	}
+	if bp.SizeBytes() <= bp.NumEntries()*5 {
+		t.Fatal("BP size accounting ignores trees")
+	}
+}
+
+func TestBuildBPCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := BuildBP(ctx, gen.BarabasiAlbert(2000, 3, 1), 4); err == nil {
+		t.Fatal("cancelled context ignored")
+	}
+}

@@ -1,0 +1,212 @@
+package pll
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"highway/internal/bfs"
+	"highway/internal/gen"
+	"highway/internal/graph"
+)
+
+// TestPaperFigure4 reproduces the paper's Figure 4: on the running-example
+// graph, PLL restricted to roots {1,5,9} yields labelling size 25 with
+// order ⟨1,5,9⟩ and 30 with order ⟨9,5,1⟩ — demonstrating PLL's order
+// dependence (and, against HL's 13, Corollary 3.14's size dominance).
+func TestPaperFigure4(t *testing.T) {
+	g := gen.PaperFigure2()
+	ctx := context.Background()
+
+	ix1, err := BuildRoots(ctx, g, []int32{0, 4, 8}) // ⟨1,5,9⟩
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix1.NumEntries() != 25 {
+		t.Fatalf("order ⟨1,5,9⟩: LS = %d, want 25", ix1.NumEntries())
+	}
+
+	ix2, err := BuildRoots(ctx, g, []int32{8, 4, 0}) // ⟨9,5,1⟩
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix2.NumEntries() != 30 {
+		t.Fatalf("order ⟨9,5,1⟩: LS = %d, want 30", ix2.NumEntries())
+	}
+
+	// Example 3.10: vertex 11 (id 10) has one entry under the first order
+	// and three under the second.
+	if got := ix1.LabelSize(10); got != 1 {
+		t.Fatalf("|L(11)| under ⟨1,5,9⟩ = %d, want 1", got)
+	}
+	if got := ix2.LabelSize(10); got != 3 {
+		t.Fatalf("|L(11)| under ⟨9,5,1⟩ = %d, want 3", got)
+	}
+	if ix1.Full() || ix2.Full() {
+		t.Fatal("partial index claims to be full")
+	}
+}
+
+// TestFullPLLExact checks the complete index answers every pair exactly on
+// assorted small graphs.
+func TestFullPLLExact(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"figure2", gen.PaperFigure2()},
+		{"path12", gen.Path(12)},
+		{"cycle11", gen.Cycle(11)},
+		{"star9", gen.Star(9)},
+		{"grid4x4", gen.Grid(4, 4)},
+		{"complete7", gen.Complete(7)},
+		{"disconnected", graph.MustFromEdges(6, [][2]int32{{0, 1}, {1, 2}, {3, 4}})},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			ix, err := Build(context.Background(), c.g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ix.Full() {
+				t.Fatal("full build not marked full")
+			}
+			n := int32(c.g.NumVertices())
+			for s := int32(0); s < n; s++ {
+				want := bfs.Distances(c.g, s)
+				for u := int32(0); u < n; u++ {
+					w := want[u]
+					if w == bfs.Unreachable {
+						w = Infinity
+					}
+					if got := ix.Distance(s, u); got != w {
+						t.Fatalf("Distance(%d,%d) = %d, want %d", s, u, got, w)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestRandomGraphsProperty: full PLL equals BFS on random graphs.
+func TestRandomGraphsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var g *graph.Graph
+		if seed%2 == 0 {
+			g = gen.BarabasiAlbert(60+rng.Intn(60), 1+rng.Intn(3), seed)
+		} else {
+			g = gen.ErdosRenyi(50+rng.Intn(50), int64(80+rng.Intn(160)), seed)
+		}
+		ix, err := Build(context.Background(), g)
+		if err != nil {
+			return false
+		}
+		for trial := 0; trial < 50; trial++ {
+			s := int32(rng.Intn(g.NumVertices()))
+			u := int32(rng.Intn(g.NumVertices()))
+			want := bfs.Dist(g, s, u)
+			if want == bfs.Unreachable {
+				want = Infinity
+			}
+			if ix.Distance(s, u) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPartialIndexIsUpperBound: with a subset of roots, Distance is an
+// upper bound that is exact whenever a root lies on a shortest path.
+func TestPartialIndexIsUpperBound(t *testing.T) {
+	g := gen.BarabasiAlbert(200, 3, 5)
+	roots := g.DegreeOrder()[:8]
+	ix, err := BuildRoots(context.Background(), g, roots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		s := int32(rng.Intn(200))
+		u := int32(rng.Intn(200))
+		d := bfs.Dist(g, s, u)
+		got := ix.Distance(s, u)
+		if got != Infinity && got < d {
+			t.Fatalf("partial PLL below true distance: (%d,%d) got %d want ≥ %d", s, u, got, d)
+		}
+	}
+}
+
+func TestBuildRootsErrors(t *testing.T) {
+	g := gen.Path(4)
+	ctx := context.Background()
+	if _, err := BuildRoots(ctx, g, nil); err == nil {
+		t.Error("empty roots accepted")
+	}
+	if _, err := BuildRoots(ctx, g, []int32{0, 0}); err == nil {
+		t.Error("duplicate root accepted")
+	}
+	if _, err := BuildRoots(ctx, g, []int32{9}); err == nil {
+		t.Error("out-of-range root accepted")
+	}
+}
+
+func TestBuildCancellation(t *testing.T) {
+	g := gen.BarabasiAlbert(2000, 3, 2)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Build(ctx, g); err == nil {
+		t.Error("cancelled context ignored")
+	}
+}
+
+func TestAccounting(t *testing.T) {
+	g := gen.PaperFigure2()
+	ix, err := BuildRoots(context.Background(), g, []int32{0, 4, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.SizeBytes() != 25*5 {
+		t.Fatalf("SizeBytes = %d, want 125", ix.SizeBytes())
+	}
+	if als := ix.AvgLabelSize(); als != 25.0/14.0 {
+		t.Fatalf("ALS = %v", als)
+	}
+}
+
+// TestSizeDominatesHL is checked in the core package against HL directly;
+// here we pin down PLL's own invariant: every vertex's label contains its
+// own entry when it is a root and labels are rank-sorted.
+func TestLabelInvariants(t *testing.T) {
+	g := gen.BarabasiAlbert(150, 2, 9)
+	ix, err := Build(context.Background(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := int32(0); v < int32(g.NumVertices()); v++ {
+		lo, hi := ix.labelOff[v], ix.labelOff[v+1]
+		if hi == lo {
+			t.Fatalf("vertex %d has an empty label in a full index", v)
+		}
+		selfSeen := false
+		for p := lo; p < hi; p++ {
+			if p > lo && ix.labelRank[p-1] >= ix.labelRank[p] {
+				t.Fatalf("vertex %d label not strictly rank-sorted", v)
+			}
+			if ix.order[ix.labelRank[p]] == v {
+				if ix.labelDist[p] != 0 {
+					t.Fatalf("vertex %d self entry with distance %d", v, ix.labelDist[p])
+				}
+				selfSeen = true
+			}
+		}
+		if !selfSeen {
+			t.Fatalf("vertex %d lacks its self entry", v)
+		}
+	}
+}

@@ -1,0 +1,136 @@
+// Package workload produces the query workloads and measurements of the
+// paper's evaluation: seeded random vertex-pair samples (Section 6.1 uses
+// 100,000 pairs drawn from V×V), exact-distance ground truth, the
+// distance distributions of Figure 6, and the pair coverage ratio of
+// Figure 9.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"highway/internal/graph"
+)
+
+// Pair is one (s,t) distance query.
+type Pair struct {
+	S, T int32
+}
+
+// RandomPairs samples count pairs uniformly from V×V (with replacement,
+// like the paper). Deterministic for a given seed.
+func RandomPairs(g *graph.Graph, count int, seed int64) []Pair {
+	n := g.NumVertices()
+	if n == 0 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	pairs := make([]Pair, count)
+	for i := range pairs {
+		pairs[i] = Pair{S: int32(rng.Intn(n)), T: int32(rng.Intn(n))}
+	}
+	return pairs
+}
+
+// Oracle answers exact distance queries; -1 means unreachable. All index
+// types in this repository satisfy it via their Searcher types.
+type Oracle interface {
+	Distance(s, t int32) int32
+}
+
+// OracleFunc adapts a function to the Oracle interface.
+type OracleFunc func(s, t int32) int32
+
+// Distance implements Oracle.
+func (f OracleFunc) Distance(s, t int32) int32 { return f(s, t) }
+
+// Distribution is a histogram of pair distances (Figure 6): Counts[d] is
+// the number of sampled pairs at distance d; Unreachable counts pairs with
+// no path.
+type Distribution struct {
+	Counts      []int64
+	Unreachable int64
+	Total       int64
+}
+
+// DistanceDistribution evaluates the oracle on every pair and histograms
+// the results.
+func DistanceDistribution(o Oracle, pairs []Pair) Distribution {
+	dist := Distribution{Total: int64(len(pairs))}
+	for _, p := range pairs {
+		d := o.Distance(p.S, p.T)
+		if d < 0 {
+			dist.Unreachable++
+			continue
+		}
+		for int(d) >= len(dist.Counts) {
+			dist.Counts = append(dist.Counts, 0)
+		}
+		dist.Counts[d]++
+	}
+	return dist
+}
+
+// Fraction returns the fraction of pairs at distance d (Figure 6's y
+// axis).
+func (d Distribution) Fraction(dist int) float64 {
+	if d.Total == 0 || dist >= len(d.Counts) {
+		return 0
+	}
+	return float64(d.Counts[dist]) / float64(d.Total)
+}
+
+// Mean returns the average distance over reachable pairs.
+func (d Distribution) Mean() float64 {
+	var sum, cnt int64
+	for dist, c := range d.Counts {
+		sum += int64(dist) * c
+		cnt += c
+	}
+	if cnt == 0 {
+		return 0
+	}
+	return float64(sum) / float64(cnt)
+}
+
+// String renders the histogram compactly.
+func (d Distribution) String() string {
+	s := ""
+	for dist, c := range d.Counts {
+		if c > 0 {
+			s += fmt.Sprintf("d=%d:%.3f ", dist, float64(c)/float64(d.Total))
+		}
+	}
+	if d.Unreachable > 0 {
+		s += fmt.Sprintf("unreachable:%.3f", float64(d.Unreachable)/float64(d.Total))
+	}
+	return s
+}
+
+// Bounder reports label-derived upper bounds; the HL and FD indexes
+// satisfy it.
+type Bounder interface {
+	UpperBound(s, t int32) int32
+}
+
+// PairCoverage returns the fraction of reachable sampled pairs whose upper
+// bound equals the exact distance — i.e. pairs covered by at least one
+// landmark (Figure 9). exact must answer exact distances (it may be the
+// same index).
+func PairCoverage(b Bounder, exact Oracle, pairs []Pair) float64 {
+	var covered, reachable int64
+	for _, p := range pairs {
+		d := exact.Distance(p.S, p.T)
+		if d < 0 {
+			continue
+		}
+		reachable++
+		if ub := b.UpperBound(p.S, p.T); ub == d {
+			covered++
+		}
+	}
+	if reachable == 0 {
+		return 0
+	}
+	return float64(covered) / float64(reachable)
+}

@@ -1,0 +1,117 @@
+package workload
+
+import (
+	"testing"
+
+	"highway/internal/bfs"
+	"highway/internal/core"
+	"highway/internal/gen"
+)
+
+func TestRandomPairsDeterministic(t *testing.T) {
+	g := gen.Cycle(100)
+	a := RandomPairs(g, 50, 7)
+	b := RandomPairs(g, 50, 7)
+	if len(a) != 50 {
+		t.Fatalf("len = %d", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed gave different pairs")
+		}
+	}
+	c := RandomPairs(g, 50, 8)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == 50 {
+		t.Fatal("different seeds gave identical pairs")
+	}
+	if RandomPairs(gen.Path(0), 5, 1) != nil {
+		t.Fatal("empty graph should yield nil pairs")
+	}
+}
+
+func TestDistanceDistribution(t *testing.T) {
+	g := gen.Path(4) // distances 0..3
+	pairs := []Pair{{0, 0}, {0, 1}, {0, 2}, {0, 3}, {1, 3}}
+	o := OracleFunc(func(s, u int32) int32 { return bfs.Dist(g, s, u) })
+	d := DistanceDistribution(o, pairs)
+	if d.Total != 5 || d.Unreachable != 0 {
+		t.Fatalf("total=%d unreachable=%d", d.Total, d.Unreachable)
+	}
+	wantCounts := []int64{1, 1, 2, 1}
+	for i, w := range wantCounts {
+		if d.Counts[i] != w {
+			t.Fatalf("Counts[%d] = %d, want %d", i, d.Counts[i], w)
+		}
+	}
+	if d.Fraction(2) != 0.4 {
+		t.Fatalf("Fraction(2) = %v", d.Fraction(2))
+	}
+	if d.Fraction(99) != 0 {
+		t.Fatal("out-of-range fraction must be 0")
+	}
+	if got := d.Mean(); got != (0+1+2+2+3)/5.0 {
+		t.Fatalf("Mean = %v", got)
+	}
+	if d.String() == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func TestDistributionUnreachable(t *testing.T) {
+	o := OracleFunc(func(s, u int32) int32 { return -1 })
+	d := DistanceDistribution(o, []Pair{{0, 1}, {1, 2}})
+	if d.Unreachable != 2 {
+		t.Fatalf("unreachable = %d", d.Unreachable)
+	}
+	if d.Mean() != 0 {
+		t.Fatal("mean over no reachable pairs must be 0")
+	}
+}
+
+func TestPairCoverage(t *testing.T) {
+	// Star graph, landmark = center: every pair's shortest path goes
+	// through the center → coverage 1.0.
+	g := gen.Star(20)
+	ix, err := core.Build(g, []int32{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := RandomPairs(g, 200, 3)
+	sr := ix.NewSearcher()
+	cov := PairCoverage(ix, OracleFunc(sr.Distance), pairs)
+	if cov != 1.0 {
+		t.Fatalf("star coverage = %v, want 1.0", cov)
+	}
+
+	// Path graph with the landmark at one end: pairs strictly inside the
+	// path are not covered.
+	p := gen.Path(50)
+	ixp, err := core.Build(p, []int32{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srp := ixp.NewSearcher()
+	covP := PairCoverage(ixp, OracleFunc(srp.Distance), []Pair{{10, 40}, {5, 45}, {0, 30}})
+	// Only the pair touching the landmark (0,30) is covered.
+	if covP <= 0.3 || covP >= 0.4 {
+		t.Fatalf("path coverage = %v, want 1/3", covP)
+	}
+}
+
+func TestPairCoverageAllUnreachable(t *testing.T) {
+	o := OracleFunc(func(s, u int32) int32 { return -1 })
+	b := bounderFunc(func(s, u int32) int32 { return -1 })
+	if cov := PairCoverage(b, o, []Pair{{0, 1}}); cov != 0 {
+		t.Fatalf("coverage = %v, want 0", cov)
+	}
+}
+
+type bounderFunc func(s, t int32) int32
+
+func (f bounderFunc) UpperBound(s, t int32) int32 { return f(s, t) }
