@@ -5,16 +5,23 @@
 //   - REPL: hlquery -graph g.hwg -index g.hwg.idx  (reads "s t" lines from stdin)
 //   - HTTP: hlquery -graph g.hwg -index g.hwg.idx -serve :8080
 //     then GET /distance?s=12&t=34 returns {"s":12,"t":34,"distance":3}.
+//
+// The -serve mode is the same serving subsystem as hlserve (batch
+// endpoint, /stats counters, /healthz, graceful shutdown); hlserve adds
+// the offline batch/load pipelines.
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
-	"net/http"
+	"math"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"highway"
@@ -57,28 +64,30 @@ func run(args []string) error {
 
 	switch {
 	case *s >= 0 && *t >= 0:
-		return oneShot(ix, g, int32(*s), int32(*t))
+		if err := checkVertex(g, *s); err != nil {
+			return err
+		}
+		if err := checkVertex(g, *t); err != nil {
+			return err
+		}
+		return oneShot(ix, int32(*s), int32(*t))
 	case *serve != "":
-		return serveHTTP(ix, g, *serve)
+		return serveHTTP(ix, *serve)
 	default:
 		return repl(ix, g)
 	}
 }
 
-func checkVertex(g *highway.Graph, v int32) error {
-	if v < 0 || int(v) >= g.NumVertices() {
+// checkVertex validates an int vertex id before it is narrowed to
+// int32: ids beyond int32 must be rejected, not silently wrapped.
+func checkVertex(g *highway.Graph, v int) error {
+	if v < 0 || v > math.MaxInt32 {
 		return fmt.Errorf("vertex %d out of range [0,%d)", v, g.NumVertices())
 	}
-	return nil
+	return g.CheckVertex(int32(v))
 }
 
-func oneShot(ix *highway.Index, g *highway.Graph, s, t int32) error {
-	if err := checkVertex(g, s); err != nil {
-		return err
-	}
-	if err := checkVertex(g, t); err != nil {
-		return err
-	}
+func oneShot(ix *highway.Index, s, t int32) error {
 	start := time.Now()
 	d := ix.Distance(s, t)
 	fmt.Printf("d(%d,%d) = %d  (%s)\n", s, t, d, time.Since(start))
@@ -101,7 +110,7 @@ func repl(ix *highway.Index, g *highway.Graph) error {
 		s, err1 := strconv.Atoi(fields[0])
 		t, err2 := strconv.Atoi(fields[1])
 		if err1 != nil || err2 != nil ||
-			checkVertex(g, int32(s)) != nil || checkVertex(g, int32(t)) != nil {
+			checkVertex(g, s) != nil || checkVertex(g, t) != nil {
 			fmt.Printf("bad query %q\n", sc.Text())
 			continue
 		}
@@ -112,29 +121,11 @@ func repl(ix *highway.Index, g *highway.Graph) error {
 	return sc.Err()
 }
 
-func serveHTTP(ix *highway.Index, g *highway.Graph, addr string) error {
-	mux := http.NewServeMux()
-	mux.HandleFunc("/distance", func(w http.ResponseWriter, r *http.Request) {
-		s, err1 := strconv.Atoi(r.URL.Query().Get("s"))
-		t, err2 := strconv.Atoi(r.URL.Query().Get("t"))
-		if err1 != nil || err2 != nil {
-			http.Error(w, `need integer query params "s" and "t"`, http.StatusBadRequest)
-			return
-		}
-		if checkVertex(g, int32(s)) != nil || checkVertex(g, int32(t)) != nil {
-			http.Error(w, "vertex out of range", http.StatusBadRequest)
-			return
-		}
-		d := ix.Distance(int32(s), int32(t)) // concurrency-safe: pooled searchers
-		w.Header().Set("Content-Type", "application/json")
-		fmt.Fprintf(w, `{"s":%d,"t":%d,"distance":%d}`+"\n", s, t, d)
-	})
-	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
-		st := ix.Stats()
-		w.Header().Set("Content-Type", "application/json")
-		fmt.Fprintf(w, `{"n":%d,"m":%d,"landmarks":%d,"entries":%d,"avg_label_size":%.3f}`+"\n",
-			st.NumVertices, st.NumEdges, st.NumLandmarks, st.NumEntries, st.AvgLabelSize)
-	})
-	fmt.Printf("serving on %s (GET /distance?s=&t=, GET /stats)\n", addr)
-	return http.ListenAndServe(addr, mux)
+// serveHTTP delegates to the shared serving subsystem so hlquery -serve
+// and hlserve expose one API instead of two drifting ones.
+func serveHTTP(ix *highway.Index, addr string) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	fmt.Printf("serving on %s (GET /distance?s=&t=, POST /distance/batch, GET /stats, GET /healthz)\n", addr)
+	return highway.Serve(ctx, ix, addr)
 }

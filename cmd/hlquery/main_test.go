@@ -1,6 +1,7 @@
 package main
 
 import (
+	"math/bits"
 	"path/filepath"
 	"testing"
 
@@ -62,7 +63,17 @@ func TestCheckVertex(t *testing.T) {
 	if err := checkVertex(g, -1); err == nil {
 		t.Error("negative vertex accepted")
 	}
-	if err := checkVertex(g, int32(g.NumVertices())); err == nil {
+	if err := checkVertex(g, g.NumVertices()); err == nil {
 		t.Error("n accepted")
+	}
+	// An id beyond int32 must be rejected, not wrapped to a small id.
+	// Only expressible where int is 64-bit; on 32-bit platforms flag
+	// parsing cannot produce such a value in the first place.
+	if bits.UintSize == 64 {
+		big := 1
+		big <<= 32
+		if err := checkVertex(g, big); err == nil {
+			t.Error("id beyond int32 accepted")
+		}
 	}
 }

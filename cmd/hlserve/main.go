@@ -1,0 +1,175 @@
+// Command hlserve serves exact distance queries from a prebuilt highway
+// cover index, as a concurrent HTTP/JSON API or a high-throughput
+// stdin/stdout batch pipeline.
+//
+// Usage:
+//
+//	hlserve serve -graph g.hwg -addr :8080       # HTTP API until SIGINT
+//	hlserve batch -graph g.hwg < pairs.txt       # one distance per line, input order
+//	hlserve load  -graph g.hwg -n 100000         # generated load test, prints qps
+//	hlserve genpairs -graph g.hwg -n 100000      # emit "s t" lines for batch mode
+//	hlserve help [command]
+//
+// Build the graph and index first with hlbuild. Every command takes
+// -graph (binary graph file); serve, batch and load also take -index
+// (default: graph path + .idx).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"highway"
+	"highway/internal/serve"
+	"highway/internal/workload"
+)
+
+// commands is the self-documenting dispatch table printed by help.
+var commands = []struct {
+	name, summary string
+	run           func(args []string, stdin io.Reader, stdout, stderr io.Writer) error
+}{
+	{"serve", "serve the HTTP/JSON API (GET /distance, POST /distance/batch, /stats, /healthz)", runServe},
+	{"batch", `answer "s t" lines from stdin, one distance per line on stdout, in input order`, runBatch},
+	{"load", "run a deterministic generated load test and report throughput", runLoad},
+	{"genpairs", `emit "s t" query lines from the workload generator (feed for batch)`, runGenpairs},
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "hlserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
+	if len(args) == 0 {
+		usage(stdout)
+		return fmt.Errorf("no command given")
+	}
+	name := args[0]
+	if name == "help" || name == "-h" || name == "--help" {
+		usage(stdout)
+		return nil
+	}
+	for _, c := range commands {
+		if c.name == name {
+			return c.run(args[1:], stdin, stdout, stderr)
+		}
+	}
+	usage(stdout)
+	return fmt.Errorf("unknown command %q", name)
+}
+
+func usage(w io.Writer) {
+	fmt.Fprintln(w, "hlserve — concurrent exact distance serving (highway cover labelling, EDBT 2019)")
+	fmt.Fprintln(w, "\nAvailable commands:")
+	for _, c := range commands {
+		fmt.Fprintf(w, "  %-9s %s\n", c.name, c.summary)
+	}
+	fmt.Fprintln(w, "\nRun \"hlserve <command> -h\" for the command's flags.")
+}
+
+// indexFlags declares the flags every command shares and returns a
+// loader for them.
+func indexFlags(fs *flag.FlagSet) func() (*highway.Index, error) {
+	graphPath := fs.String("graph", "", "binary graph file (required; build with hlbuild)")
+	indexPath := fs.String("index", "", "index file (default: graph path + .idx)")
+	return func() (*highway.Index, error) {
+		if *graphPath == "" {
+			return nil, fmt.Errorf("-graph is required")
+		}
+		g, err := highway.LoadGraph(*graphPath)
+		if err != nil {
+			return nil, err
+		}
+		ip := *indexPath
+		if ip == "" {
+			ip = *graphPath + ".idx"
+		}
+		return highway.LoadIndex(ip, g)
+	}
+}
+
+func runServe(args []string, _ io.Reader, stdout, _ io.Writer) error {
+	fs := flag.NewFlagSet("hlserve serve", flag.ContinueOnError)
+	load := indexFlags(fs)
+	addr := fs.String("addr", ":8080", "HTTP listen address")
+	maxBatch := fs.Int("maxbatch", 0, "max pairs per batch request (0 = default)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ix, err := load()
+	if err != nil {
+		return err
+	}
+	srv := serve.New(ix, serve.Config{MaxBatch: *maxBatch})
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	fmt.Fprintf(stdout, "hlserve: %s\n", ix.Stats())
+	fmt.Fprintf(stdout, "hlserve: listening on %s (GET /distance?s=&t=, POST /distance/batch, GET /stats, GET /healthz)\n", *addr)
+	return srv.ListenAndServe(ctx, *addr)
+}
+
+func runBatch(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("hlserve batch", flag.ContinueOnError)
+	load := indexFlags(fs)
+	workers := fs.Int("workers", 0, "worker goroutines (0 = all cores)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ix, err := load()
+	if err != nil {
+		return err
+	}
+	stats, err := serve.New(ix, serve.Config{}).RunBatch(stdin, stdout, *workers)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(stderr, "hlserve:", stats)
+	return nil
+}
+
+func runLoad(args []string, _ io.Reader, stdout, _ io.Writer) error {
+	fs := flag.NewFlagSet("hlserve load", flag.ContinueOnError)
+	load := indexFlags(fs)
+	n := fs.Int("n", 100_000, "pairs to generate (the paper samples 100,000)")
+	seed := fs.Int64("seed", 42, "workload seed")
+	workers := fs.Int("workers", 0, "worker goroutines (0 = all cores)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ix, err := load()
+	if err != nil {
+		return err
+	}
+	stats, err := serve.New(ix, serve.Config{}).RunLoad(io.Discard, *n, *seed, *workers)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(stdout, "hlserve:", stats)
+	return nil
+}
+
+func runGenpairs(args []string, _ io.Reader, stdout, _ io.Writer) error {
+	fs := flag.NewFlagSet("hlserve genpairs", flag.ContinueOnError)
+	graphPath := fs.String("graph", "", "binary graph file (required)")
+	n := fs.Int("n", 100_000, "pairs to emit")
+	seed := fs.Int64("seed", 42, "workload seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *graphPath == "" {
+		return fmt.Errorf("-graph is required")
+	}
+	g, err := highway.LoadGraph(*graphPath)
+	if err != nil {
+		return err
+	}
+	return workload.WritePairs(stdout, g, *n, *seed)
+}

@@ -1,0 +1,124 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"highway"
+)
+
+// writeIndexedGraph saves a small graph and its index side by side and
+// returns the graph path.
+func writeIndexedGraph(t *testing.T) string {
+	t.Helper()
+	g := highway.BarabasiAlbert(300, 3, 5)
+	dir := t.TempDir()
+	gp := filepath.Join(dir, "g.hwg")
+	if err := highway.SaveGraph(g, gp); err != nil {
+		t.Fatal(err)
+	}
+	lms, err := highway.SelectLandmarks(g, 8, highway.ByDegree, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := highway.BuildIndex(g, lms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Save(gp + ".idx"); err != nil {
+		t.Fatal(err)
+	}
+	return gp
+}
+
+func TestHelpListsCommands(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"help"}, nil, &out, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	for _, cmd := range []string{"serve", "batch", "load", "genpairs"} {
+		if !strings.Contains(out.String(), cmd) {
+			t.Fatalf("help output lacks %q:\n%s", cmd, out.String())
+		}
+	}
+}
+
+func TestUnknownCommand(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"frobnicate"}, nil, &out, io.Discard); err == nil {
+		t.Fatal("want error for unknown command")
+	}
+	if err := run(nil, nil, &out, io.Discard); err == nil {
+		t.Fatal("want error for missing command")
+	}
+}
+
+func TestGenpairsAndLoad(t *testing.T) {
+	gp := writeIndexedGraph(t)
+
+	var pairs bytes.Buffer
+	if err := run([]string{"genpairs", "-graph", gp, "-n", "100", "-seed", "1"}, nil, &pairs, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(pairs.String()), "\n")
+	if len(lines) != 100 {
+		t.Fatalf("genpairs emitted %d lines, want 100", len(lines))
+	}
+	if len(strings.Fields(lines[0])) != 2 {
+		t.Fatalf("bad pair line %q", lines[0])
+	}
+
+	var out bytes.Buffer
+	if err := run([]string{"load", "-graph", gp, "-n", "500", "-seed", "1", "-workers", "2"}, nil, &out, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "500 pairs") {
+		t.Fatalf("load output %q lacks pair count", out.String())
+	}
+}
+
+func TestBatchFromStdin(t *testing.T) {
+	gp := writeIndexedGraph(t)
+
+	var out, errOut bytes.Buffer
+	in := strings.NewReader("0 1\n5 9\n")
+	if err := run([]string{"batch", "-graph", gp, "-workers", "2"}, in, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(errOut.String(), "2 pairs") {
+		t.Fatalf("stats line %q lacks pair count", errOut.String())
+	}
+	got := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(got) != 2 {
+		t.Fatalf("batch wrote %d lines, want 2: %q", len(got), out.String())
+	}
+
+	// Distances must match the library answer on the same pairs.
+	g, err := highway.LoadGraph(gp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := highway.LoadIndex(gp+".idx", g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range []highway.Pair{{S: 0, T: 1}, {S: 5, T: 9}} {
+		want := strconv.Itoa(int(ix.Distance(p.S, p.T)))
+		if got[i] != want {
+			t.Fatalf("line %d = %q, want %s", i, got[i], want)
+		}
+	}
+}
+
+func TestMissingGraphFlag(t *testing.T) {
+	var out bytes.Buffer
+	for _, cmd := range []string{"load", "genpairs"} {
+		if err := run([]string{cmd}, nil, &out, io.Discard); err == nil {
+			t.Fatalf("%s without -graph: want error", cmd)
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module highway
+
+go 1.24

@@ -19,6 +19,19 @@
 //	sr := ix.NewSearcher()
 //	for _, q := range queries { _ = sr.Distance(q.S, q.T) }
 //
+// # Serving
+//
+// To serve an index to network clients, wrap it in a Server: a pool of
+// per-goroutine searchers behind an HTTP/JSON API with single and
+// batched query endpoints, atomic latency/QPS counters at /stats, and
+// graceful shutdown when the context is cancelled. The hlserve command
+// is a thin CLI over the same machinery.
+//
+//	srv := highway.NewServer(ix, highway.ServeConfig{})
+//	err := srv.ListenAndServe(ctx, ":8080")
+//	// GET  /distance?s=12&t=34          -> {"s":12,"t":34,"distance":3}
+//	// POST /distance/batch {"pairs":[[1,2],[3,4]]} -> {"count":2,"distances":[2,3]}
+//
 // The package also re-exports the three baseline oracles the paper
 // evaluates against (PLL, FD, IS-L) so downstream users can reproduce the
 // comparisons on their own graphs; see BuildPLL, BuildFD and BuildISL.
@@ -35,6 +48,7 @@ import (
 	"highway/internal/isl"
 	"highway/internal/landmark"
 	"highway/internal/pll"
+	"highway/internal/serve"
 	"highway/internal/workload"
 )
 
@@ -161,6 +175,26 @@ func LoadIndex(path string, g *Graph) (*Index, error) { return core.Load(path, g
 // benchmarking query latency the way the paper does (100,000 pairs).
 func RandomPairs(g *Graph, count int, seed int64) []Pair {
 	return workload.RandomPairs(g, count, seed)
+}
+
+// Server is a concurrent distance-query server over one Index: a pool
+// of per-goroutine searchers behind an HTTP/JSON API (single queries,
+// batched queries, stats, health) and a streaming batch mode. All
+// methods are safe for concurrent use. See the Serving section of the
+// package documentation and cmd/hlserve.
+type Server = serve.Server
+
+// ServeConfig tunes a Server; the zero value is ready for use.
+type ServeConfig = serve.Config
+
+// NewServer returns a Server over ix.
+func NewServer(ix *Index, cfg ServeConfig) *Server { return serve.New(ix, cfg) }
+
+// Serve answers HTTP distance queries against ix on addr until ctx is
+// cancelled, then shuts down gracefully. Shorthand for
+// NewServer(ix, ServeConfig{}).ListenAndServe(ctx, addr).
+func Serve(ctx context.Context, ix *Index, addr string) error {
+	return serve.New(ix, ServeConfig{}).ListenAndServe(ctx, addr)
 }
 
 // Baseline oracles.

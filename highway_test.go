@@ -2,9 +2,15 @@ package highway_test
 
 import (
 	"context"
+	"encoding/json"
+	"fmt"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
 	"path/filepath"
+	"strings"
 	"testing"
+	"time"
 
 	"highway"
 )
@@ -250,5 +256,63 @@ func TestLargeScaleIntegration(t *testing.T) {
 	// Minimality at scale: ALS must stay well below k.
 	if als := ix.Stats().AvgLabelSize; als >= float64(len(lm)) {
 		t.Fatalf("ALS %.2f not below k=%d — minimality suspect", als, len(lm))
+	}
+}
+
+// TestFacadeServe exercises the serving re-export: NewServer answering
+// the package-doc example requests over a real listener, then graceful
+// shutdown through context cancellation.
+func TestFacadeServe(t *testing.T) {
+	g := highway.BarabasiAlbert(300, 3, 8)
+	lm, err := highway.SelectLandmarks(g, 8, highway.ByDegree, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := highway.BuildIndex(g, lm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := highway.NewServer(ix, highway.ServeConfig{})
+
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	pairs := highway.RandomPairs(g, 20, 5)
+	body := `{"pairs":[`
+	for i, p := range pairs {
+		if i > 0 {
+			body += ","
+		}
+		body += fmt.Sprintf("[%d,%d]", p.S, p.T)
+	}
+	body += `]}`
+	resp, err := http.Post(ts.URL+"/distance/batch", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var got struct {
+		Count     int     `json:"count"`
+		Distances []int32 `json:"distances"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Count != len(pairs) {
+		t.Fatalf("count = %d, want %d", got.Count, len(pairs))
+	}
+	for i, p := range pairs {
+		if want := ix.Distance(p.S, p.T); got.Distances[i] != want {
+			t.Fatalf("batch d(%d,%d) = %d, want %d", p.S, p.T, got.Distances[i], want)
+		}
+	}
+
+	// highway.Serve: bind an ephemeral port, then shut down via context.
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- highway.Serve(ctx, ix, "127.0.0.1:0") }()
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("Serve returned %v after cancel, want nil", err)
 	}
 }

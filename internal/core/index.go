@@ -50,6 +50,18 @@ const MaxLandmarks = 255
 // landmark rank. Distances are stored in 8 bits with an escape to an
 // overflow table (see distOverflow). The highway matrix stores exact
 // landmark-to-landmark distances row-major; Infinity where disconnected.
+//
+// # Concurrency
+//
+// An Index is immutable once Build/BuildParallel/Read returns: label
+// arrays, the highway matrix and the overflow map are written only
+// during single-threaded assembly and never after (the parallel build
+// workers fill disjoint per-landmark rows, then one goroutine
+// assembles). Every method is therefore safe for unlimited concurrent
+// readers. The one mutable field, the internal searcher pool, is a
+// sync.Pool touched only by the pooled conveniences Distance and Path.
+// Searchers own mutable scratch state: share the Index, never a
+// Searcher.
 type Index struct {
 	g          *graph.Graph
 	landmarks  []int32 // rank -> vertex id

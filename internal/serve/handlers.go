@@ -1,0 +1,200 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Handler returns the HTTP API as an http.Handler. Routes:
+//
+//	GET  /                 self-documenting endpoint listing
+//	GET  /distance?s=&t=   one exact distance
+//	POST /distance/batch   {"pairs":[[s,t],...]} -> {"distances":[...]}
+//	GET  /stats            index stats + per-endpoint counters
+//	GET  /healthz          liveness probe
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /{$}", s.handleHelp)
+	mux.HandleFunc("GET /distance", s.timed(epDistance, s.handleDistance))
+	mux.HandleFunc("POST /distance/batch", s.timed(epBatch, s.handleBatch))
+	mux.HandleFunc("GET /stats", s.timed(epStats, s.handleStats))
+	mux.HandleFunc("GET /healthz", s.timed(epHealth, s.handleHealth))
+	return mux
+}
+
+// handlerFunc is an http.HandlerFunc that also reports how many pairs it
+// answered and whether it failed, for the metric set.
+type handlerFunc func(w http.ResponseWriter, r *http.Request) (pairs int64, failed bool)
+
+// timed wraps a handler with latency/QPS accounting for one endpoint.
+func (s *Server) timed(ep int, h handlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		pairs, failed := h(w, r)
+		s.metrics.observe(ep, pairs, time.Since(start), failed)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+// errorBody is the JSON shape of every non-2xx response.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleHelp(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"service": "hlserve: exact distance oracle (highway cover labelling, EDBT 2019)",
+		"endpoints": map[string]string{
+			"GET /distance?s=&t=":  "one exact distance; -1 = disconnected",
+			"POST /distance/batch": `{"pairs":[[s,t],...]} -> {"distances":[...]}; max ` + strconv.Itoa(s.cfg.MaxBatch) + " pairs",
+			"GET /stats":           "index stats + per-endpoint latency/QPS counters",
+			"GET /healthz":         "liveness probe",
+		},
+	})
+}
+
+// distanceResponse is the JSON shape of GET /distance.
+type distanceResponse struct {
+	S        int32 `json:"s"`
+	T        int32 `json:"t"`
+	Distance int32 `json:"distance"`
+}
+
+func (s *Server) handleDistance(w http.ResponseWriter, r *http.Request) (int64, bool) {
+	sv, err1 := strconv.ParseInt(r.URL.Query().Get("s"), 10, 32)
+	tv, err2 := strconv.ParseInt(r.URL.Query().Get("t"), 10, 32)
+	if err1 != nil || err2 != nil {
+		writeError(w, http.StatusBadRequest, `need integer query params "s" and "t"`)
+		return 0, true
+	}
+	d, err := s.Distance(int32(sv), int32(tv))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return 0, true
+	}
+	writeJSON(w, http.StatusOK, distanceResponse{S: int32(sv), T: int32(tv), Distance: d})
+	return 1, false
+}
+
+// batchRequest is the JSON shape of POST /distance/batch. Pairs are
+// 2-element [s,t] arrays, the compact form batch clients generate
+// trivially in any language. They decode as slices (not [2]int32)
+// because encoding/json silently pads or truncates fixed-size arrays —
+// a [s,t,junk] triple must be a 400, not a guess.
+type batchRequest struct {
+	Pairs [][]int32 `json:"pairs"`
+}
+
+// batchResponse mirrors batchRequest: Distances[i] answers Pairs[i].
+type batchResponse struct {
+	Count     int     `json:"count"`
+	Distances []int32 `json:"distances"`
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) (int64, bool) {
+	var req batchRequest
+	// 64 bytes/pair comfortably covers pretty-printed JSON for MaxBatch
+	// pairs; the hard pair-count check below is the real limit.
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, int64(s.cfg.MaxBatch)*64+1024))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				"batch request body exceeds %d bytes", tooLarge.Limit)
+			return 0, true
+		}
+		writeError(w, http.StatusBadRequest, "malformed batch request: %v", err)
+		return 0, true
+	}
+	// Reject trailing garbage after the object — a concatenated second
+	// request must fail loudly, not be half-answered.
+	if err := dec.Decode(&struct{}{}); err != io.EOF {
+		writeError(w, http.StatusBadRequest, "malformed batch request: trailing data after JSON object")
+		return 0, true
+	}
+	if len(req.Pairs) > s.cfg.MaxBatch {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			"batch of %d pairs exceeds limit %d", len(req.Pairs), s.cfg.MaxBatch)
+		return 0, true
+	}
+	for i, p := range req.Pairs {
+		if len(p) != 2 {
+			writeError(w, http.StatusBadRequest, "pair %d: want [s,t], got %d elements", i, len(p))
+			return 0, true
+		}
+		if err := s.checkVertex(p[0]); err != nil {
+			writeError(w, http.StatusBadRequest, "pair %d: %v", i, err)
+			return 0, true
+		}
+		if err := s.checkVertex(p[1]); err != nil {
+			writeError(w, http.StatusBadRequest, "pair %d: %v", i, err)
+			return 0, true
+		}
+	}
+	// One searcher answers the whole batch: the dispatch cost (pool
+	// checkout, JSON decode) is amortized over len(Pairs) queries.
+	distances := make([]int32, len(req.Pairs))
+	sr := s.acquire()
+	for i, p := range req.Pairs {
+		distances[i] = sr.Distance(p[0], p[1])
+	}
+	s.release(sr)
+	writeJSON(w, http.StatusOK, batchResponse{Count: len(distances), Distances: distances})
+	return int64(len(distances)), false
+}
+
+// statsResponse is the JSON shape of GET /stats.
+type statsResponse struct {
+	Index         indexStats               `json:"index"`
+	UptimeSeconds float64                  `json:"uptime_seconds"`
+	Endpoints     map[string]EndpointStats `json:"endpoints"`
+}
+
+type indexStats struct {
+	NumVertices  int     `json:"n"`
+	NumEdges     int64   `json:"m"`
+	NumLandmarks int     `json:"landmarks"`
+	NumEntries   int64   `json:"entries"`
+	AvgLabelSize float64 `json:"avg_label_size"`
+	MaxLabelSize int     `json:"max_label_size"`
+	Bytes8       int64   `json:"bytes_compressed"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) (int64, bool) {
+	st := s.ix.Stats()
+	writeJSON(w, http.StatusOK, statsResponse{
+		Index: indexStats{
+			NumVertices:  st.NumVertices,
+			NumEdges:     st.NumEdges,
+			NumLandmarks: st.NumLandmarks,
+			NumEntries:   st.NumEntries,
+			AvgLabelSize: st.AvgLabelSize,
+			MaxLabelSize: st.MaxLabelSize,
+			Bytes8:       st.Bytes8,
+		},
+		UptimeSeconds: time.Since(s.started).Seconds(),
+		Endpoints:     s.metrics.snapshot(time.Since(s.started)),
+	})
+	return 0, false
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) (int64, bool) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	return 0, false
+}

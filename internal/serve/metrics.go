@@ -1,0 +1,88 @@
+package serve
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// endpoint identifiers for the metric set. Kept dense so handlers index
+// an array instead of a map on the hot path.
+const (
+	epDistance = iota
+	epBatch
+	epStats
+	epHealth
+	numEndpoints
+)
+
+var endpointNames = [numEndpoints]string{
+	epDistance: "distance",
+	epBatch:    "batch",
+	epStats:    "stats",
+	epHealth:   "healthz",
+}
+
+// endpointMetrics accumulates one endpoint's counters. All fields are
+// atomic: requests touch them concurrently, /stats reads them without
+// stopping the world (reads are per-field, so a snapshot under load may
+// be off by in-flight requests — fine for monitoring).
+type endpointMetrics struct {
+	requests  atomic.Int64
+	errors    atomic.Int64 // 4xx/5xx responses
+	pairs     atomic.Int64 // distance queries answered (batch counts each pair)
+	latencyNs atomic.Int64 // total handler latency
+	maxNs     atomic.Int64 // worst single request
+}
+
+type metricSet [numEndpoints]endpointMetrics
+
+// observe records one completed request.
+func (m *metricSet) observe(ep int, pairs int64, elapsed time.Duration, failed bool) {
+	em := &m[ep]
+	em.requests.Add(1)
+	em.pairs.Add(pairs)
+	em.latencyNs.Add(int64(elapsed))
+	if failed {
+		em.errors.Add(1)
+	}
+	for {
+		cur := em.maxNs.Load()
+		if int64(elapsed) <= cur || em.maxNs.CompareAndSwap(cur, int64(elapsed)) {
+			break
+		}
+	}
+}
+
+// EndpointStats is the JSON shape of one endpoint's counters in /stats.
+type EndpointStats struct {
+	Requests     int64   `json:"requests"`
+	Errors       int64   `json:"errors"`
+	Pairs        int64   `json:"pairs"`
+	AvgLatencyUs float64 `json:"avg_latency_us"`
+	MaxLatencyUs float64 `json:"max_latency_us"`
+	QPS          float64 `json:"qps"`
+}
+
+// snapshot renders the counters for /stats. uptime scales the QPS
+// figure (requests per second since the server started).
+func (m *metricSet) snapshot(uptime time.Duration) map[string]EndpointStats {
+	out := make(map[string]EndpointStats, numEndpoints)
+	secs := uptime.Seconds()
+	for ep := 0; ep < numEndpoints; ep++ {
+		em := &m[ep]
+		st := EndpointStats{
+			Requests: em.requests.Load(),
+			Errors:   em.errors.Load(),
+			Pairs:    em.pairs.Load(),
+		}
+		if st.Requests > 0 {
+			st.AvgLatencyUs = float64(em.latencyNs.Load()) / float64(st.Requests) / 1e3
+		}
+		st.MaxLatencyUs = float64(em.maxNs.Load()) / 1e3
+		if secs > 0 {
+			st.QPS = float64(st.Requests) / secs
+		}
+		out[endpointNames[ep]] = st
+	}
+	return out
+}

@@ -1,0 +1,150 @@
+// Package serve turns a highway cover labelling into a concurrent
+// query-serving subsystem: the load-bearing entry point between the
+// offline index of the paper and a system answering heavy online
+// traffic.
+//
+// A Server wraps one immutable core.Index and answers exact distance
+// queries through a pool of per-goroutine Searchers, so concurrent
+// requests never contend on scratch buffers. It exposes
+//
+//   - an HTTP/JSON API (Handler): GET /distance for single pairs,
+//     POST /distance/batch to amortize dispatch over many pairs per
+//     request, GET /stats for index and per-endpoint latency/QPS
+//     counters, GET /healthz for liveness, and GET / for
+//     self-documenting help;
+//   - a high-throughput stdin/stdout batch mode (RunBatch) that streams
+//     "s t" lines through a bounded worker pipeline in input order; and
+//   - graceful shutdown via context (ListenAndServe).
+//
+// All state mutated after construction is held in atomic counters, so
+// every method on Server is safe for concurrent use.
+package serve
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"highway/internal/core"
+	"highway/internal/graph"
+)
+
+// Config tunes a Server. The zero value is ready for production use.
+type Config struct {
+	// MaxBatch caps the number of pairs accepted by one batch request
+	// (DefaultMaxBatch when 0). Oversized batches are rejected with 413
+	// rather than truncated.
+	MaxBatch int
+	// ShutdownGrace bounds how long ListenAndServe waits for in-flight
+	// requests after its context is cancelled (DefaultShutdownGrace
+	// when 0).
+	ShutdownGrace time.Duration
+}
+
+// DefaultMaxBatch is the largest batch request accepted when
+// Config.MaxBatch is zero. At ~2 µs per query this keeps worst-case
+// request latency in the tens of milliseconds.
+const DefaultMaxBatch = 100_000
+
+// DefaultShutdownGrace is the graceful-shutdown bound used when
+// Config.ShutdownGrace is zero.
+const DefaultShutdownGrace = 5 * time.Second
+
+// Server serves exact distance queries from a shared Index. Create one
+// with New; the zero value is not usable.
+type Server struct {
+	ix  *core.Index
+	g   *graph.Graph
+	cfg Config
+
+	// searchers pools scratch state so a request checks out a Searcher,
+	// answers its pairs allocation-free, and returns it. sync.Pool (over
+	// a fixed shard-per-worker array) lets the pool grow to the true
+	// concurrency level under load and shrink when idle.
+	searchers sync.Pool
+
+	metrics metricSet
+	started time.Time
+}
+
+// New returns a Server over ix.
+func New(ix *core.Index, cfg Config) *Server {
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = DefaultMaxBatch
+	}
+	if cfg.ShutdownGrace <= 0 {
+		cfg.ShutdownGrace = DefaultShutdownGrace
+	}
+	s := &Server{ix: ix, g: ix.Graph(), cfg: cfg, started: time.Now()}
+	s.searchers.New = func() any { return ix.NewSearcher() }
+	return s
+}
+
+// Index returns the served index.
+func (s *Server) Index() *core.Index { return s.ix }
+
+// acquire checks a Searcher out of the pool; release returns it.
+func (s *Server) acquire() *core.Searcher   { return s.searchers.Get().(*core.Searcher) }
+func (s *Server) release(sr *core.Searcher) { s.searchers.Put(sr) }
+
+// Distance answers one exact distance query through the pool. It is the
+// programmatic equivalent of GET /distance and safe for concurrent use.
+func (s *Server) Distance(sv, tv int32) (int32, error) {
+	if err := s.checkVertex(sv); err != nil {
+		return core.Infinity, err
+	}
+	if err := s.checkVertex(tv); err != nil {
+		return core.Infinity, err
+	}
+	sr := s.acquire()
+	d := sr.Distance(sv, tv)
+	s.release(sr)
+	return d, nil
+}
+
+func (s *Server) checkVertex(v int32) error { return s.g.CheckVertex(v) }
+
+// ListenAndServe serves the HTTP API on addr until ctx is cancelled,
+// then shuts down gracefully, waiting up to Config.ShutdownGrace for
+// in-flight requests. It returns nil on clean shutdown.
+func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ctx, ln)
+}
+
+// Serve is ListenAndServe over an existing listener (tests use
+// 127.0.0.1:0 to avoid port races).
+func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	hs := &http.Server{
+		Handler: s.Handler(),
+		// Bound slow clients: without these a connection trickling
+		// header bytes pins a goroutine forever and stalls Shutdown for
+		// the whole grace period.
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       time.Minute,
+		WriteTimeout:      2 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		sctx, cancel := context.WithTimeout(context.Background(), s.cfg.ShutdownGrace)
+		defer cancel()
+		if err := hs.Shutdown(sctx); err != nil {
+			return err
+		}
+		if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		return nil
+	}
+}

@@ -6,8 +6,11 @@
 package workload
 
 import (
+	"bufio"
 	"fmt"
+	"io"
 	"math/rand"
+	"strconv"
 
 	"highway/internal/graph"
 )
@@ -17,19 +20,135 @@ type Pair struct {
 	S, T int32
 }
 
+// Stream is an endless deterministic source of uniform random (s,t)
+// pairs: the reusable request stream behind RandomPairs and the serving
+// subsystem's load generator. A Stream is not safe for concurrent use;
+// give each producer goroutine its own (seeds differing by goroutine id
+// keep the union deterministic).
+type Stream struct {
+	rng *rand.Rand
+	n   int
+}
+
+// NewStream returns a pair stream over g's vertex set. Deterministic for
+// a given seed. Panics if g has no vertices.
+func NewStream(g *graph.Graph, seed int64) *Stream {
+	n := g.NumVertices()
+	if n == 0 {
+		panic("workload: NewStream on empty graph")
+	}
+	return &Stream{rng: rand.New(rand.NewSource(seed)), n: n}
+}
+
+// Next returns the next pair in the stream.
+func (st *Stream) Next() Pair {
+	return Pair{S: int32(st.rng.Intn(st.n)), T: int32(st.rng.Intn(st.n))}
+}
+
+// Fill overwrites dst with the next len(dst) pairs and returns dst.
+func (st *Stream) Fill(dst []Pair) []Pair {
+	for i := range dst {
+		dst[i] = st.Next()
+	}
+	return dst
+}
+
 // RandomPairs samples count pairs uniformly from V×V (with replacement,
 // like the paper). Deterministic for a given seed.
 func RandomPairs(g *graph.Graph, count int, seed int64) []Pair {
-	n := g.NumVertices()
-	if n == 0 {
+	if g.NumVertices() == 0 {
 		return nil
 	}
-	rng := rand.New(rand.NewSource(seed))
-	pairs := make([]Pair, count)
-	for i := range pairs {
-		pairs[i] = Pair{S: int32(rng.Intn(n)), T: int32(rng.Intn(n))}
+	return NewStream(g, seed).Fill(make([]Pair, count))
+}
+
+// WritePairs emits count stream pairs as whitespace-separated "s t"
+// lines: the text format consumed by hlserve's batch mode and hlquery's
+// REPL. Use it to generate load-test inputs without materializing the
+// workload in memory.
+func WritePairs(w io.Writer, g *graph.Graph, count int, seed int64) error {
+	if g.NumVertices() == 0 || count == 0 {
+		return nil
 	}
-	return pairs
+	st := NewStream(g, seed)
+	bw := bufio.NewWriterSize(w, 1<<16)
+	buf := make([]byte, 0, 24)
+	for i := 0; i < count; i++ {
+		p := st.Next()
+		buf = strconv.AppendInt(buf[:0], int64(p.S), 10)
+		buf = append(buf, ' ')
+		buf = strconv.AppendInt(buf, int64(p.T), 10)
+		buf = append(buf, '\n')
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadPairs parses whitespace-separated "s t" lines (the WritePairs
+// format; blank lines and '#'/'%' comments allowed, matching
+// LoadEdgeList's SNAP/KONECT conventions) and calls yield for each pair
+// in order. It validates vertex ids against n and stops at the first
+// malformed line.
+func ReadPairs(r io.Reader, n int, yield func(Pair) error) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		var s, t int32
+		if ok, err := parsePairLine(text, n, &s, &t); err != nil {
+			return fmt.Errorf("workload: line %d: %w", line, err)
+		} else if !ok {
+			continue
+		}
+		if err := yield(Pair{S: s, T: t}); err != nil {
+			return err
+		}
+	}
+	return sc.Err()
+}
+
+// parsePairLine parses one "s t" line into (*s,*t). It reports ok=false
+// for blank and comment lines, and an error for malformed or
+// out-of-range input.
+func parsePairLine(text string, n int, s, t *int32) (ok bool, err error) {
+	i, l := 0, len(text)
+	skip := func() {
+		for i < l && (text[i] == ' ' || text[i] == '\t' || text[i] == '\r') {
+			i++
+		}
+	}
+	num := func() (int32, bool) {
+		start := i
+		var v int64
+		for i < l && text[i] >= '0' && text[i] <= '9' {
+			v = v*10 + int64(text[i]-'0')
+			if v > int64(n) {
+				return 0, false
+			}
+			i++
+		}
+		if i == start || v >= int64(n) {
+			return 0, false
+		}
+		return int32(v), true
+	}
+	skip()
+	if i == l || text[i] == '#' || text[i] == '%' {
+		return false, nil
+	}
+	a, okA := num()
+	skip()
+	b, okB := num()
+	skip()
+	if !okA || !okB || i != l {
+		return false, fmt.Errorf("want two vertex ids in [0,%d), got %q", n, text)
+	}
+	*s, *t = a, b
+	return true, nil
 }
 
 // Oracle answers exact distance queries; -1 means unreachable. All index

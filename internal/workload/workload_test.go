@@ -1,6 +1,9 @@
 package workload
 
 import (
+	"bytes"
+	"errors"
+	"strings"
 	"testing"
 
 	"highway/internal/bfs"
@@ -115,3 +118,92 @@ func TestPairCoverageAllUnreachable(t *testing.T) {
 type bounderFunc func(s, t int32) int32
 
 func (f bounderFunc) UpperBound(s, t int32) int32 { return f(s, t) }
+
+func TestStreamMatchesRandomPairs(t *testing.T) {
+	g := gen.Cycle(64)
+	st := NewStream(g, 9)
+	want := RandomPairs(g, 40, 9)
+	for i, w := range want {
+		if got := st.Next(); got != w {
+			t.Fatalf("stream pair %d = %v, want %v", i, got, w)
+		}
+	}
+	// Fill continues the same sequence as repeated Next.
+	st2 := NewStream(g, 9)
+	buf := st2.Fill(make([]Pair, 40))
+	for i := range want {
+		if buf[i] != want[i] {
+			t.Fatalf("Fill pair %d = %v, want %v", i, buf[i], want[i])
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewStream on empty graph must panic")
+		}
+	}()
+	NewStream(gen.Path(0), 1)
+}
+
+func TestWriteReadPairsRoundTrip(t *testing.T) {
+	g := gen.Cycle(100)
+	var buf bytes.Buffer
+	if err := WritePairs(&buf, g, 500, 4); err != nil {
+		t.Fatal(err)
+	}
+	want := RandomPairs(g, 500, 4)
+	var got []Pair
+	err := ReadPairs(strings.NewReader(buf.String()), g.NumVertices(), func(p Pair) error {
+		got = append(got, p)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("read %d pairs, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("pair %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+	// Zero count and empty graph are no-ops.
+	if err := WritePairs(&buf, g, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := WritePairs(&buf, gen.Path(0), 5, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadPairsValidation(t *testing.T) {
+	read := func(in string) ([]Pair, error) {
+		var got []Pair
+		err := ReadPairs(strings.NewReader(in), 10, func(p Pair) error {
+			got = append(got, p)
+			return nil
+		})
+		return got, err
+	}
+
+	got, err := read("1 2\n\n# comment\n% also comment\n  3\t4  \n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != (Pair{1, 2}) || got[1] != (Pair{3, 4}) {
+		t.Fatalf("got %v", got)
+	}
+
+	for _, bad := range []string{"1\n", "1 2 3\n", "a b\n", "-1 2\n", "1 10\n", "1 99999999999\n"} {
+		if _, err := read(bad); err == nil {
+			t.Fatalf("input %q: want error", bad)
+		}
+	}
+
+	// yield errors propagate.
+	stop := errors.New("stop")
+	err = ReadPairs(strings.NewReader("1 2\n3 4\n"), 10, func(Pair) error { return stop })
+	if !errors.Is(err, stop) {
+		t.Fatalf("err = %v, want %v", err, stop)
+	}
+}
