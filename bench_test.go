@@ -5,8 +5,10 @@
 package highway_test
 
 import (
+	"bytes"
 	"context"
 	"fmt"
+	"io"
 	"sync"
 	"testing"
 
@@ -176,6 +178,51 @@ func BenchmarkTable2QueryBiBFS(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		p := pairs[i%len(pairs)]
 		bfs.BiBFS(g, p.S, p.T, sc)
+	}
+}
+
+// --- Index serialization: format v2 vs legacy v1 -----------------------------
+
+// BenchmarkIndexWrite measures serialization throughput per format.
+func BenchmarkIndexWrite(b *testing.B) {
+	g, lm, _ := fixtures(b)
+	ix, err := highway.BuildIndex(g, lm)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, f := range []highway.IndexFormat{highway.IndexFormatV1, highway.IndexFormatV2} {
+		b.Run(f.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := highway.WriteIndex(ix, io.Discard, f); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkIndexLoad measures deserialization per format: v2's bulk
+// section reads vs v1's element-at-a-time stream.
+func BenchmarkIndexLoad(b *testing.B) {
+	g, lm, _ := fixtures(b)
+	ix, err := highway.BuildIndex(g, lm)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, f := range []highway.IndexFormat{highway.IndexFormatV1, highway.IndexFormatV2} {
+		var buf bytes.Buffer
+		if err := highway.WriteIndex(ix, &buf, f); err != nil {
+			b.Fatal(err)
+		}
+		raw := buf.Bytes()
+		b.Run(f.String(), func(b *testing.B) {
+			b.SetBytes(int64(len(raw)))
+			for i := 0; i < b.N; i++ {
+				if _, err := highway.ReadIndex(bytes.NewReader(raw), g); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

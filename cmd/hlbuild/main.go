@@ -5,6 +5,12 @@
 //
 //	hlbuild -graph web.hwg -k 20 -out web.idx
 //	hlbuild -graph edges.txt -k 40 -strategy degree -workers 8 -verify 1000
+//	hlbuild -graph web.hwg -k 20 -format v1          (old on-disk format)
+//	hlbuild migrate -graph web.hwg -in web.idx -out web.idx.v2
+//
+// The migrate subcommand rewrites an existing index file (either format)
+// into the target format — by default the current one (v2, checksummed
+// sections) — verifying it against its graph on the way.
 package main
 
 import (
@@ -26,6 +32,9 @@ func main() {
 }
 
 func run(args []string) error {
+	if len(args) > 0 && args[0] == "migrate" {
+		return runMigrate(args[1:])
+	}
 	fs := flag.NewFlagSet("hlbuild", flag.ContinueOnError)
 	var (
 		graphPath = fs.String("graph", "", "graph file: binary (.hwg) or text edge list (required)")
@@ -36,8 +45,13 @@ func run(args []string) error {
 		out       = fs.String("out", "", "index output path (default: graph path + .idx)")
 		verify    = fs.Int("verify", 0, "cross-check this many random pairs against BFS after building")
 		timeout   = fs.Duration("timeout", 0, "abort construction after this duration (0 = none)")
+		format    = fs.String("format", "v2", "index file format: v2 (checksummed sections) | v1 (legacy)")
 	)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	f, err := highway.ParseIndexFormat(*format)
+	if err != nil {
 		return err
 	}
 	if *graphPath == "" {
@@ -77,10 +91,55 @@ func run(args []string) error {
 	if dest == "" {
 		dest = *graphPath + ".idx"
 	}
-	if err := ix.Save(dest); err != nil {
+	if err := highway.SaveIndexAs(ix, dest, f); err != nil {
 		return err
 	}
-	fmt.Printf("wrote %s\n", dest)
+	fmt.Printf("wrote %s (format %s)\n", dest, f)
+	return nil
+}
+
+// runMigrate rewrites an index file into the target format.
+func runMigrate(args []string) error {
+	fs := flag.NewFlagSet("hlbuild migrate", flag.ContinueOnError)
+	var (
+		graphPath = fs.String("graph", "", "graph the index was built on (required)")
+		in        = fs.String("in", "", "index file to migrate (required)")
+		out       = fs.String("out", "", "output path (default: input path + .v2 / .v1)")
+		format    = fs.String("format", "v2", "target format: v2 | v1")
+		verify    = fs.Int("verify", 100, "cross-check this many random pairs against BFS before writing (0 = skip)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *graphPath == "" || *in == "" {
+		return fmt.Errorf("migrate: -graph and -in are required")
+	}
+	target, err := highway.ParseIndexFormat(*format)
+	if err != nil {
+		return err
+	}
+	g, err := loadGraph(*graphPath)
+	if err != nil {
+		return err
+	}
+	ix, from, err := highway.LoadIndexFormat(*in, g)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("loaded %s (format %s): %s\n", *in, from, ix.Stats())
+	if *verify > 0 {
+		if err := ix.Verify(*verify, 1); err != nil {
+			return fmt.Errorf("migrate: refusing to rewrite a corrupt index: %w", err)
+		}
+	}
+	dest := *out
+	if dest == "" {
+		dest = fmt.Sprintf("%s.%s", *in, target)
+	}
+	if err := highway.SaveIndexAs(ix, dest, target); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (format %s)\n", dest, target)
 	return nil
 }
 

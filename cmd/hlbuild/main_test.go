@@ -68,6 +68,84 @@ func TestRunBuildStrategy(t *testing.T) {
 	}
 }
 
+func TestRunBuildFormats(t *testing.T) {
+	gp := writeGraph(t)
+	g, err := highway.LoadGraph(gp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	v1 := filepath.Join(dir, "g.v1.idx")
+	v2 := filepath.Join(dir, "g.v2.idx")
+	if err := run([]string{"-graph", gp, "-k", "6", "-out", v1, "-format", "v1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-graph", gp, "-k", "6", "-out", v2}); err != nil {
+		t.Fatal(err)
+	}
+	for path, want := range map[string]highway.IndexFormat{v1: highway.IndexFormatV1, v2: highway.IndexFormatV2} {
+		_, f, err := highway.LoadIndexFormat(path, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f != want {
+			t.Fatalf("%s: format %v, want %v", path, f, want)
+		}
+	}
+}
+
+func TestRunMigrate(t *testing.T) {
+	gp := writeGraph(t)
+	g, err := highway.LoadGraph(gp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	v1 := filepath.Join(dir, "old.idx")
+	if err := run([]string{"-graph", gp, "-k", "7", "-out", v1, "-format", "v1"}); err != nil {
+		t.Fatal(err)
+	}
+	// Default migrate target is v2, default output path appends ".v2".
+	if err := run([]string{"migrate", "-graph", gp, "-in", v1}); err != nil {
+		t.Fatal(err)
+	}
+	ix2, f, err := highway.LoadIndexFormat(v1+".v2", g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f != highway.IndexFormatV2 {
+		t.Fatalf("migrated file is %v, want v2", f)
+	}
+	ix1, _, err := highway.LoadIndexFormat(v1, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix1.NumEntries() != ix2.NumEntries() || ix1.NumLandmarks() != ix2.NumLandmarks() {
+		t.Fatal("migration changed the index")
+	}
+	// And back down to v1 with an explicit output.
+	down := filepath.Join(dir, "down.idx")
+	if err := run([]string{"migrate", "-graph", gp, "-in", v1 + ".v2", "-out", down, "-format", "v1"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, f, err = highway.LoadIndexFormat(down, g); err != nil || f != highway.IndexFormatV1 {
+		t.Fatalf("downgrade: format %v err %v", f, err)
+	}
+}
+
+func TestRunMigrateErrors(t *testing.T) {
+	gp := writeGraph(t)
+	if err := run([]string{"migrate"}); err == nil {
+		t.Error("migrate without -graph/-in accepted")
+	}
+	if err := run([]string{"migrate", "-graph", gp, "-in", "/does/not/exist.idx"}); err == nil {
+		t.Error("missing input index accepted")
+	}
+	if err := run([]string{"migrate", "-graph", gp, "-in", gp, "-format", "v3"}); err == nil {
+		t.Error("unknown target format accepted")
+	}
+}
+
 func TestRunBuildErrors(t *testing.T) {
 	if err := run([]string{}); err == nil {
 		t.Error("missing -graph accepted")
@@ -81,5 +159,8 @@ func TestRunBuildErrors(t *testing.T) {
 	}
 	if err := run([]string{"-graph", gp, "-strategy", "bogus"}); err == nil {
 		t.Error("bogus strategy accepted")
+	}
+	if err := run([]string{"-graph", gp, "-format", "v9"}); err == nil {
+		t.Error("unknown format accepted")
 	}
 }

@@ -42,6 +42,7 @@ func run(args []string) error {
 		s         = fs.Int("s", -1, "one-shot: source vertex")
 		t         = fs.Int("t", -1, "one-shot: target vertex")
 		serve     = fs.String("serve", "", "HTTP listen address (e.g. :8080)")
+		stats     = fs.Bool("stats", false, "print index format and statistics, then exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -57,12 +58,18 @@ func run(args []string) error {
 	if ip == "" {
 		ip = *graphPath + ".idx"
 	}
-	ix, err := highway.LoadIndex(ip, g)
+	// Both index formats load transparently; -stats surfaces which one a
+	// file is in (hlbuild migrate rewrites between them).
+	ix, format, err := highway.LoadIndexFormat(ip, g)
 	if err != nil {
 		return err
 	}
 
 	switch {
+	case *stats:
+		fmt.Printf("index: %s\nformat: %s\nstats: %s\nmemory: %d bytes\n",
+			ip, format, ix.Stats(), ix.ActualBytes())
+		return nil
 	case *s >= 0 && *t >= 0:
 		if err := checkVertex(g, *s); err != nil {
 			return err

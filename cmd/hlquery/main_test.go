@@ -42,6 +42,29 @@ func TestOneShot(t *testing.T) {
 	}
 }
 
+// TestStatsAndV1Index: -stats works, and a legacy v1 index file is served
+// transparently by the same command.
+func TestStatsAndV1Index(t *testing.T) {
+	gp, ip, g := fixture(t)
+	if err := run([]string{"-graph", gp, "-index", ip, "-stats"}); err != nil {
+		t.Fatal(err)
+	}
+	ix, err := highway.LoadIndex(ip, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1 := filepath.Join(t.TempDir(), "old.idx")
+	if err := highway.SaveIndexAs(ix, v1, highway.IndexFormatV1); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-graph", gp, "-index", v1, "-s", "1", "-t", "250"}); err != nil {
+		t.Fatalf("v1 index rejected: %v", err)
+	}
+	if err := run([]string{"-graph", gp, "-index", v1, "-stats"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	if err := run([]string{}); err == nil {
 		t.Error("missing -graph accepted")

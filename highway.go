@@ -39,6 +39,7 @@ package highway
 
 import (
 	"context"
+	"io"
 
 	"highway/internal/core"
 	"highway/internal/dynhl"
@@ -167,9 +168,41 @@ func BuildIndexOpts(ctx context.Context, g *Graph, landmarks []int32, opt BuildO
 	return core.BuildOpts(ctx, g, landmarks, opt)
 }
 
-// LoadIndex reads an index file written by Index.Save and attaches it to
-// the graph it was built on.
+// IndexFormat identifies an on-disk index layout; see the "Index format"
+// section of the README. v2 (checksummed sections, bulk-loadable label
+// arrays) is the default; v1 is the legacy streaming layout, still fully
+// readable and writable.
+type IndexFormat = core.Format
+
+const (
+	// IndexFormatV1 is the legacy "HWLIDX01" streaming layout.
+	IndexFormatV1 = core.FormatV1
+	// IndexFormatV2 is the section-based, checksummed "HWLIDX02" layout.
+	IndexFormatV2 = core.FormatV2
+)
+
+// ParseIndexFormat parses a format name ("v1", "v2").
+func ParseIndexFormat(s string) (IndexFormat, error) { return core.ParseFormat(s) }
+
+// LoadIndex reads an index file written by Index.Save in either format
+// and attaches it to the graph it was built on.
 func LoadIndex(path string, g *Graph) (*Index, error) { return core.Load(path, g) }
+
+// LoadIndexFormat is LoadIndex, also reporting the file's format.
+func LoadIndexFormat(path string, g *Graph) (*Index, IndexFormat, error) {
+	return core.LoadFormat(path, g)
+}
+
+// SaveIndexAs writes an index file in an explicit format (Index.Save
+// writes the default, v2).
+func SaveIndexAs(ix *Index, path string, f IndexFormat) error { return ix.SaveAs(path, f) }
+
+// WriteIndex serializes an index to a stream in an explicit format;
+// ReadIndex deserializes either format, detecting it from the magic.
+func WriteIndex(ix *Index, w io.Writer, f IndexFormat) error { return ix.WriteFormat(w, f) }
+
+// ReadIndex reads a serialized index from a stream and attaches it to g.
+func ReadIndex(r io.Reader, g *Graph) (*Index, error) { return core.Read(r, g) }
 
 // RandomPairs samples count (s,t) pairs uniformly from V×V; use for
 // benchmarking query latency the way the paper does (100,000 pairs).
@@ -263,3 +296,11 @@ type DynamicIndex = dynhl.Index
 func BuildDynamic(g *Graph, landmarks []int32) (*DynamicIndex, error) {
 	return dynhl.Build(g, landmarks)
 }
+
+// DynamicFromIndex converts a static Index into a DynamicIndex without
+// re-running any BFS: the immutable flat label arrays are copied into the
+// mutable per-vertex representation (the static index stays valid and
+// untouched). Use DynamicIndex.Freeze for the reverse conversion — it
+// snapshots the evolved graph and labelling back into an immutable Index
+// for serving.
+func DynamicFromIndex(ix *Index) (*DynamicIndex, error) { return dynhl.FromCore(ix) }

@@ -206,6 +206,60 @@ func TestDynamicIndexViaFacade(t *testing.T) {
 	}
 }
 
+// TestIndexFormatsViaFacade exercises the format surface end to end:
+// explicit v1/v2 saves, format detection, stream round trips, and the
+// static→dynamic→frozen conversion cycle.
+func TestIndexFormatsViaFacade(t *testing.T) {
+	g := highway.BarabasiAlbert(300, 3, 21)
+	lm, _ := highway.SelectLandmarks(g, 8, highway.ByDegree, 0)
+	ix, err := highway.BuildIndex(g, lm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	for _, f := range []highway.IndexFormat{highway.IndexFormatV1, highway.IndexFormatV2} {
+		path := dir + "/idx." + f.String()
+		if err := highway.SaveIndexAs(ix, path, f); err != nil {
+			t.Fatal(err)
+		}
+		got, detected, err := highway.LoadIndexFormat(path, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if detected != f {
+			t.Fatalf("saved %v, detected %v", f, detected)
+		}
+		if got.NumEntries() != ix.NumEntries() {
+			t.Fatalf("%v round trip changed the index", f)
+		}
+	}
+	if _, err := highway.ParseIndexFormat("v7"); err == nil {
+		t.Fatal("bogus format name accepted")
+	}
+
+	// Static → dynamic without a rebuild, mutate, freeze back.
+	dyn, err := highway.DynamicFromIndex(ix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dyn.InsertEdge(0, 299); err != nil {
+		t.Fatal(err)
+	}
+	fg, frozen, err := dyn.Freeze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fg.NumEdges() != g.NumEdges()+1 {
+		t.Fatalf("frozen graph has %d edges, want %d", fg.NumEdges(), g.NumEdges()+1)
+	}
+	if d := frozen.Distance(0, 299); d != 1 {
+		t.Fatalf("frozen index d(0,299) = %d, want 1", d)
+	}
+	if err := frozen.Verify(200, 3); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestPathViaFacade(t *testing.T) {
 	g := highway.BarabasiAlbert(300, 3, 17)
 	lm, _ := highway.SelectLandmarks(g, 8, highway.ByDegree, 0)

@@ -216,9 +216,9 @@ func prunedBFS(g *graph.Graph, root int32, rankOf []int32, k int, sc *buildScrat
 	return out
 }
 
-// assemble packs per-landmark label rows into the CSR index. Iterating
-// ranks in ascending order makes every vertex's label sorted by rank, so
-// sequential and parallel builds produce identical indexes.
+// assemble packs per-landmark label rows into the flat CSR index.
+// Iterating ranks in ascending order makes every vertex's label sorted by
+// rank, so sequential and parallel builds produce identical indexes.
 func assemble(g *graph.Graph, landmarks []int32, rankOf []int32, isLandmark []bool, highway []int32, rows [][]labelPair) *Index {
 	n := g.NumVertices()
 	counts := make([]int64, n+1)
@@ -239,9 +239,8 @@ func assemble(g *graph.Graph, landmarks []int32, rankOf []int32, isLandmark []bo
 		isLandmark: isLandmark,
 		highway:    highway,
 		labelOff:   off,
-		labelRank:  make([]uint8, total),
-		labelDist:  make([]uint8, total),
-		overflow:   make(map[overflowKey]int32),
+		labelRank:  make([]int32, total),
+		labelDist:  make([]int32, total),
 	}
 	cursor := make([]int64, n)
 	copy(cursor, off[:n])
@@ -249,13 +248,8 @@ func assemble(g *graph.Graph, landmarks []int32, rankOf []int32, isLandmark []bo
 		for _, p := range row {
 			pos := cursor[p.v]
 			cursor[p.v]++
-			ix.labelRank[pos] = uint8(r)
-			if p.d < int32(distOverflow) {
-				ix.labelDist[pos] = uint8(p.d)
-			} else {
-				ix.labelDist[pos] = distOverflow
-				ix.overflow[overflowKey{p.v, uint8(r)}] = p.d
-			}
+			ix.labelRank[pos] = int32(r)
+			ix.labelDist[pos] = p.d
 		}
 	}
 	return ix

@@ -4,11 +4,11 @@ import (
 	"context"
 	"math/rand"
 	"testing"
-	"testing/quick"
 
 	"highway/internal/bfs"
 	"highway/internal/gen"
 	"highway/internal/graph"
+	"highway/internal/oracle"
 )
 
 // TestPaperFigure2Labels verifies Algorithm 1 reproduces the exact label
@@ -94,97 +94,42 @@ func TestPaperFigure2AllPairs(t *testing.T) {
 	checkAllPairs(t, g, ix)
 }
 
+// checkAllPairs verifies the index against BFS ground truth through the
+// shared differential harness.
 func checkAllPairs(t *testing.T, g *graph.Graph, ix *Index) {
 	t.Helper()
-	n := int32(g.NumVertices())
-	sr := ix.NewSearcher()
-	for s := int32(0); s < n; s++ {
-		want := bfs.Distances(g, s)
-		for u := int32(0); u < n; u++ {
-			w := want[u]
-			if w == bfs.Unreachable {
-				w = Infinity
-			}
-			if got := sr.Distance(s, u); got != w {
-				t.Fatalf("Distance(%d,%d) = %d, want %d", s, u, got, w)
-			}
-		}
-	}
+	oracle.CheckAllPairs(t, g, ix.NewSearcher())
 }
 
-// TestExhaustiveSmallGraphs checks HL == BFS on every pair for a spread of
-// deterministic small graphs and landmark counts.
+// TestExhaustiveSmallGraphs checks HL == BFS on every pair of the shared
+// corner-case suite, across landmark counts.
 func TestExhaustiveSmallGraphs(t *testing.T) {
-	cases := []struct {
-		name string
-		g    *graph.Graph
-	}{
-		{"path10", gen.Path(10)},
-		{"cycle9", gen.Cycle(9)},
-		{"star12", gen.Star(12)},
-		{"complete6", gen.Complete(6)},
-		{"grid4x5", gen.Grid(4, 5)},
-		{"figure2", gen.PaperFigure2()},
-	}
-	for _, c := range cases {
-		for _, k := range []int{1, 2, 3} {
-			if k > c.g.NumVertices() {
-				continue
-			}
-			lm := c.g.DegreeOrder()[:k]
-			ix, err := Build(c.g, lm)
+	for _, k := range []int{1, 2, 3} {
+		oracle.CheckCases(t, func(t *testing.T, g *graph.Graph) oracle.Oracle {
+			ix, err := Build(g, g.DegreeOrder()[:k])
 			if err != nil {
-				t.Fatalf("%s k=%d: %v", c.name, k, err)
+				t.Fatalf("k=%d: %v", k, err)
 			}
-			t.Run(c.name, func(t *testing.T) { checkAllPairs(t, c.g, ix) })
-		}
+			return ix.NewSearcher()
+		})
 	}
 }
 
 // TestRandomGraphsProperty is the main correctness property: on random
 // graphs of every family, HL distances equal BFS distances.
 func TestRandomGraphsProperty(t *testing.T) {
-	f := func(seed int64) bool {
+	oracle.CheckRandom(t, 40, 60, func(seed int64, g *graph.Graph) (oracle.Oracle, error) {
 		rng := rand.New(rand.NewSource(seed))
-		var g *graph.Graph
-		switch rng.Intn(4) {
-		case 0:
-			g = gen.BarabasiAlbert(80+rng.Intn(80), 1+rng.Intn(3), seed)
-		case 1:
-			g = gen.ErdosRenyi(60+rng.Intn(60), int64(100+rng.Intn(200)), seed)
-		case 2:
-			g = gen.RMAT(7, 4, 0.57, 0.19, 0.19, seed)
-		default:
-			g = gen.WattsStrogatz(60+rng.Intn(60), 2, 0.3, seed)
-		}
 		k := 1 + rng.Intn(8)
 		if k > g.NumVertices() {
 			k = g.NumVertices()
 		}
-		lm := g.DegreeOrder()[:k]
-		ix, err := Build(g, lm)
+		ix, err := Build(g, g.DegreeOrder()[:k])
 		if err != nil {
-			t.Log(err)
-			return false
+			return nil, err
 		}
-		sr := ix.NewSearcher()
-		for trial := 0; trial < 60; trial++ {
-			s := int32(rng.Intn(g.NumVertices()))
-			u := int32(rng.Intn(g.NumVertices()))
-			want := bfs.Dist(g, s, u)
-			if want == bfs.Unreachable {
-				want = Infinity
-			}
-			if got := sr.Distance(s, u); got != want {
-				t.Logf("seed=%d s=%d t=%d got=%d want=%d", seed, s, u, got, want)
-				return false
-			}
-		}
-		return true
-	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
-		t.Fatal(err)
-	}
+		return ix.NewSearcher(), nil
+	})
 }
 
 // TestOrderIndependence verifies Lemma 3.11: permuting the landmark order
@@ -309,7 +254,7 @@ func TestMinimality(t *testing.T) {
 				continue
 			}
 			ranks, dists := ix.Label(v)
-			labelled := map[uint8]int32{}
+			labelled := map[int32]int32{}
 			for i := range ranks {
 				labelled[ranks[i]] = dists[i]
 			}
@@ -328,7 +273,7 @@ func TestMinimality(t *testing.T) {
 						break
 					}
 				}
-				got, has := labelled[uint8(r)]
+				got, has := labelled[int32(r)]
 				if d == bfs.Unreachable {
 					if has {
 						t.Fatalf("vertex %d labelled by unreachable landmark rank %d", v, r)
@@ -454,14 +399,15 @@ func TestMultiLandmarkComponents(t *testing.T) {
 	checkAllPairs(t, g, ix)
 }
 
-// TestDistanceOverflow exercises the 8-bit escape on a path of length 600.
+// TestDistanceOverflow exercises distances beyond the 8-bit disk encoding
+// on a path of length 600: stored flat as int32, escaped on serialization.
 func TestDistanceOverflow(t *testing.T) {
 	g := gen.Path(600)
 	ix, err := Build(g, []int32{0})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(ix.overflow) == 0 {
+	if ix.numOverflow() == 0 {
 		t.Fatal("expected overflow entries on a 600-path")
 	}
 	sr := ix.NewSearcher()
@@ -471,7 +417,8 @@ func TestDistanceOverflow(t *testing.T) {
 	if d := sr.Distance(1, 599); d != 598 {
 		t.Fatalf("d(1,599) = %d, want 598", d)
 	}
-	// Label of the far endpoint decodes through the overflow table.
+	// The far endpoint's label stores the full distance, undamped by the
+	// byte encoding.
 	_, dists := ix.Label(599)
 	if len(dists) != 1 || dists[0] != 599 {
 		t.Fatalf("L(599) = %v, want [599]", dists)

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"highway/internal/gen"
+	"highway/internal/graph"
+)
+
+// fuzzSeedIndex builds a small deterministic index whose serialized bytes
+// seed the corpus in both formats.
+func fuzzSeedIndex(tb testing.TB) *Index {
+	tb.Helper()
+	ix, err := Build(gen.PaperFigure2(), gen.PaperLandmarks())
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return ix
+}
+
+// FuzzLoadIndex: arbitrary bytes must never panic or OOM the loader, for
+// either format magic. Successful loads must yield an index whose basic
+// operations are safe to call.
+func FuzzLoadIndex(f *testing.F) {
+	ix := fuzzSeedIndex(f)
+	for _, format := range []Format{FormatV1, FormatV2} {
+		var buf bytes.Buffer
+		if err := ix.WriteFormat(&buf, format); err != nil {
+			f.Fatal(err)
+		}
+		good := buf.Bytes()
+		f.Add(good)
+		f.Add(good[:len(good)/2])
+		// Seed header-mangled variants so the fuzzer starts near the
+		// interesting validation branches.
+		mangled := append([]byte{}, good...)
+		for i := 8; i < 24 && i < len(mangled); i++ {
+			mangled[i] ^= 0xFF
+		}
+		f.Add(mangled)
+	}
+	f.Add([]byte("HWLIDX01"))
+	f.Add([]byte("HWLIDX02"))
+	f.Add([]byte("garbage"))
+
+	g := gen.PaperFigure2()
+	overflowG := gen.Path(600)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Loading must be total: either an error or a usable index.
+		ix, err := Read(bytes.NewReader(data), g)
+		if err == nil {
+			exerciseIndex(ix)
+		}
+		// A second graph size exercises the n-mismatch path and the
+		// overflow machinery bounds.
+		ix2, err := Read(bytes.NewReader(data), overflowG)
+		if err == nil {
+			exerciseIndex(ix2)
+		}
+	})
+}
+
+// exerciseIndex touches the query and accounting paths of a loaded index:
+// none of them may panic regardless of the (validated) contents.
+func exerciseIndex(ix *Index) {
+	_ = ix.Stats()
+	n := int32(ix.Graph().NumVertices())
+	sr := ix.NewSearcher()
+	for s := int32(0); s < n && s < 4; s++ {
+		for t := int32(0); t < n && t < 4; t++ {
+			_ = sr.Distance(s, t)
+			_ = sr.UpperBound(s, t)
+		}
+	}
+	_ = ix.Distance(0, n-1)
+	_ = ix.UpperBound(n-1, 0)
+}
+
+// FuzzIndexRoundTrip: for generated indexes across graph families, sizes
+// and both formats, Save→Load must reproduce a deep-equal index.
+func FuzzIndexRoundTrip(f *testing.F) {
+	f.Add(int64(1), uint8(30), uint8(3), false)
+	f.Add(int64(2), uint8(80), uint8(7), true)
+	f.Add(int64(3), uint8(5), uint8(1), false)
+	f.Fuzz(func(t *testing.T, seed int64, nRaw, kRaw uint8, useV1 bool) {
+		n := 4 + int(nRaw)%90
+		var g *graph.Graph
+		switch seed % 3 {
+		case 0:
+			g = gen.BarabasiAlbert(n, 2, seed)
+		case 1:
+			g = gen.ErdosRenyi(n, int64(2*n), seed)
+		default:
+			// Long path: distances overflow the 8-bit disk encoding, so
+			// the escape records round-trip too.
+			g = gen.Path(280 + n)
+		}
+		k := 1 + int(kRaw)%8
+		if k > g.NumVertices() {
+			k = g.NumVertices()
+		}
+		ix, err := Build(g, g.DegreeOrder()[:k])
+		if err != nil {
+			t.Skip()
+		}
+		format := FormatV2
+		if useV1 {
+			format = FormatV1
+		}
+		var buf bytes.Buffer
+		if err := ix.WriteFormat(&buf, format); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		ix2, got, err := ReadFormat(bytes.NewReader(buf.Bytes()), g)
+		if err != nil {
+			t.Fatalf("read back: %v", err)
+		}
+		if got != format {
+			t.Fatalf("format %v decoded as %v", format, got)
+		}
+		if !indexesIdentical(ix, ix2) {
+			t.Fatal("round trip not deep-equal")
+		}
+		for i := range ix.landmarks {
+			if ix.landmarks[i] != ix2.landmarks[i] {
+				t.Fatal("landmarks differ after round trip")
+			}
+		}
+	})
+}

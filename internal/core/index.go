@@ -32,10 +32,10 @@ import (
 // Infinity is the distance reported between disconnected vertices.
 const Infinity int32 = -1
 
-// distOverflow marks an 8-bit stored distance whose real value lives in
-// the overflow table. Complex networks have tiny diameters, so in practice
-// the table stays empty; it exists so that the 8-bit store is still exact
-// on adversarial inputs (long paths, grids).
+// distOverflow marks an 8-bit stored distance (on disk) whose real value
+// lives in the overflow section. Complex networks have tiny diameters, so
+// in practice the section stays empty; it exists so that the 8-bit disk
+// encoding is still exact on adversarial inputs (long paths, grids).
 const distOverflow uint8 = 0xFF
 
 // MaxLandmarks bounds the landmark count so ranks fit the paper's 8-bit
@@ -45,22 +45,31 @@ const MaxLandmarks = 255
 
 // Index is a highway cover distance labelling over a graph.
 //
-// Labels are stored in CSR form: vertex v's label occupies
-// positions labelOff[v]..labelOff[v+1] of labelRank/labelDist, sorted by
-// landmark rank. Distances are stored in 8 bits with an escape to an
-// overflow table (see distOverflow). The highway matrix stores exact
-// landmark-to-landmark distances row-major; Infinity where disconnected.
+// # Label storage
+//
+// Labels live in a flat structure-of-arrays CSR layout: vertex v's label
+// occupies positions labelOff[v]..labelOff[v+1] of the two contiguous
+// parallel arrays labelRank and labelDist, sorted by landmark rank within
+// each vertex. There are no per-vertex slice headers to chase and no
+// per-entry decode branch: distances are stored fully decoded as int32,
+// so the query hot path is a branch-light merge over two array ranges.
+// The paper's 8-bit compressed representation (ranks and distances in one
+// byte each, with an escape table for distances ≥ 255) is an on-disk and
+// accounting concept only; see serialize.go and SizeBytes8.
+//
+// The highway matrix stores exact landmark-to-landmark distances
+// row-major; Infinity where disconnected.
 //
 // # Concurrency
 //
 // An Index is immutable once Build/BuildParallel/Read returns: label
-// arrays, the highway matrix and the overflow map are written only
+// arrays, the highway matrix and the landmark arrays are written only
 // during single-threaded assembly and never after (the parallel build
 // workers fill disjoint per-landmark rows, then one goroutine
 // assembles). Every method is therefore safe for unlimited concurrent
 // readers. The one mutable field, the internal searcher pool, is a
-// sync.Pool touched only by the pooled conveniences Distance and Path.
-// Searchers own mutable scratch state: share the Index, never a
+// sync.Pool touched only by the pooled conveniences Distance, UpperBound
+// and Path. Searchers own mutable scratch state: share the Index, never a
 // Searcher.
 type Index struct {
 	g          *graph.Graph
@@ -69,17 +78,12 @@ type Index struct {
 	isLandmark []bool  // len n; the skip mask for Algorithm 2
 	highway    []int32 // k*k, row-major; Infinity = unreachable
 
-	labelOff  []int64
-	labelRank []uint8
-	labelDist []uint8
-	overflow  map[overflowKey]int32
+	// Flat CSR label storage (structure-of-arrays).
+	labelOff  []int64 // len n+1; prefix sums of label sizes
+	labelRank []int32 // len labelOff[n]; landmark ranks, sorted per vertex
+	labelDist []int32 // len labelOff[n]; decoded exact distances
 
-	pool sync.Pool // of *Searcher, for the concurrency-safe Distance
-}
-
-type overflowKey struct {
-	vertex int32
-	rank   uint8
+	pool sync.Pool // of *Searcher, for the concurrency-safe conveniences
 }
 
 // Graph returns the underlying graph.
@@ -105,27 +109,19 @@ func (ix *Index) Highway(r1, r2 int32) int32 {
 	return ix.highway[int(i)*len(ix.landmarks)+int(j)]
 }
 
-// Label returns vertex v's label as parallel slices of landmark ranks and
-// distances, decoded from the compressed store. The result is freshly
-// allocated; prefer the internal iteration helpers on hot paths.
-func (ix *Index) Label(v int32) (ranks []uint8, dists []int32) {
-	lo, hi := ix.labelOff[v], ix.labelOff[v+1]
-	ranks = make([]uint8, 0, hi-lo)
-	dists = make([]int32, 0, hi-lo)
-	for p := lo; p < hi; p++ {
-		ranks = append(ranks, ix.labelRank[p])
-		dists = append(dists, ix.entryDist(v, p))
-	}
-	return ranks, dists
+// Label returns vertex v's label as freshly allocated parallel slices of
+// landmark ranks and distances. Prefer LabelView on hot paths.
+func (ix *Index) Label(v int32) (ranks []int32, dists []int32) {
+	r, d := ix.LabelView(v)
+	return append([]int32(nil), r...), append([]int32(nil), d...)
 }
 
-// entryDist decodes the distance of label entry p of vertex v.
-func (ix *Index) entryDist(v int32, p int64) int32 {
-	d := ix.labelDist[p]
-	if d != distOverflow {
-		return int32(d)
-	}
-	return ix.overflow[overflowKey{v, ix.labelRank[p]}]
+// LabelView returns vertex v's label as zero-copy subslices of the flat
+// CSR arrays, sorted by rank. The slices alias the index: callers must
+// not modify them and must not retain them past the index's lifetime.
+func (ix *Index) LabelView(v int32) (ranks []int32, dists []int32) {
+	lo, hi := ix.labelOff[v], ix.labelOff[v+1]
+	return ix.labelRank[lo:hi], ix.labelDist[lo:hi]
 }
 
 // LabelSize returns |L(v)|, the number of entries in v's label.
@@ -138,6 +134,18 @@ func (ix *Index) LabelSize(v int32) int {
 // the paper (LS in Figure 3).
 func (ix *Index) NumEntries() int64 {
 	return ix.labelOff[len(ix.labelOff)-1]
+}
+
+// numOverflow counts entries whose distance does not fit the 8-bit disk
+// encoding (≥ distOverflow) and therefore needs an overflow record.
+func (ix *Index) numOverflow() int64 {
+	var n int64
+	for _, d := range ix.labelDist {
+		if d >= int32(distOverflow) {
+			n++
+		}
+	}
+	return n
 }
 
 // AvgLabelSize returns the average number of entries per label (Table 2's
@@ -159,22 +167,90 @@ func (ix *Index) SizeBytes32() int64 {
 
 // SizeBytes8 reports the labelling size under the paper's compressed
 // accounting (Table 3's "HL(8)"): 8 bits per landmark id + 8 bits per
-// distance per entry, plus the highway matrix.
+// distance per entry, plus the highway matrix. This is also very nearly
+// the on-disk size of the label sections in both index formats.
 func (ix *Index) SizeBytes8() int64 {
 	return ix.NumEntries()*2 + int64(len(ix.highway))*4
 }
 
 // ActualBytes reports the real in-memory footprint of the index
-// structures (offsets, labels, highway, landmark arrays).
+// structures (offsets, flat label arrays, highway, landmark arrays).
 func (ix *Index) ActualBytes() int64 {
 	return int64(len(ix.labelOff))*8 +
-		int64(len(ix.labelRank)) +
-		int64(len(ix.labelDist)) +
+		int64(len(ix.labelRank))*4 +
+		int64(len(ix.labelDist))*4 +
 		int64(len(ix.highway))*4 +
 		int64(len(ix.landmarks))*4 +
 		int64(len(ix.rankOf))*4 +
-		int64(len(ix.isLandmark)) +
-		int64(len(ix.overflow))*16
+		int64(len(ix.isLandmark))
+}
+
+// FromParts assembles an Index from prebuilt components: the landmark set
+// (by rank), the k×k row-major highway matrix, and per-vertex labels as
+// parallel rank/dist slices (ranks strictly increasing within a vertex).
+// The label data is copied into the flat CSR arrays; the inputs are not
+// retained. It is the conversion point for mutable labellings
+// (internal/dynhl's Freeze) and for tests that construct labellings by
+// hand. Landmark vertices must have empty labels.
+func FromParts(g *graph.Graph, landmarks []int32, highway []int32, ranks, dists [][]int32) (*Index, error) {
+	n := g.NumVertices()
+	k := len(landmarks)
+	if k == 0 || k > MaxLandmarks {
+		return nil, fmt.Errorf("core: FromParts: %d landmarks (want 1..%d)", k, MaxLandmarks)
+	}
+	if len(highway) != k*k {
+		return nil, fmt.Errorf("core: FromParts: highway has %d cells, want %d", len(highway), k*k)
+	}
+	if len(ranks) != n || len(dists) != n {
+		return nil, fmt.Errorf("core: FromParts: labels for %d/%d vertices, graph has %d", len(ranks), len(dists), n)
+	}
+	ix := &Index{
+		g:          g,
+		landmarks:  append([]int32(nil), landmarks...),
+		rankOf:     make([]int32, n),
+		isLandmark: make([]bool, n),
+		highway:    append([]int32(nil), highway...),
+		labelOff:   make([]int64, n+1),
+	}
+	for i := range ix.rankOf {
+		ix.rankOf[i] = -1
+	}
+	for r, v := range landmarks {
+		if err := ix.setLandmark(r, v); err != nil {
+			return nil, err
+		}
+	}
+	var total int64
+	for v := 0; v < n; v++ {
+		if len(ranks[v]) != len(dists[v]) {
+			return nil, fmt.Errorf("core: FromParts: vertex %d has %d ranks but %d dists", v, len(ranks[v]), len(dists[v]))
+		}
+		if ix.isLandmark[int32(v)] && len(ranks[v]) != 0 {
+			return nil, fmt.Errorf("core: FromParts: landmark %d has a label", v)
+		}
+		total += int64(len(ranks[v]))
+		ix.labelOff[v+1] = total
+	}
+	ix.labelRank = make([]int32, total)
+	ix.labelDist = make([]int32, total)
+	for v := 0; v < n; v++ {
+		base := ix.labelOff[v]
+		for i := range ranks[v] {
+			r, d := ranks[v][i], dists[v][i]
+			if r < 0 || int(r) >= k {
+				return nil, fmt.Errorf("core: FromParts: vertex %d rank %d out of range [0,%d)", v, r, k)
+			}
+			if i > 0 && ranks[v][i-1] >= r {
+				return nil, fmt.Errorf("core: FromParts: vertex %d label not strictly rank-sorted", v)
+			}
+			if d < 0 {
+				return nil, fmt.Errorf("core: FromParts: vertex %d rank %d negative distance %d", v, r, d)
+			}
+			ix.labelRank[base+int64(i)] = r
+			ix.labelDist[base+int64(i)] = d
+		}
+	}
+	return ix, nil
 }
 
 // Stats summarizes the index for logs and the bench harness.

@@ -43,11 +43,8 @@ func (sr *Searcher) Path(s, t int32) []int32 {
 
 // Path is the convenience form using a pooled searcher.
 func (ix *Index) Path(s, t int32) []int32 {
-	sr, _ := ix.pool.Get().(*Searcher)
-	if sr == nil {
-		sr = ix.NewSearcher()
-	}
+	sr := ix.pooled()
 	p := sr.Path(s, t)
-	ix.pool.Put(sr)
+	ix.release(sr)
 	return p
 }

@@ -3,25 +3,17 @@ package core
 import "highway/internal/bfs"
 
 // Searcher answers distance queries against an Index. It owns the scratch
-// buffers of the bounded bidirectional search, so it is cheap to query
-// repeatedly but must not be shared between goroutines. Create one per
-// querying goroutine with Index.NewSearcher, or use Index.Distance, which
-// draws searchers from an internal pool.
+// buffers of the bounded bidirectional search and the common-landmark
+// mask, so it is cheap to query repeatedly but must not be shared between
+// goroutines. Create one per querying goroutine with Index.NewSearcher,
+// or use the Index conveniences (Distance, UpperBound, Path), which draw
+// searchers from an internal pool.
 type Searcher struct {
 	ix *Index
 	sc *bfs.Scratch
 	// common marks landmark ranks present in both endpoint labels
 	// (Lemma 5.1 shortcut).
 	common []bool
-	// virtualBuf/entryBuf stage the two endpoint labels; index 0 is the
-	// s side, index 1 the t side.
-	virtualBuf [2]labelEntry
-	entryBuf   [2][]labelEntry
-}
-
-type labelEntry struct {
-	rank int32
-	dist int32
 }
 
 // NewSearcher returns a Searcher bound to the index.
@@ -29,16 +21,25 @@ func (ix *Index) NewSearcher() *Searcher {
 	return &Searcher{ix: ix, sc: bfs.NewScratch(ix.g.NumVertices())}
 }
 
-// Distance returns the exact shortest-path distance between s and t, or
-// Infinity if they are disconnected. It is safe for concurrent use; for
-// tight query loops prefer a dedicated Searcher.
-func (ix *Index) Distance(s, t int32) int32 {
+// pooled draws a searcher from the index's pool, creating one on demand.
+func (ix *Index) pooled() *Searcher {
 	sr, _ := ix.pool.Get().(*Searcher)
 	if sr == nil {
 		sr = ix.NewSearcher()
 	}
+	return sr
+}
+
+// release returns a pooled searcher.
+func (ix *Index) release(sr *Searcher) { ix.pool.Put(sr) }
+
+// Distance returns the exact shortest-path distance between s and t, or
+// Infinity if they are disconnected. It is safe for concurrent use; for
+// tight query loops prefer a dedicated Searcher.
+func (ix *Index) Distance(s, t int32) int32 {
+	sr := ix.pooled()
 	d := sr.Distance(s, t)
-	ix.pool.Put(sr)
+	ix.release(sr)
 	return d
 }
 
@@ -46,10 +47,13 @@ func (ix *Index) Distance(s, t int32) int32 {
 // (Equation 4 with the Lemma 5.1 shortcut), or Infinity when the labels
 // connect s and t through no landmark. UpperBound(s,t) ≥ Distance(s,t)
 // always (Lemma 4.4), with equality iff some shortest path intersects R.
+// It is safe for concurrent use (pooled searcher); for tight loops prefer
+// a dedicated Searcher.
 func (ix *Index) UpperBound(s, t int32) int32 {
-	var sr Searcher
-	sr.ix = ix
-	return sr.UpperBound(s, t)
+	sr := ix.pooled()
+	ub := sr.UpperBound(s, t)
+	ix.release(sr)
+	return ub
 }
 
 // Distance returns the exact distance between s and t (Theorem 4.6):
@@ -76,37 +80,52 @@ func (sr *Searcher) Distance(s, t int32) int32 {
 	return bfs.BoundedBiBFS(ix.g, s, t, bound, ix.isLandmark, sr.sc)
 }
 
-// UpperBound is the searcher-local version of Index.UpperBound.
+// UpperBound is the searcher-local version of Index.UpperBound. It runs
+// entirely on the flat CSR arrays: no label materialization, no per-entry
+// decode — a merge over two sorted rank ranges plus a cross-pair scan of
+// the highway rows.
 func (sr *Searcher) UpperBound(s, t int32) int32 {
 	ix := sr.ix
 	if s == t {
 		return 0
 	}
-	ls := sr.labelOf(s, 0)
-	lt := sr.labelOf(t, 1)
-	if len(ls) == 0 || len(lt) == 0 {
+	rs, rt := ix.rankOf[s], ix.rankOf[t]
+	k := len(ix.landmarks)
+	// Landmark endpoints (Section 4.2's virtual label {(rank,0)}) reduce
+	// to a highway lookup or one pass over the other endpoint's label.
+	switch {
+	case rs >= 0 && rt >= 0:
+		return ix.highway[int(rs)*k+int(rt)]
+	case rs >= 0:
+		return ix.boundVia(rs, t)
+	case rt >= 0:
+		return ix.boundVia(rt, s)
+	}
+	slo, shi := ix.labelOff[s], ix.labelOff[s+1]
+	tlo, thi := ix.labelOff[t], ix.labelOff[t+1]
+	if slo == shi || tlo == thi {
 		return Infinity
 	}
-	k := len(ix.landmarks)
-	best := int32(-1)
-	relax := func(d int32) {
-		if d >= 0 && (best < 0 || d < best) {
-			best = d
-		}
-	}
+	rank, dist := ix.labelRank, ix.labelDist
+	best := Infinity
 	// Pass 1: common landmarks (Lemma 5.1): δL(r,s) + δL(r,t). Labels are
-	// sorted by rank, so a single merge finds them. Landmarks common to
-	// both labels also dominate every cross pair they participate in
-	// (triangle inequality), so pass 2 may skip those pairs entirely.
-	commonS := sr.commonMask(ls, lt)
-	i, j := 0, 0
-	for i < len(ls) && j < len(lt) {
+	// sorted by rank, so a single merge finds them; the same merge fills
+	// the common mask. Landmarks common to both labels also dominate every
+	// cross pair they participate in (triangle inequality), so pass 2 may
+	// skip those pairs entirely.
+	mask := sr.maskBuf(k)
+	i, j := slo, tlo
+	for i < shi && j < thi {
+		ri, rj := rank[i], rank[j]
 		switch {
-		case ls[i].rank == lt[j].rank:
-			relax(ls[i].dist + lt[j].dist)
+		case ri == rj:
+			mask[ri] = true
+			if d := dist[i] + dist[j]; best < 0 || d < best {
+				best = d
+			}
 			i++
 			j++
-		case ls[i].rank < lt[j].rank:
+		case ri < rj:
 			i++
 		default:
 			j++
@@ -114,67 +133,56 @@ func (sr *Searcher) UpperBound(s, t int32) int32 {
 	}
 	// Pass 2: cross pairs through the highway (Equation 4), skipping any
 	// pair whose side is a shared landmark.
-	for _, es := range ls {
-		if commonS[es.rank] {
+	for i := slo; i < shi; i++ {
+		ri := rank[i]
+		if mask[ri] {
 			continue
 		}
-		row := ix.highway[int(es.rank)*k : int(es.rank+1)*k]
-		for _, et := range lt {
-			if commonS[et.rank] {
+		ds := dist[i]
+		row := ix.highway[int(ri)*k : int(ri+1)*k]
+		for j := tlo; j < thi; j++ {
+			rj := rank[j]
+			if mask[rj] {
 				continue
 			}
-			if h := row[et.rank]; h >= 0 {
-				relax(es.dist + h + et.dist)
+			if h := row[rj]; h >= 0 {
+				if d := ds + h + dist[j]; best < 0 || d < best {
+					best = d
+				}
 			}
 		}
 	}
 	return best
 }
 
-// commonMask returns a bitmask (as a bool slice indexed by rank) of
-// landmarks present in both labels. The mask array is kept on the searcher
-// to avoid allocation.
-func (sr *Searcher) commonMask(ls, lt []labelEntry) []bool {
-	k := len(sr.ix.landmarks)
+// boundVia returns the best bound between landmark rank r and non-landmark
+// vertex v: min over v's label entries (re, d) of d + δH(r, re). The
+// re == r case folds in for free since δH(r,r) = 0, so this is one
+// branch-light pass over v's flat label range.
+func (ix *Index) boundVia(r, v int32) int32 {
+	k := len(ix.landmarks)
+	row := ix.highway[int(r)*k : int(r+1)*k]
+	rank, dist := ix.labelRank, ix.labelDist
+	best := Infinity
+	for p := ix.labelOff[v]; p < ix.labelOff[v+1]; p++ {
+		h := row[rank[p]]
+		if h < 0 {
+			continue
+		}
+		if d := h + dist[p]; best < 0 || d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// maskBuf returns the searcher's cleared rank mask, sized to k. The mask
+// lives on the searcher to avoid per-query allocation.
+func (sr *Searcher) maskBuf(k int) []bool {
 	if cap(sr.common) < k {
 		sr.common = make([]bool, k)
 	}
 	mask := sr.common[:k]
 	clear(mask)
-	i, j := 0, 0
-	for i < len(ls) && j < len(lt) {
-		switch {
-		case ls[i].rank == lt[j].rank:
-			mask[ls[i].rank] = true
-			i++
-			j++
-		case ls[i].rank < lt[j].rank:
-			i++
-		default:
-			j++
-		}
-	}
 	return mask
-}
-
-// labelOf materializes v's label as entries sorted by rank. For landmark
-// vertices it returns the virtual label {(rank(v), 0)} of Section 4.2.
-// side selects one of two searcher-owned buffers so both endpoints can be
-// staged simultaneously.
-func (sr *Searcher) labelOf(v int32, side int) []labelEntry {
-	ix := sr.ix
-	if r := ix.rankOf[v]; r >= 0 {
-		sr.virtualBuf[side] = labelEntry{rank: r, dist: 0}
-		return sr.virtualBuf[side : side+1]
-	}
-	lo, hi := ix.labelOff[v], ix.labelOff[v+1]
-	buf := &sr.entryBuf[side]
-	*buf = (*buf)[:0]
-	for p := lo; p < hi; p++ {
-		*buf = append(*buf, labelEntry{
-			rank: int32(ix.labelRank[p]),
-			dist: ix.entryDist(v, p),
-		})
-	}
-	return *buf
 }

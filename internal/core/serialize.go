@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"math/rand"
 	"os"
@@ -12,7 +13,48 @@ import (
 	"highway/internal/graph"
 )
 
-// Index binary format (little-endian):
+// Format identifies an on-disk index layout version.
+type Format int
+
+const (
+	// FormatV1 is the original streaming layout ("HWLIDX01"): header,
+	// landmarks, highway, offsets, 8-bit labels, overflow records, all
+	// concatenated with no checksums. Kept for backward compatibility;
+	// readable and writable forever, no longer the default.
+	FormatV1 Format = 1
+	// FormatV2 is the section-based layout ("HWLIDX02"): a fixed
+	// checksummed header, a section table (id, CRC-32C, length per
+	// section), then one contiguous payload per section so every label
+	// array loads with a single io.ReadFull. Unknown section ids are
+	// skipped on read, giving the format room to grow without breaking
+	// old readers' files. This is the default write format.
+	FormatV2 Format = 2
+)
+
+func (f Format) String() string {
+	switch f {
+	case FormatV1:
+		return "v1"
+	case FormatV2:
+		return "v2"
+	default:
+		return fmt.Sprintf("Format(%d)", int(f))
+	}
+}
+
+// ParseFormat parses a CLI format name ("v1", "v2", "1", "2").
+func ParseFormat(s string) (Format, error) {
+	switch s {
+	case "v1", "1":
+		return FormatV1, nil
+	case "v2", "2":
+		return FormatV2, nil
+	default:
+		return 0, fmt.Errorf("core: unknown index format %q (want v1 or v2)", s)
+	}
+}
+
+// Index binary format v1 (little-endian, "HWLIDX01"):
 //
 //	magic     [8]byte "HWLIDX01"
 //	n         uint64
@@ -21,22 +63,112 @@ import (
 //	highway   [k*k]int32      (-1 = Infinity)
 //	labelOff  [n+1]uint64
 //	labelRank [entries]uint8
-//	labelDist [entries]uint8
+//	labelDist [entries]uint8  (0xFF = see overflow)
 //	nOverflow uint32
-//	overflow  nOverflow × (vertex uint32, rank uint8, dist int32)
+//	overflow  nOverflow × (vertex uint32, rank uint8, dist uint32), CSR order
+//
+// Index binary format v2 (little-endian, "HWLIDX02"):
+//
+//	magic     [8]byte "HWLIDX02"
+//	header    [40]byte: version u32, flags u32, n u64, k u32,
+//	          sections u32, entries u64, nOverflow u64
+//	headerCRC uint32           (CRC-32C of the 40 header bytes)
+//	table     sections × {id u32, crc u32, length u64}
+//	payloads  one per table row, in table order, `length` bytes each
+//
+// v2 section ids and payloads (same element encodings as v1):
+//
+//	1 landmarks  [k]uint32
+//	2 highway    [k*k]int32
+//	3 labelOff   [n+1]uint64
+//	4 labelRank  [entries]uint8
+//	5 labelDist  [entries]uint8
+//	6 overflow   nOverflow × (vertex uint32, rank uint8, dist uint32)
+//
+// Every payload is checksummed with CRC-32C and its length is known from
+// the header before any allocation, so a reader can size buffers exactly,
+// load each label array with one io.ReadFull, and reject corruption.
+// Readers skip table rows with unknown ids, so future sections can be
+// added without revving the magic.
 //
 // The graph itself is not embedded: an index is only meaningful together
 // with the graph it was built on, and callers load/store the graph
-// separately (cmd/hlbuild writes both files side by side). Load verifies
+// separately (cmd/hlbuild writes both files side by side). Read verifies
 // the vertex count matches.
-var indexMagic = [8]byte{'H', 'W', 'L', 'I', 'D', 'X', '0', '1'}
+var (
+	indexMagicV1 = [8]byte{'H', 'W', 'L', 'I', 'D', 'X', '0', '1'}
+	indexMagicV2 = [8]byte{'H', 'W', 'L', 'I', 'D', 'X', '0', '2'}
+)
 
-// Write serializes the index (without the graph).
-func (ix *Index) Write(w io.Writer) error {
+const (
+	sectLandmarks uint32 = 1
+	sectHighway   uint32 = 2
+	sectLabelOff  uint32 = 3
+	sectLabelRank uint32 = 4
+	sectLabelDist uint32 = 5
+	sectOverflow  uint32 = 6
+
+	v2HeaderLen  = 40
+	v2TableRow   = 16
+	v2MaxSection = 64 // fuzz/OOM guard: no sane file needs more
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// overflowRec is one 8-bit-escape record: label entry (rank) of vertex v
+// whose true distance d does not fit a byte.
+type overflowRec struct {
+	v    int32
+	rank uint8
+	d    int32
+}
+
+// encode8 produces the paper's 8-bit compressed label encoding from the
+// flat int32 arrays: one byte per rank, one byte per distance with the
+// distOverflow escape, plus the escaped records in CSR order.
+func (ix *Index) encode8() (rank8, dist8 []uint8, over []overflowRec) {
+	total := ix.NumEntries()
+	rank8 = make([]uint8, total)
+	dist8 = make([]uint8, total)
+	n := int32(ix.g.NumVertices())
+	for v := int32(0); v < n; v++ {
+		for p := ix.labelOff[v]; p < ix.labelOff[v+1]; p++ {
+			rank8[p] = uint8(ix.labelRank[p])
+			if d := ix.labelDist[p]; d < int32(distOverflow) {
+				dist8[p] = uint8(d)
+			} else {
+				dist8[p] = distOverflow
+				over = append(over, overflowRec{v: v, rank: uint8(ix.labelRank[p]), d: d})
+			}
+		}
+	}
+	return rank8, dist8, over
+}
+
+// Write serializes the index (without the graph) in the default format
+// (v2).
+func (ix *Index) Write(w io.Writer) error { return ix.WriteFormat(w, FormatV2) }
+
+// WriteFormat serializes the index in an explicit format. Output is
+// deterministic: the same index always produces identical bytes, which
+// the golden-file test pins down for v2.
+func (ix *Index) WriteFormat(w io.Writer, f Format) error {
+	switch f {
+	case FormatV1:
+		return ix.writeV1(w)
+	case FormatV2:
+		return ix.writeV2(w)
+	default:
+		return fmt.Errorf("core: cannot write unknown format %v", f)
+	}
+}
+
+func (ix *Index) writeV1(w io.Writer) error {
 	bw := bufio.NewWriterSize(w, 1<<20)
-	if _, err := bw.Write(indexMagic[:]); err != nil {
+	if _, err := bw.Write(indexMagicV1[:]); err != nil {
 		return err
 	}
+	rank8, dist8, over := ix.encode8()
 	n := ix.g.NumVertices()
 	k := len(ix.landmarks)
 	var b8 [8]byte
@@ -56,56 +188,160 @@ func (ix *Index) Write(w io.Writer) error {
 		binary.LittleEndian.PutUint64(b8[:], uint64(o))
 		bw.Write(b8[:8])
 	}
-	if _, err := bw.Write(ix.labelRank); err != nil {
+	if _, err := bw.Write(rank8); err != nil {
 		return err
 	}
-	if _, err := bw.Write(ix.labelDist); err != nil {
+	if _, err := bw.Write(dist8); err != nil {
 		return err
 	}
-	binary.LittleEndian.PutUint32(b8[:4], uint32(len(ix.overflow)))
+	binary.LittleEndian.PutUint32(b8[:4], uint32(len(over)))
 	bw.Write(b8[:4])
-	// Deterministic order: iterate labels in CSR order and emit entries
-	// whose stored distance is the overflow marker.
-	for v := int32(0); v < int32(n); v++ {
-		for p := ix.labelOff[v]; p < ix.labelOff[v+1]; p++ {
-			if ix.labelDist[p] != distOverflow {
-				continue
+	for _, o := range over {
+		binary.LittleEndian.PutUint32(b8[:4], uint32(o.v))
+		bw.Write(b8[:4])
+		bw.WriteByte(o.rank)
+		binary.LittleEndian.PutUint32(b8[:4], uint32(o.d))
+		bw.Write(b8[:4])
+	}
+	return bw.Flush()
+}
+
+// v2section couples a section id with an emitter that streams its payload.
+// The emitter runs twice per save: once into the CRC, once into the file,
+// so no section needs to be materialized beyond what encode8 builds.
+type v2section struct {
+	id     uint32
+	length uint64
+	emit   func(w io.Writer) error
+}
+
+func (ix *Index) writeV2(w io.Writer) error {
+	rank8, dist8, over := ix.encode8()
+	n := uint64(ix.g.NumVertices())
+	k := len(ix.landmarks)
+	entries := uint64(ix.NumEntries())
+
+	emitU32s := func(vals []int32) func(io.Writer) error {
+		return func(w io.Writer) error {
+			var b [4]byte
+			for _, v := range vals {
+				binary.LittleEndian.PutUint32(b[:], uint32(v))
+				if _, err := w.Write(b[:]); err != nil {
+					return err
+				}
 			}
-			r := ix.labelRank[p]
-			binary.LittleEndian.PutUint32(b8[:4], uint32(v))
-			bw.Write(b8[:4])
-			bw.WriteByte(r)
-			binary.LittleEndian.PutUint32(b8[:4], uint32(ix.overflow[overflowKey{v, r}]))
-			bw.Write(b8[:4])
+			return nil
+		}
+	}
+	sections := []v2section{
+		{sectLandmarks, uint64(k) * 4, emitU32s(ix.landmarks)},
+		{sectHighway, uint64(len(ix.highway)) * 4, emitU32s(ix.highway)},
+		{sectLabelOff, (n + 1) * 8, func(w io.Writer) error {
+			var b [8]byte
+			for _, o := range ix.labelOff {
+				binary.LittleEndian.PutUint64(b[:], uint64(o))
+				if _, err := w.Write(b[:]); err != nil {
+					return err
+				}
+			}
+			return nil
+		}},
+		{sectLabelRank, entries, func(w io.Writer) error {
+			_, err := w.Write(rank8)
+			return err
+		}},
+		{sectLabelDist, entries, func(w io.Writer) error {
+			_, err := w.Write(dist8)
+			return err
+		}},
+		{sectOverflow, uint64(len(over)) * 9, func(w io.Writer) error {
+			var b [9]byte
+			for _, o := range over {
+				binary.LittleEndian.PutUint32(b[0:4], uint32(o.v))
+				b[4] = o.rank
+				binary.LittleEndian.PutUint32(b[5:9], uint32(o.d))
+				if _, err := w.Write(b[:]); err != nil {
+					return err
+				}
+			}
+			return nil
+		}},
+	}
+
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := bw.Write(indexMagicV2[:]); err != nil {
+		return err
+	}
+	var hdr [v2HeaderLen]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], 2)  // version
+	binary.LittleEndian.PutUint32(hdr[4:8], 0)  // flags
+	binary.LittleEndian.PutUint64(hdr[8:16], n) // n
+	binary.LittleEndian.PutUint32(hdr[16:20], uint32(k))
+	binary.LittleEndian.PutUint32(hdr[20:24], uint32(len(sections)))
+	binary.LittleEndian.PutUint64(hdr[24:32], entries)
+	binary.LittleEndian.PutUint64(hdr[32:40], uint64(len(over)))
+	bw.Write(hdr[:])
+	var b4 [4]byte
+	binary.LittleEndian.PutUint32(b4[:], crc32.Checksum(hdr[:], castagnoli))
+	bw.Write(b4[:])
+
+	// Section table: CRC each payload by streaming it through the hash.
+	var row [v2TableRow]byte
+	for _, s := range sections {
+		h := crc32.New(castagnoli)
+		if err := s.emit(h); err != nil {
+			return err
+		}
+		binary.LittleEndian.PutUint32(row[0:4], s.id)
+		binary.LittleEndian.PutUint32(row[4:8], h.Sum32())
+		binary.LittleEndian.PutUint64(row[8:16], s.length)
+		if _, err := bw.Write(row[:]); err != nil {
+			return err
+		}
+	}
+	for _, s := range sections {
+		if err := s.emit(bw); err != nil {
+			return err
 		}
 	}
 	return bw.Flush()
 }
 
-// Read deserializes an index written by Write and attaches it to g, which
-// must be the graph the index was built on (the vertex count is checked;
-// deeper mismatches surface as wrong distances, which Verify can detect).
+// Read deserializes an index written in either format (the magic selects
+// the decoder) and attaches it to g, which must be the graph the index
+// was built on (the vertex count is checked; deeper mismatches surface as
+// wrong distances, which Verify can detect).
 func Read(r io.Reader, g *graph.Graph) (*Index, error) {
+	ix, _, err := ReadFormat(r, g)
+	return ix, err
+}
+
+// ReadFormat is Read, also reporting which format the stream was in.
+func ReadFormat(r io.Reader, g *graph.Graph) (*Index, Format, error) {
 	br := bufio.NewReaderSize(r, 1<<20)
 	var magic [8]byte
 	if _, err := io.ReadFull(br, magic[:]); err != nil {
-		return nil, fmt.Errorf("core: reading magic: %w", err)
+		return nil, 0, fmt.Errorf("core: reading magic: %w", err)
 	}
-	if magic != indexMagic {
-		return nil, fmt.Errorf("core: bad magic %q (not a HWLIDX01 file)", magic[:])
+	switch magic {
+	case indexMagicV1:
+		ix, err := readV1(br, g)
+		return ix, FormatV1, err
+	case indexMagicV2:
+		ix, err := readV2(br, g)
+		return ix, FormatV2, err
+	default:
+		return nil, 0, fmt.Errorf("core: bad magic %q (not a HWLIDX01/02 file)", magic[:])
 	}
-	var b8 [8]byte
-	if _, err := io.ReadFull(br, b8[:]); err != nil {
-		return nil, err
-	}
-	n := binary.LittleEndian.Uint64(b8[:])
+}
+
+// newIndexShell allocates an index with validated landmark bookkeeping;
+// shared by both decoders. Label arrays are allocated by the caller once
+// the entry count is known and validated.
+func newIndexShell(g *graph.Graph, n uint64, k uint32) (*Index, error) {
 	if int(n) != g.NumVertices() {
 		return nil, fmt.Errorf("core: index built for n=%d, graph has n=%d", n, g.NumVertices())
 	}
-	if _, err := io.ReadFull(br, b8[:4]); err != nil {
-		return nil, err
-	}
-	k := binary.LittleEndian.Uint32(b8[:4])
 	if k == 0 || k > MaxLandmarks {
 		return nil, fmt.Errorf("core: index claims k=%d landmarks", k)
 	}
@@ -116,25 +352,141 @@ func Read(r io.Reader, g *graph.Graph) (*Index, error) {
 		isLandmark: make([]bool, n),
 		highway:    make([]int32, int(k)*int(k)),
 		labelOff:   make([]int64, n+1),
-		overflow:   make(map[overflowKey]int32),
 	}
 	for i := range ix.rankOf {
 		ix.rankOf[i] = -1
+	}
+	return ix, nil
+}
+
+func (ix *Index) setLandmark(rank int, v int32) error {
+	if v < 0 || int(v) >= ix.g.NumVertices() {
+		return fmt.Errorf("core: landmark %d out of range", v)
+	}
+	if ix.rankOf[v] >= 0 {
+		return fmt.Errorf("core: duplicate landmark %d", v)
+	}
+	ix.landmarks[rank] = v
+	ix.rankOf[v] = int32(rank)
+	ix.isLandmark[v] = true
+	return nil
+}
+
+// validateOffsets checks monotonicity and the total entry bound, which
+// caps every later allocation (the anti-OOM guard the fuzz target leans
+// on).
+func (ix *Index) validateOffsets(k uint32) (int64, error) {
+	n := ix.g.NumVertices()
+	entries := ix.labelOff[n]
+	if ix.labelOff[0] != 0 {
+		return 0, fmt.Errorf("core: label offsets do not start at 0")
+	}
+	if entries < 0 || entries > int64(n)*int64(k) {
+		return 0, fmt.Errorf("core: implausible entry count %d", entries)
+	}
+	for v := 0; v < n; v++ {
+		if ix.labelOff[v] > ix.labelOff[v+1] {
+			return 0, fmt.Errorf("core: label offsets not monotone at %d", v)
+		}
+	}
+	return entries, nil
+}
+
+// decodeLabels widens the 8-bit encoding into the flat int32 arrays,
+// splicing overflow records back in. Our writers emit records in CSR
+// order, but any order is accepted (the original v1 reader was
+// order-agnostic, and "v1 stays readable" includes third-party writers);
+// a record for a non-escaped entry or an escaped entry without a record
+// is corruption and rejected.
+func (ix *Index) decodeLabels(rank8, dist8 []uint8, k uint32, over []overflowRec) error {
+	entries := int64(len(rank8))
+	ix.labelRank = make([]int32, entries)
+	ix.labelDist = make([]int32, entries)
+	for p, r := range rank8 {
+		if uint32(r) >= k {
+			return fmt.Errorf("core: label rank %d out of range [0,%d)", r, k)
+		}
+		ix.labelRank[p] = int32(r)
+	}
+	var escapes map[overflowKey]int32
+	if len(over) > 0 {
+		escapes = make(map[overflowKey]int32, len(over))
+		for _, o := range over {
+			key := overflowKey{o.v, o.rank}
+			if _, dup := escapes[key]; dup {
+				return fmt.Errorf("core: duplicate overflow record (v=%d rank=%d)", o.v, o.rank)
+			}
+			escapes[key] = o.d
+		}
+	}
+	used := 0
+	n := int32(ix.g.NumVertices())
+	for v := int32(0); v < n; v++ {
+		for p := ix.labelOff[v]; p < ix.labelOff[v+1]; p++ {
+			d := dist8[p]
+			if d != distOverflow {
+				ix.labelDist[p] = int32(d)
+				continue
+			}
+			full, ok := escapes[overflowKey{v, uint8(ix.labelRank[p])}]
+			if !ok {
+				return fmt.Errorf("core: missing overflow record for vertex %d rank %d", v, ix.labelRank[p])
+			}
+			ix.labelDist[p] = full
+			used++
+		}
+	}
+	if used != len(over) {
+		return fmt.Errorf("core: overflow records do not match escaped entries (%d records, %d uses)", len(over), used)
+	}
+	return nil
+}
+
+// overflowKey identifies one escaped label entry in the 8-bit encoding.
+type overflowKey struct {
+	v    int32
+	rank uint8
+}
+
+func parseOverflowRecs(buf []byte, n uint64, k uint32) ([]overflowRec, error) {
+	if len(buf)%9 != 0 {
+		return nil, fmt.Errorf("core: overflow section length %d not a multiple of 9", len(buf))
+	}
+	recs := make([]overflowRec, len(buf)/9)
+	for i := range recs {
+		rec := buf[i*9 : i*9+9]
+		v := int32(binary.LittleEndian.Uint32(rec[0:4]))
+		rank := rec[4]
+		d := int32(binary.LittleEndian.Uint32(rec[5:9]))
+		if v < 0 || uint64(v) >= n || uint32(rank) >= k || d < int32(distOverflow) {
+			return nil, fmt.Errorf("core: bad overflow record (v=%d rank=%d d=%d)", v, rank, d)
+		}
+		recs[i] = overflowRec{v: v, rank: rank, d: d}
+	}
+	return recs, nil
+}
+
+func readV1(br *bufio.Reader, g *graph.Graph) (*Index, error) {
+	var b8 [8]byte
+	if _, err := io.ReadFull(br, b8[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint64(b8[:])
+	if _, err := io.ReadFull(br, b8[:4]); err != nil {
+		return nil, err
+	}
+	k := binary.LittleEndian.Uint32(b8[:4])
+	ix, err := newIndexShell(g, n, k)
+	if err != nil {
+		return nil, err
 	}
 	for i := range ix.landmarks {
 		if _, err := io.ReadFull(br, b8[:4]); err != nil {
 			return nil, err
 		}
-		v := int32(binary.LittleEndian.Uint32(b8[:4]))
-		if v < 0 || uint64(v) >= n {
-			return nil, fmt.Errorf("core: landmark %d out of range", v)
+		if err := ix.setLandmark(i, int32(binary.LittleEndian.Uint32(b8[:4]))); err != nil {
+			return nil, err
 		}
-		if ix.rankOf[v] >= 0 {
-			return nil, fmt.Errorf("core: duplicate landmark %d", v)
-		}
-		ix.landmarks[i] = v
-		ix.rankOf[v] = int32(i)
-		ix.isLandmark[v] = true
 	}
 	for i := range ix.highway {
 		if _, err := io.ReadFull(br, b8[:4]); err != nil {
@@ -148,69 +500,209 @@ func Read(r io.Reader, g *graph.Graph) (*Index, error) {
 		}
 		ix.labelOff[i] = int64(binary.LittleEndian.Uint64(b8[:]))
 	}
-	entries := ix.labelOff[n]
-	if entries < 0 || entries > int64(n)*int64(k) {
-		return nil, fmt.Errorf("core: implausible entry count %d", entries)
-	}
-	for v := uint64(0); v < n; v++ {
-		if ix.labelOff[v] > ix.labelOff[v+1] {
-			return nil, fmt.Errorf("core: label offsets not monotone at %d", v)
-		}
-	}
-	ix.labelRank = make([]uint8, entries)
-	ix.labelDist = make([]uint8, entries)
-	if _, err := io.ReadFull(br, ix.labelRank); err != nil {
+	entries, err := ix.validateOffsets(k)
+	if err != nil {
 		return nil, err
 	}
-	if _, err := io.ReadFull(br, ix.labelDist); err != nil {
+	rank8 := make([]uint8, entries)
+	dist8 := make([]uint8, entries)
+	if _, err := io.ReadFull(br, rank8); err != nil {
 		return nil, err
 	}
-	for _, r := range ix.labelRank {
-		if uint32(r) >= k {
-			return nil, fmt.Errorf("core: label rank %d out of range [0,%d)", r, k)
-		}
+	if _, err := io.ReadFull(br, dist8); err != nil {
+		return nil, err
 	}
 	if _, err := io.ReadFull(br, b8[:4]); err != nil {
 		return nil, err
 	}
 	nOv := binary.LittleEndian.Uint32(b8[:4])
-	for i := uint32(0); i < nOv; i++ {
-		var rec [9]byte
-		if _, err := io.ReadFull(br, rec[:]); err != nil {
-			return nil, err
-		}
-		v := int32(binary.LittleEndian.Uint32(rec[0:4]))
-		rank := rec[4]
-		d := int32(binary.LittleEndian.Uint32(rec[5:9]))
-		if v < 0 || uint64(v) >= n || uint32(rank) >= k || d < int32(distOverflow) {
-			return nil, fmt.Errorf("core: bad overflow record (v=%d rank=%d d=%d)", v, rank, d)
-		}
-		ix.overflow[overflowKey{v, rank}] = d
+	if int64(nOv) > entries {
+		return nil, fmt.Errorf("core: %d overflow records for %d entries", nOv, entries)
+	}
+	ovBuf := make([]byte, int64(nOv)*9)
+	if _, err := io.ReadFull(br, ovBuf); err != nil {
+		return nil, err
+	}
+	over, err := parseOverflowRecs(ovBuf, n, k)
+	if err != nil {
+		return nil, err
+	}
+	if err := ix.decodeLabels(rank8, dist8, k, over); err != nil {
+		return nil, err
 	}
 	return ix, nil
 }
 
-// Save writes the index to a file.
-func (ix *Index) Save(path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
+func readV2(br *bufio.Reader, g *graph.Graph) (*Index, error) {
+	var hdr [v2HeaderLen]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("core: reading v2 header: %w", err)
 	}
-	if err := ix.Write(f); err != nil {
-		f.Close()
-		return err
+	var b4 [4]byte
+	if _, err := io.ReadFull(br, b4[:]); err != nil {
+		return nil, err
 	}
-	return f.Close()
-}
-
-// Load reads an index file and attaches it to g.
-func Load(path string, g *graph.Graph) (*Index, error) {
-	f, err := os.Open(path)
+	if got, want := crc32.Checksum(hdr[:], castagnoli), binary.LittleEndian.Uint32(b4[:]); got != want {
+		return nil, fmt.Errorf("core: v2 header checksum mismatch (got %08x, want %08x)", got, want)
+	}
+	version := binary.LittleEndian.Uint32(hdr[0:4])
+	flags := binary.LittleEndian.Uint32(hdr[4:8])
+	n := binary.LittleEndian.Uint64(hdr[8:16])
+	k := binary.LittleEndian.Uint32(hdr[16:20])
+	nsect := binary.LittleEndian.Uint32(hdr[20:24])
+	entries := binary.LittleEndian.Uint64(hdr[24:32])
+	nOver := binary.LittleEndian.Uint64(hdr[32:40])
+	if version != 2 {
+		return nil, fmt.Errorf("core: v2 container with unsupported version %d", version)
+	}
+	if flags != 0 {
+		return nil, fmt.Errorf("core: unsupported v2 flags %#x", flags)
+	}
+	if nsect == 0 || nsect > v2MaxSection {
+		return nil, fmt.Errorf("core: implausible section count %d", nsect)
+	}
+	ix, err := newIndexShell(g, n, k)
 	if err != nil {
 		return nil, err
 	}
+	if entries > n*uint64(k) {
+		return nil, fmt.Errorf("core: implausible entry count %d", entries)
+	}
+	if nOver > entries {
+		return nil, fmt.Errorf("core: %d overflow records for %d entries", nOver, entries)
+	}
+
+	// Expected byte length per known section; unknown ids are skipped.
+	expectLen := map[uint32]uint64{
+		sectLandmarks: uint64(k) * 4,
+		sectHighway:   uint64(k) * uint64(k) * 4,
+		sectLabelOff:  (n + 1) * 8,
+		sectLabelRank: entries,
+		sectLabelDist: entries,
+		sectOverflow:  nOver * 9,
+	}
+	type tableRow struct {
+		id     uint32
+		crc    uint32
+		length uint64
+	}
+	rows := make([]tableRow, nsect)
+	seen := make(map[uint32]bool, nsect)
+	var rowBuf [v2TableRow]byte
+	for i := range rows {
+		if _, err := io.ReadFull(br, rowBuf[:]); err != nil {
+			return nil, fmt.Errorf("core: reading section table: %w", err)
+		}
+		r := tableRow{
+			id:     binary.LittleEndian.Uint32(rowBuf[0:4]),
+			crc:    binary.LittleEndian.Uint32(rowBuf[4:8]),
+			length: binary.LittleEndian.Uint64(rowBuf[8:16]),
+		}
+		if want, known := expectLen[r.id]; known {
+			if seen[r.id] {
+				return nil, fmt.Errorf("core: duplicate section %d", r.id)
+			}
+			seen[r.id] = true
+			if r.length != want {
+				return nil, fmt.Errorf("core: section %d has length %d, want %d", r.id, r.length, want)
+			}
+		}
+		rows[i] = r
+	}
+	for id := range expectLen {
+		if !seen[id] {
+			return nil, fmt.Errorf("core: required section %d missing", id)
+		}
+	}
+
+	var rank8, dist8 []uint8
+	var over []overflowRec
+	for _, r := range rows {
+		if _, known := expectLen[r.id]; !known {
+			// Forward compatibility: an unknown section written by a newer
+			// producer is skipped without buffering it.
+			if _, err := io.CopyN(io.Discard, br, int64(r.length)); err != nil {
+				return nil, fmt.Errorf("core: skipping section %d: %w", r.id, err)
+			}
+			continue
+		}
+		buf := make([]byte, r.length)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, fmt.Errorf("core: reading section %d: %w", r.id, err)
+		}
+		if got := crc32.Checksum(buf, castagnoli); got != r.crc {
+			return nil, fmt.Errorf("core: section %d checksum mismatch (got %08x, want %08x)", r.id, got, r.crc)
+		}
+		switch r.id {
+		case sectLandmarks:
+			for i := range ix.landmarks {
+				if err := ix.setLandmark(i, int32(binary.LittleEndian.Uint32(buf[i*4:]))); err != nil {
+					return nil, err
+				}
+			}
+		case sectHighway:
+			for i := range ix.highway {
+				ix.highway[i] = int32(binary.LittleEndian.Uint32(buf[i*4:]))
+			}
+		case sectLabelOff:
+			for i := range ix.labelOff {
+				ix.labelOff[i] = int64(binary.LittleEndian.Uint64(buf[i*8:]))
+			}
+			got, err := ix.validateOffsets(k)
+			if err != nil {
+				return nil, err
+			}
+			if uint64(got) != entries {
+				return nil, fmt.Errorf("core: offsets claim %d entries, header says %d", got, entries)
+			}
+		case sectLabelRank:
+			rank8 = buf
+		case sectLabelDist:
+			dist8 = buf
+		case sectOverflow:
+			over, err = parseOverflowRecs(buf, n, k)
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := ix.decodeLabels(rank8, dist8, k, over); err != nil {
+		return nil, err
+	}
+	return ix, nil
+}
+
+// Save writes the index to a file in the default format (v2).
+func (ix *Index) Save(path string) error { return ix.SaveAs(path, FormatV2) }
+
+// SaveAs writes the index to a file in an explicit format.
+func (ix *Index) SaveAs(path string, f Format) error {
+	file, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := ix.WriteFormat(file, f); err != nil {
+		file.Close()
+		return err
+	}
+	return file.Close()
+}
+
+// Load reads an index file in either format and attaches it to g.
+func Load(path string, g *graph.Graph) (*Index, error) {
+	ix, _, err := LoadFormat(path, g)
+	return ix, err
+}
+
+// LoadFormat is Load, also reporting the file's format (for tooling that
+// surfaces or migrates it).
+func LoadFormat(path string, g *graph.Graph) (*Index, Format, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, err
+	}
 	defer f.Close()
-	return Read(f, g)
+	return ReadFormat(f, g)
 }
 
 // Verify cross-checks the index against ground-truth BFS on sample vertex

@@ -2,10 +2,43 @@ package core
 
 import (
 	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
 	"testing"
 
 	"highway/internal/gen"
 )
+
+// injectUnknownSection rewrites a v2 file to carry one extra section with
+// an id the current reader does not know, appended last in both the table
+// and the payload area, with the header patched and re-checksummed.
+func injectUnknownSection(file []byte, id uint32, payload []byte) ([]byte, error) {
+	const tableStart = 8 + v2HeaderLen + 4
+	if len(file) < tableStart {
+		return nil, fmt.Errorf("file too short (%d bytes)", len(file))
+	}
+	hdr := append([]byte{}, file[8:8+v2HeaderLen]...)
+	nsect := binary.LittleEndian.Uint32(hdr[20:24])
+	binary.LittleEndian.PutUint32(hdr[20:24], nsect+1)
+	tableEnd := tableStart + int(nsect)*v2TableRow
+
+	var out bytes.Buffer
+	out.Write(file[:8])
+	out.Write(hdr)
+	var b4 [4]byte
+	binary.LittleEndian.PutUint32(b4[:], crc32.Checksum(hdr, castagnoli))
+	out.Write(b4[:])
+	out.Write(file[tableStart:tableEnd])
+	var row [v2TableRow]byte
+	binary.LittleEndian.PutUint32(row[0:4], id)
+	binary.LittleEndian.PutUint32(row[4:8], crc32.Checksum(payload, castagnoli))
+	binary.LittleEndian.PutUint64(row[8:16], uint64(len(payload)))
+	out.Write(row[:])
+	out.Write(file[tableEnd:])
+	out.Write(payload)
+	return out.Bytes(), nil
+}
 
 func TestIndexRoundTrip(t *testing.T) {
 	g := gen.BarabasiAlbert(300, 3, 13)
@@ -13,24 +46,59 @@ func TestIndexRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var buf bytes.Buffer
-	if err := ix.Write(&buf); err != nil {
-		t.Fatal(err)
+	for _, f := range []Format{FormatV1, FormatV2} {
+		t.Run(f.String(), func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := ix.WriteFormat(&buf, f); err != nil {
+				t.Fatal(err)
+			}
+			ix2, got, err := ReadFormat(&buf, g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != f {
+				t.Fatalf("ReadFormat reported %v, wrote %v", got, f)
+			}
+			if !indexesIdentical(ix, ix2) {
+				t.Fatal("round trip produced a different index")
+			}
+			for i := range ix.landmarks {
+				if ix.landmarks[i] != ix2.landmarks[i] {
+					t.Fatal("landmarks differ")
+				}
+			}
+			if err := ix2.Verify(200, 1); err != nil {
+				t.Fatal(err)
+			}
+		})
 	}
-	ix2, err := Read(&buf, g)
+}
+
+// TestV1V2SameIndex: both formats must decode to the identical in-memory
+// index, so a v1→v2 migration is lossless by construction.
+func TestV1V2SameIndex(t *testing.T) {
+	g := gen.BarabasiAlbert(200, 3, 7)
+	ix, err := Build(g, g.DegreeOrder()[:9])
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !indexesIdentical(ix, ix2) {
-		t.Fatal("round trip produced a different index")
-	}
-	for i := range ix.landmarks {
-		if ix.landmarks[i] != ix2.landmarks[i] {
-			t.Fatal("landmarks differ")
-		}
-	}
-	if err := ix2.Verify(200, 1); err != nil {
+	var b1, b2 bytes.Buffer
+	if err := ix.WriteFormat(&b1, FormatV1); err != nil {
 		t.Fatal(err)
+	}
+	if err := ix.WriteFormat(&b2, FormatV2); err != nil {
+		t.Fatal(err)
+	}
+	r1, err := Read(&b1, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Read(&b2, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !indexesIdentical(r1, r2) {
+		t.Fatal("v1 and v2 decode to different indexes")
 	}
 }
 
@@ -40,23 +108,27 @@ func TestIndexRoundTripWithOverflow(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(ix.overflow) == 0 {
+	if ix.numOverflow() == 0 {
 		t.Fatal("test premise broken: no overflow entries")
 	}
-	var buf bytes.Buffer
-	if err := ix.Write(&buf); err != nil {
-		t.Fatal(err)
-	}
-	ix2, err := Read(&buf, g)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(ix2.overflow) != len(ix.overflow) {
-		t.Fatalf("overflow table: %d entries, want %d", len(ix2.overflow), len(ix.overflow))
-	}
-	sr := ix2.NewSearcher()
-	if d := sr.Distance(5, 595); d != 590 {
-		t.Fatalf("d(5,595) = %d, want 590", d)
+	for _, f := range []Format{FormatV1, FormatV2} {
+		t.Run(f.String(), func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := ix.WriteFormat(&buf, f); err != nil {
+				t.Fatal(err)
+			}
+			ix2, err := Read(&buf, g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ix2.numOverflow() != ix.numOverflow() {
+				t.Fatalf("overflow entries: %d, want %d", ix2.numOverflow(), ix.numOverflow())
+			}
+			sr := ix2.NewSearcher()
+			if d := sr.Distance(5, 595); d != 590 {
+				t.Fatalf("d(5,595) = %d, want 590", d)
+			}
+		})
 	}
 }
 
@@ -70,12 +142,31 @@ func TestIndexFileRoundTrip(t *testing.T) {
 	if err := ix.Save(path); err != nil {
 		t.Fatal(err)
 	}
-	ix2, err := Load(path, g)
+	ix2, f, err := LoadFormat(path, g)
 	if err != nil {
 		t.Fatal(err)
 	}
+	if f != FormatV2 {
+		t.Fatalf("Save default wrote %v, want v2", f)
+	}
 	if ix2.NumEntries() != 13 {
 		t.Fatalf("entries = %d, want 13", ix2.NumEntries())
+	}
+
+	// Explicit v1 save stays loadable (the compatibility path).
+	v1path := t.TempDir() + "/idx.v1"
+	if err := ix.SaveAs(v1path, FormatV1); err != nil {
+		t.Fatal(err)
+	}
+	ix1, f, err := LoadFormat(v1path, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f != FormatV1 {
+		t.Fatalf("v1 file detected as %v", f)
+	}
+	if !indexesIdentical(ix1, ix2) {
+		t.Fatal("v1 and v2 files decode differently")
 	}
 }
 
@@ -85,29 +176,89 @@ func TestReadRejectsCorruptIndex(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	for _, f := range []Format{FormatV1, FormatV2} {
+		t.Run(f.String(), func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := ix.WriteFormat(&buf, f); err != nil {
+				t.Fatal(err)
+			}
+			good := buf.Bytes()
+
+			// Wrong magic.
+			bad := append([]byte{}, good...)
+			bad[0] = 'X'
+			if _, err := Read(bytes.NewReader(bad), g); err == nil {
+				t.Error("bad magic accepted")
+			}
+			// Wrong graph.
+			if _, err := Read(bytes.NewReader(good), gen.Path(3)); err == nil {
+				t.Error("mismatched graph accepted")
+			}
+			// Truncated stream.
+			if _, err := Read(bytes.NewReader(good[:len(good)-3]), g); err == nil {
+				t.Error("truncated stream accepted")
+			}
+			// Garbage.
+			if _, err := Read(bytes.NewReader([]byte("garbage!")), g); err == nil {
+				t.Error("garbage accepted")
+			}
+		})
+	}
+}
+
+// TestV2ChecksumCatchesBitFlips: any single corrupted payload byte must be
+// rejected by a section CRC (v1 has no such protection — that asymmetry
+// is the point of v2).
+func TestV2ChecksumCatchesBitFlips(t *testing.T) {
+	g := gen.PaperFigure2()
+	ix, err := Build(g, gen.PaperLandmarks())
+	if err != nil {
+		t.Fatal(err)
+	}
 	var buf bytes.Buffer
-	if err := ix.Write(&buf); err != nil {
+	if err := ix.WriteFormat(&buf, FormatV2); err != nil {
 		t.Fatal(err)
 	}
 	good := buf.Bytes()
+	// Flip one bit in every byte position past the magic, one at a time;
+	// each corruption must be rejected (header CRC, table mismatch, or
+	// section CRC).
+	accepted := 0
+	for pos := 8; pos < len(good); pos++ {
+		bad := append([]byte{}, good...)
+		bad[pos] ^= 0x10
+		if _, err := Read(bytes.NewReader(bad), g); err == nil {
+			accepted++
+			t.Logf("bit flip at offset %d accepted", pos)
+		}
+	}
+	if accepted != 0 {
+		t.Fatalf("%d single-byte corruptions accepted", accepted)
+	}
+}
 
-	// Wrong magic.
-	bad := append([]byte{}, good...)
-	bad[0] = 'X'
-	if _, err := Read(bytes.NewReader(bad), g); err == nil {
-		t.Error("bad magic accepted")
+// TestV2SkipsUnknownSections: forward compatibility — a file carrying an
+// extra section with an unknown id must still load.
+func TestV2SkipsUnknownSections(t *testing.T) {
+	g := gen.PaperFigure2()
+	ix, err := Build(g, gen.PaperLandmarks())
+	if err != nil {
+		t.Fatal(err)
 	}
-	// Wrong graph.
-	if _, err := Read(bytes.NewReader(good), gen.Path(3)); err == nil {
-		t.Error("mismatched graph accepted")
+	var buf bytes.Buffer
+	if err := ix.WriteFormat(&buf, FormatV2); err != nil {
+		t.Fatal(err)
 	}
-	// Truncated stream.
-	if _, err := Read(bytes.NewReader(good[:len(good)-3]), g); err == nil {
-		t.Error("truncated stream accepted")
+	withExtra, err := injectUnknownSection(buf.Bytes(), 99, []byte("future payload"))
+	if err != nil {
+		t.Fatal(err)
 	}
-	// Garbage.
-	if _, err := Read(bytes.NewReader([]byte("garbage")), g); err == nil {
-		t.Error("garbage accepted")
+	ix2, err := Read(bytes.NewReader(withExtra), g)
+	if err != nil {
+		t.Fatalf("file with unknown section rejected: %v", err)
+	}
+	if !indexesIdentical(ix, ix2) {
+		t.Fatal("unknown section changed the decoded index")
 	}
 }
 
@@ -120,12 +271,10 @@ func TestVerifyDetectsCorruption(t *testing.T) {
 	if err := ix.Verify(100, 2); err != nil {
 		t.Fatalf("clean index failed verify: %v", err)
 	}
-	// Corrupt one stored distance and expect Verify to notice. Pick an
-	// entry with distance ≥ 1 and add 3 (keeps it a valid upper bound on
-	// nothing — bounds must stay ≥ true distances for detection, and a
-	// too-large entry inflates some exact distance).
+	// Corrupt one stored distance and expect Verify to notice: a too-large
+	// entry inflates some exact distance.
 	for p := range ix.labelDist {
-		if ix.labelDist[p] >= 1 && ix.labelDist[p] < 200 {
+		if ix.labelDist[p] >= 1 {
 			ix.labelDist[p] += 3
 			break
 		}

@@ -105,6 +105,103 @@ func Build(g *graph.Graph, landmarks []int32) (*Index, error) {
 	return ix, nil
 }
 
+// FromCore converts a static core.Index into a mutable dynamic index
+// without re-running a single BFS. The static index's flat CSR label
+// arrays are immutable by contract, so the conversion is an explicit
+// copy-on-write boundary: labels are exploded into per-vertex slices this
+// index owns outright, the per-landmark rows are reconstructed from them,
+// and the adjacency is copied. The source index is never aliased and
+// stays valid.
+func FromCore(src *core.Index) (*Index, error) {
+	g := src.Graph()
+	n := g.NumVertices()
+	lms := src.Landmarks()
+	k := len(lms)
+	if k == 0 {
+		return nil, fmt.Errorf("dynhl: source index has no landmarks")
+	}
+	ix := &Index{
+		n:          n,
+		adj:        make([][]int32, n),
+		landmarks:  append([]int32(nil), lms...),
+		rankOf:     make([]int32, n),
+		isLandmark: make([]bool, n),
+		highway:    make([]int32, k*k),
+		labels:     make([][]entry, n),
+		rows:       make([][]int32, k),
+	}
+	for v := 0; v < n; v++ {
+		nb := g.Neighbors(int32(v))
+		ix.adj[v] = append(make([]int32, 0, len(nb)), nb...)
+	}
+	for i := range ix.rankOf {
+		ix.rankOf[i] = -1
+	}
+	for r, v := range lms {
+		ix.rankOf[v] = int32(r)
+		ix.isLandmark[v] = true
+	}
+	for i, vi := range lms {
+		for j, vj := range lms {
+			ix.highway[i*k+j] = src.Highway(vi, vj)
+		}
+	}
+	for v := int32(0); int(v) < n; v++ {
+		ranks, dists := src.LabelView(v)
+		if len(ranks) == 0 {
+			continue
+		}
+		l := make([]entry, len(ranks))
+		for i := range ranks {
+			l[i] = entry{rank: ranks[i], dist: dists[i]}
+			r := ranks[i]
+			ix.rows[r] = append(ix.rows[r], v)
+		}
+		ix.labels[v] = l
+	}
+	ix.sc = newSearchState(n)
+	return ix, nil
+}
+
+// Freeze materializes the current mutable labelling as an immutable
+// snapshot: a CSR graph of the evolved adjacency plus a core.Index in the
+// flat CSR label layout (the copy-on-write conversion in the other
+// direction). The dynamic index stays usable and future insertions do not
+// affect the snapshot, so a server can keep answering from the frozen
+// index while this one continues absorbing updates.
+func (ix *Index) Freeze() (*graph.Graph, *core.Index, error) {
+	b := graph.NewBuilder(ix.n)
+	for u, nbs := range ix.adj {
+		for _, v := range nbs {
+			if int32(u) < v {
+				b.AddEdge(int32(u), v)
+			}
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		return nil, nil, fmt.Errorf("dynhl: freeze adjacency: %w", err)
+	}
+	ranks := make([][]int32, ix.n)
+	dists := make([][]int32, ix.n)
+	for v, l := range ix.labels {
+		if len(l) == 0 {
+			continue
+		}
+		r := make([]int32, len(l))
+		d := make([]int32, len(l))
+		for i, e := range l {
+			r[i], d[i] = e.rank, e.dist
+		}
+		ranks[v], dists[v] = r, d
+	}
+	frozen, err := core.FromParts(g, ix.landmarks, ix.highway, ranks, dists)
+	if err != nil {
+		return nil, nil, fmt.Errorf("dynhl: freeze labels: %w", err)
+	}
+	return g, frozen, nil
+}
+
 // NumVertices returns n.
 func (ix *Index) NumVertices() int { return ix.n }
 

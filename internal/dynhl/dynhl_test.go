@@ -9,6 +9,7 @@ import (
 	"highway/internal/core"
 	"highway/internal/gen"
 	"highway/internal/graph"
+	"highway/internal/oracle"
 )
 
 // mirror maintains the evolving edge list for ground truth.
@@ -94,7 +95,7 @@ func TestInsertMatchesRebuild(t *testing.T) {
 				t.Fatalf("round %d vertex %d: |L| dyn=%d ref=%d", round, v, len(dl), len(ranks))
 			}
 			for i := range dl {
-				if dl[i].rank != int32(ranks[i]) || dl[i].dist != dists[i] {
+				if dl[i].rank != ranks[i] || dl[i].dist != dists[i] {
 					t.Fatalf("round %d vertex %d entry %d: dyn=(%d,%d) ref=(%d,%d)",
 						round, v, i, dl[i].rank, dl[i].dist, ranks[i], dists[i])
 				}
@@ -104,7 +105,7 @@ func TestInsertMatchesRebuild(t *testing.T) {
 }
 
 // TestInsertQueriesExact checks distances against BFS on the evolving
-// graph after every batch.
+// graph after every batch, through the shared differential harness.
 func TestInsertQueriesExact(t *testing.T) {
 	rng := rand.New(rand.NewSource(11))
 	g := gen.ErdosRenyi(120, 200, 2)
@@ -123,17 +124,117 @@ func TestInsertQueriesExact(t *testing.T) {
 		if err := dyn.InsertEdges(batch); err != nil {
 			t.Fatal(err)
 		}
-		truth := m.graph()
-		for trial := 0; trial < 60; trial++ {
-			s, u := int32(rng.Intn(120)), int32(rng.Intn(120))
-			want := bfs.Dist(truth, s, u)
-			if want == bfs.Unreachable {
-				want = Infinity
-			}
-			if got := dyn.Distance(s, u); got != want {
-				t.Fatalf("round %d: Distance(%d,%d) = %d, want %d", round, s, u, got, want)
+		oracle.CheckSampled(t, m.graph(), dyn, 60, int64(round))
+	}
+}
+
+// TestCornerCaseGraphs runs the dynamic index over the shared corner-case
+// suite (no insertions: the static labelling must already be exact).
+func TestCornerCaseGraphs(t *testing.T) {
+	oracle.CheckCases(t, func(t *testing.T, g *graph.Graph) oracle.Oracle {
+		k := 2
+		if k > g.NumVertices() {
+			k = g.NumVertices()
+		}
+		dyn, err := Build(g, g.DegreeOrder()[:k])
+		if err != nil {
+			t.Fatal(err)
+		}
+		return dyn
+	})
+}
+
+// TestFromCoreMatchesBuild: converting a static index must yield exactly
+// the state a direct dynamic build produces, and insertions afterwards
+// must keep matching from-scratch rebuilds.
+func TestFromCoreMatchesBuild(t *testing.T) {
+	g := gen.BarabasiAlbert(200, 3, 19)
+	lm := g.DegreeOrder()[:8]
+	static, err := core.Build(g, lm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conv, err := FromCore(static)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := Build(g, lm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conv.NumEntries() != direct.NumEntries() {
+		t.Fatalf("entries: converted %d vs direct %d", conv.NumEntries(), direct.NumEntries())
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		a, b := conv.labels[v], direct.labels[v]
+		if len(a) != len(b) {
+			t.Fatalf("vertex %d: |L| converted=%d direct=%d", v, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("vertex %d entry %d: converted=%+v direct=%+v", v, i, a[i], b[i])
 			}
 		}
+	}
+	// The conversion must be a real copy: inserting through the dynamic
+	// index must not disturb the source, and must match a rebuild.
+	m := newMirror(g)
+	rng := rand.New(rand.NewSource(2))
+	for round := 0; round < 6; round++ {
+		a, b := int32(rng.Intn(200)), int32(rng.Intn(200))
+		if err := conv.InsertEdge(a, b); err != nil {
+			t.Fatal(err)
+		}
+		m.insert(a, b)
+	}
+	oracle.CheckSampled(t, m.graph(), conv, 80, 3)
+	if err := static.Verify(100, 4); err != nil {
+		t.Fatalf("source index corrupted by dynamic insertions: %v", err)
+	}
+}
+
+// TestFreezeSnapshot: freezing after insertions yields an immutable
+// core.Index identical to a from-scratch static build on the evolved
+// graph, and later insertions leave the snapshot untouched.
+func TestFreezeSnapshot(t *testing.T) {
+	g := gen.ErdosRenyi(100, 160, 8)
+	lm := g.DegreeOrder()[:6]
+	dyn, err := Build(g, lm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := newMirror(g)
+	rng := rand.New(rand.NewSource(5))
+	for round := 0; round < 10; round++ {
+		a, b := int32(rng.Intn(100)), int32(rng.Intn(100))
+		if err := dyn.InsertEdge(a, b); err != nil {
+			t.Fatal(err)
+		}
+		m.insert(a, b)
+	}
+	fg, frozen, err := dyn.Freeze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := m.graph()
+	if fg.NumEdges() != truth.NumEdges() || fg.NumVertices() != truth.NumVertices() {
+		t.Fatalf("frozen graph n=%d m=%d, want n=%d m=%d",
+			fg.NumVertices(), fg.NumEdges(), truth.NumVertices(), truth.NumEdges())
+	}
+	ref, err := core.Build(truth, lm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frozen.NumEntries() != ref.NumEntries() {
+		t.Fatalf("frozen entries %d, rebuild says %d", frozen.NumEntries(), ref.NumEntries())
+	}
+	oracle.CheckSampled(t, truth, frozen.NewSearcher(), 150, 6)
+	// Mutating on must not leak into the snapshot.
+	if err := dyn.InsertEdge(0, 99); err != nil {
+		t.Fatal(err)
+	}
+	if err := frozen.Verify(100, 7); err != nil {
+		t.Fatalf("snapshot changed by post-freeze insertion: %v", err)
 	}
 }
 

@@ -4,11 +4,11 @@ import (
 	"context"
 	"math/rand"
 	"testing"
-	"testing/quick"
 
 	"highway/internal/bfs"
 	"highway/internal/gen"
 	"highway/internal/graph"
+	"highway/internal/oracle"
 )
 
 func buildOrFail(t *testing.T, g *graph.Graph, k int) *Index {
@@ -24,61 +24,31 @@ func buildOrFail(t *testing.T, g *graph.Graph, k int) *Index {
 	return ix
 }
 
+// TestExactOnSmallGraphs runs FD over the shared corner-case suite across
+// landmark counts.
 func TestExactOnSmallGraphs(t *testing.T) {
-	cases := []struct {
-		name string
-		g    *graph.Graph
-		k    int
-	}{
-		{"figure2", gen.PaperFigure2(), 3},
-		{"path12", gen.Path(12), 2},
-		{"grid4x4", gen.Grid(4, 4), 3},
-		{"star9", gen.Star(9), 1},
-		{"disconnected", graph.MustFromEdges(7, [][2]int32{{0, 1}, {1, 2}, {3, 4}, {5, 6}}), 2},
-	}
-	for _, c := range cases {
-		t.Run(c.name, func(t *testing.T) {
-			ix := buildOrFail(t, c.g, c.k)
-			sr := ix.NewSearcher()
-			n := int32(c.g.NumVertices())
-			for s := int32(0); s < n; s++ {
-				want := bfs.Distances(c.g, s)
-				for u := int32(0); u < n; u++ {
-					w := want[u]
-					if got := sr.Distance(s, u); got != w {
-						t.Fatalf("Distance(%d,%d) = %d, want %d", s, u, got, w)
-					}
-				}
-			}
+	for _, k := range []int{1, 3} {
+		oracle.CheckCases(t, func(t *testing.T, g *graph.Graph) oracle.Oracle {
+			return buildOrFail(t, g, k).NewSearcher()
 		})
 	}
 }
 
+// TestRandomGraphsProperty: FD equals BFS on random graphs of every
+// generator family.
 func TestRandomGraphsProperty(t *testing.T) {
-	f := func(seed int64) bool {
+	oracle.CheckRandom(t, 30, 50, func(seed int64, g *graph.Graph) (oracle.Oracle, error) {
 		rng := rand.New(rand.NewSource(seed))
-		g := gen.BarabasiAlbert(80+rng.Intn(100), 1+rng.Intn(3), seed)
-		ix, err := Build(context.Background(), g, g.DegreeOrder()[:1+rng.Intn(10)])
+		k := 1 + rng.Intn(10)
+		if k > g.NumVertices() {
+			k = g.NumVertices()
+		}
+		ix, err := Build(context.Background(), g, g.DegreeOrder()[:k])
 		if err != nil {
-			return false
+			return nil, err
 		}
-		sr := ix.NewSearcher()
-		for trial := 0; trial < 50; trial++ {
-			s := int32(rng.Intn(g.NumVertices()))
-			u := int32(rng.Intn(g.NumVertices()))
-			want := bfs.Dist(g, s, u)
-			if want == bfs.Unreachable {
-				want = Infinity
-			}
-			if sr.Distance(s, u) != want {
-				return false
-			}
-		}
-		return true
-	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
-		t.Fatal(err)
-	}
+		return ix.NewSearcher(), nil
+	})
 }
 
 func TestUpperBoundIsBound(t *testing.T) {
@@ -141,19 +111,7 @@ func TestInsertEdge(t *testing.T) {
 		if u != v {
 			edges = append(edges, [2]int32{u, v})
 		}
-		truth := graph.MustFromEdges(n, edges)
-		sr := ix.NewSearcher()
-		for trial := 0; trial < 40; trial++ {
-			a := int32(rng.Intn(n))
-			b := int32(rng.Intn(n))
-			want := bfs.Dist(truth, a, b)
-			if want == bfs.Unreachable {
-				want = Infinity
-			}
-			if got := sr.Distance(a, b); got != want {
-				t.Fatalf("after %d inserts: Distance(%d,%d) = %d, want %d", round+1, a, b, got, want)
-			}
-		}
+		oracle.CheckSampled(t, graph.MustFromEdges(n, edges), ix.NewSearcher(), 40, int64(round))
 	}
 }
 

@@ -4,11 +4,11 @@ import (
 	"context"
 	"math/rand"
 	"testing"
-	"testing/quick"
 
 	"highway/internal/bfs"
 	"highway/internal/gen"
 	"highway/internal/graph"
+	"highway/internal/oracle"
 )
 
 func build(t *testing.T, g *graph.Graph, opt Options) *Index {
@@ -22,81 +22,31 @@ func build(t *testing.T, g *graph.Graph, opt Options) *Index {
 
 func checkAllPairs(t *testing.T, g *graph.Graph, ix *Index) {
 	t.Helper()
-	sr := ix.NewSearcher()
-	n := int32(g.NumVertices())
-	for s := int32(0); s < n; s++ {
-		want := bfs.Distances(g, s)
-		for u := int32(0); u < n; u++ {
-			w := want[u]
-			if w == bfs.Unreachable {
-				w = Infinity
-			}
-			if got := sr.Distance(s, u); got != w {
-				t.Fatalf("Distance(%d,%d) = %d, want %d (levels=%d core=%d)",
-					s, u, got, w, ix.levels, ix.NumCore())
-			}
-		}
-	}
+	oracle.CheckAllPairs(t, g, ix.NewSearcher())
 }
 
+// TestExactOnSmallGraphs runs IS-L over the shared corner-case suite
+// across level counts.
 func TestExactOnSmallGraphs(t *testing.T) {
-	cases := []struct {
-		name string
-		g    *graph.Graph
-	}{
-		{"figure2", gen.PaperFigure2()},
-		{"path12", gen.Path(12)},
-		{"cycle11", gen.Cycle(11)},
-		{"star9", gen.Star(9)},
-		{"grid4x4", gen.Grid(4, 4)},
-		{"complete6", gen.Complete(6)},
-		{"disconnected", graph.MustFromEdges(7, [][2]int32{{0, 1}, {1, 2}, {3, 4}, {5, 6}})},
-	}
-	for _, c := range cases {
-		for _, levels := range []int{1, 2, 6} {
-			ix := build(t, c.g, Options{Levels: levels, FillCap: 32})
-			t.Run(c.name, func(t *testing.T) { checkAllPairs(t, c.g, ix) })
-		}
+	for _, levels := range []int{1, 2, 6} {
+		oracle.CheckCases(t, func(t *testing.T, g *graph.Graph) oracle.Oracle {
+			return build(t, g, Options{Levels: levels, FillCap: 32}).NewSearcher()
+		})
 	}
 }
 
 // TestRandomGraphsProperty is the main IS-L correctness property across
 // generator families, level counts and fill caps.
 func TestRandomGraphsProperty(t *testing.T) {
-	f := func(seed int64) bool {
+	oracle.CheckRandom(t, 30, 40, func(seed int64, g *graph.Graph) (oracle.Oracle, error) {
 		rng := rand.New(rand.NewSource(seed))
-		var g *graph.Graph
-		switch rng.Intn(3) {
-		case 0:
-			g = gen.BarabasiAlbert(50+rng.Intn(60), 1+rng.Intn(3), seed)
-		case 1:
-			g = gen.ErdosRenyi(40+rng.Intn(50), int64(60+rng.Intn(140)), seed)
-		default:
-			g = gen.WattsStrogatz(40+rng.Intn(50), 2, 0.3, seed)
-		}
 		opt := Options{Levels: 1 + rng.Intn(7), FillCap: 4 + rng.Intn(40)}
 		ix, err := Build(context.Background(), g, opt)
 		if err != nil {
-			return false
+			return nil, err
 		}
-		sr := ix.NewSearcher()
-		for trial := 0; trial < 40; trial++ {
-			s := int32(rng.Intn(g.NumVertices()))
-			u := int32(rng.Intn(g.NumVertices()))
-			want := bfs.Dist(g, s, u)
-			if want == bfs.Unreachable {
-				want = Infinity
-			}
-			if got := sr.Distance(s, u); got != want {
-				t.Logf("seed=%d opt=%+v s=%d t=%d got=%d want=%d", seed, opt, s, u, got, want)
-				return false
-			}
-		}
-		return true
-	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
-		t.Fatal(err)
-	}
+		return ix.NewSearcher(), nil
+	})
 }
 
 func TestHierarchyShrinksGraph(t *testing.T) {

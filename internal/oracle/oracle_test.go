@@ -1,0 +1,88 @@
+package oracle
+
+import (
+	"strings"
+	"testing"
+
+	"highway/internal/bfs"
+	"highway/internal/gen"
+)
+
+// TestBFSPassesItself: the harness must accept a trivially correct oracle
+// (BFS checked against BFS) on every corner case and random family.
+func TestBFSPassesItself(t *testing.T) {
+	for _, c := range CornerCases() {
+		g := c.Graph
+		o := Func(func(s, u int32) int32 { return bfs.Dist(g, s, u) })
+		if err := Diff(g, o, AllPairs(g.NumVertices())); err != nil {
+			t.Errorf("%s: %v", c.Name, err)
+		}
+	}
+	for seed := int64(0); seed < 6; seed++ {
+		c := RandomCase(seed)
+		g := c.Graph
+		o := Func(func(s, u int32) int32 { return bfs.Dist(g, s, u) })
+		if err := Diff(g, o, SampledPairs(g.NumVertices(), 50, seed)); err != nil {
+			t.Errorf("%s: %v", c.Name, err)
+		}
+	}
+}
+
+// TestDetectsOffByOne: a subtly wrong oracle must be caught.
+func TestDetectsOffByOne(t *testing.T) {
+	g := gen.Path(10)
+	broken := Func(func(s, u int32) int32 {
+		d := bfs.Dist(g, s, u)
+		if d > 3 {
+			d++ // inflate long distances only
+		}
+		return d
+	})
+	err := Diff(g, broken, AllPairs(g.NumVertices()))
+	if err == nil {
+		t.Fatal("off-by-one oracle passed the harness")
+	}
+	if !strings.Contains(err.Error(), "BFS says") {
+		t.Fatalf("unhelpful mismatch message: %v", err)
+	}
+}
+
+// TestDetectsWrongDisconnected: reporting a finite distance across
+// components must be caught.
+func TestDetectsWrongDisconnected(t *testing.T) {
+	var disc Case
+	for _, c := range CornerCases() {
+		if c.Name == "disconnected" {
+			disc = c
+		}
+	}
+	g := disc.Graph
+	broken := Func(func(s, u int32) int32 {
+		d := bfs.Dist(g, s, u)
+		if d == bfs.Unreachable {
+			return 7
+		}
+		return d
+	})
+	if err := Diff(g, broken, AllPairs(g.NumVertices())); err == nil {
+		t.Fatal("oracle inventing paths across components passed")
+	}
+}
+
+// TestDeterministicCases: suites and samplers must be reproducible, since
+// five packages' tests key off them.
+func TestDeterministicCases(t *testing.T) {
+	a, b := RandomCase(3), RandomCase(3)
+	if a.Name != b.Name || a.Graph.NumVertices() != b.Graph.NumVertices() || a.Graph.NumEdges() != b.Graph.NumEdges() {
+		t.Fatal("RandomCase not deterministic per seed")
+	}
+	p, q := SampledPairs(50, 20, 9), SampledPairs(50, 20, 9)
+	for i := range p {
+		if p[i] != q[i] {
+			t.Fatal("SampledPairs not deterministic per seed")
+		}
+	}
+	if n := len(AllPairs(7)); n != 49 {
+		t.Fatalf("AllPairs(7) = %d pairs, want 49", n)
+	}
+}

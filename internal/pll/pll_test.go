@@ -4,11 +4,11 @@ import (
 	"context"
 	"math/rand"
 	"testing"
-	"testing/quick"
 
 	"highway/internal/bfs"
 	"highway/internal/gen"
 	"highway/internal/graph"
+	"highway/internal/oracle"
 )
 
 // TestPaperFigure4 reproduces the paper's Figure 4: on the running-example
@@ -49,76 +49,30 @@ func TestPaperFigure4(t *testing.T) {
 }
 
 // TestFullPLLExact checks the complete index answers every pair exactly on
-// assorted small graphs.
+// the shared corner-case suite.
 func TestFullPLLExact(t *testing.T) {
-	cases := []struct {
-		name string
-		g    *graph.Graph
-	}{
-		{"figure2", gen.PaperFigure2()},
-		{"path12", gen.Path(12)},
-		{"cycle11", gen.Cycle(11)},
-		{"star9", gen.Star(9)},
-		{"grid4x4", gen.Grid(4, 4)},
-		{"complete7", gen.Complete(7)},
-		{"disconnected", graph.MustFromEdges(6, [][2]int32{{0, 1}, {1, 2}, {3, 4}})},
-	}
-	for _, c := range cases {
-		t.Run(c.name, func(t *testing.T) {
-			ix, err := Build(context.Background(), c.g)
-			if err != nil {
-				t.Fatal(err)
-			}
-			if !ix.Full() {
-				t.Fatal("full build not marked full")
-			}
-			n := int32(c.g.NumVertices())
-			for s := int32(0); s < n; s++ {
-				want := bfs.Distances(c.g, s)
-				for u := int32(0); u < n; u++ {
-					w := want[u]
-					if w == bfs.Unreachable {
-						w = Infinity
-					}
-					if got := ix.Distance(s, u); got != w {
-						t.Fatalf("Distance(%d,%d) = %d, want %d", s, u, got, w)
-					}
-				}
-			}
-		})
-	}
-}
-
-// TestRandomGraphsProperty: full PLL equals BFS on random graphs.
-func TestRandomGraphsProperty(t *testing.T) {
-	f := func(seed int64) bool {
-		rng := rand.New(rand.NewSource(seed))
-		var g *graph.Graph
-		if seed%2 == 0 {
-			g = gen.BarabasiAlbert(60+rng.Intn(60), 1+rng.Intn(3), seed)
-		} else {
-			g = gen.ErdosRenyi(50+rng.Intn(50), int64(80+rng.Intn(160)), seed)
-		}
+	oracle.CheckCases(t, func(t *testing.T, g *graph.Graph) oracle.Oracle {
 		ix, err := Build(context.Background(), g)
 		if err != nil {
-			return false
+			t.Fatal(err)
 		}
-		for trial := 0; trial < 50; trial++ {
-			s := int32(rng.Intn(g.NumVertices()))
-			u := int32(rng.Intn(g.NumVertices()))
-			want := bfs.Dist(g, s, u)
-			if want == bfs.Unreachable {
-				want = Infinity
-			}
-			if ix.Distance(s, u) != want {
-				return false
-			}
+		if !ix.Full() {
+			t.Fatal("full build not marked full")
 		}
-		return true
-	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
-		t.Fatal(err)
-	}
+		return oracle.Func(ix.Distance)
+	})
+}
+
+// TestRandomGraphsProperty: full PLL equals BFS on random graphs of every
+// generator family.
+func TestRandomGraphsProperty(t *testing.T) {
+	oracle.CheckRandom(t, 25, 50, func(seed int64, g *graph.Graph) (oracle.Oracle, error) {
+		ix, err := Build(context.Background(), g)
+		if err != nil {
+			return nil, err
+		}
+		return oracle.Func(ix.Distance), nil
+	})
 }
 
 // TestPartialIndexIsUpperBound: with a subset of roots, Distance is an
