@@ -114,6 +114,49 @@ func BenchmarkTable2BuildISL(b *testing.B) {
 	}
 }
 
+// --- Construction: direction-optimizing engine (BENCH_BUILD.json) ------------
+
+// BenchmarkBuildDirection measures construction per traversal direction
+// on the Skitter stand-in (k=20): topdown is the pre-engine reference,
+// dopt the direction-optimizing default. BENCH_BUILD.json records the
+// medians.
+func BenchmarkBuildDirection(b *testing.B) {
+	g, lm, _ := fixtures(b)
+	for _, c := range []struct {
+		name string
+		opt  highway.BuildOptions
+	}{
+		{"HL/topdown", highway.BuildOptions{Workers: 1, Direction: highway.DirectionTopDown}},
+		{"HL/dopt", highway.BuildOptions{Workers: 1, Direction: highway.DirectionAuto}},
+		{"HLP/topdown", highway.BuildOptions{Workers: 0, Direction: highway.DirectionTopDown}},
+		{"HLP/dopt", highway.BuildOptions{Workers: 0, Direction: highway.DirectionAuto}},
+	} {
+		b.Run(c.name, func(b *testing.B) {
+			var tr highway.TraversalStats
+			for i := 0; i < b.N; i++ {
+				ix, err := highway.BuildIndexOpts(context.Background(), g, lm, c.opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				tr = ix.BuildStats().Traversal
+			}
+			b.ReportMetric(float64(tr.EdgesScanned()), "edges-scanned")
+			b.ReportMetric(float64(tr.BottomUpLevels), "bu-levels")
+		})
+	}
+}
+
+// BenchmarkBuildOracleBFS measures the pooled ground-truth BFS the
+// oracle harness and landmark selection run many times per test.
+func BenchmarkBuildOracleBFS(b *testing.B) {
+	g, _, _ := fixtures(b)
+	var dist []int32
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dist = highway.DistancesFrom(g, int32(i%g.NumVertices()), dist)
+	}
+}
+
 // --- Table 2: query time ----------------------------------------------------
 
 func BenchmarkTable2QueryHL(b *testing.B) {

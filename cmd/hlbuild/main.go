@@ -5,8 +5,14 @@
 //
 //	hlbuild -graph web.hwg -k 20 -out web.idx
 //	hlbuild -graph edges.txt -k 40 -strategy degree -workers 8 -verify 1000
+//	hlbuild -graph web.hwg -k 20 -progress           (log per-landmark BFS completion)
+//	hlbuild -graph web.hwg -k 20 -direction topdown  (disable direction optimization)
 //	hlbuild -graph web.hwg -k 20 -format v1          (old on-disk format)
 //	hlbuild migrate -graph web.hwg -in web.idx -out web.idx.v2
+//
+// After a build, hlbuild reports wall time, worker count and the
+// traversal-direction statistics of the direction-optimizing engine
+// (top-down vs bottom-up levels, edges scanned per direction).
 //
 // The migrate subcommand rewrites an existing index file (either format)
 // into the target format — by default the current one (v2, checksummed
@@ -46,11 +52,17 @@ func run(args []string) error {
 		verify    = fs.Int("verify", 0, "cross-check this many random pairs against BFS after building")
 		timeout   = fs.Duration("timeout", 0, "abort construction after this duration (0 = none)")
 		format    = fs.String("format", "v2", "index file format: v2 (checksummed sections) | v1 (legacy)")
+		direction = fs.String("direction", "auto", "pruned-BFS traversal: auto (direction-optimizing) | topdown | bottomup")
+		progress  = fs.Bool("progress", false, "log one line per completed landmark BFS to stderr")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	f, err := highway.ParseIndexFormat(*format)
+	if err != nil {
+		return err
+	}
+	dir, err := parseDirection(*direction)
 	if err != nil {
 		return err
 	}
@@ -73,12 +85,23 @@ func run(args []string) error {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
+	opts := highway.BuildOptions{Workers: *workers, Direction: dir}
+	if *progress {
+		opts.Progress = func(done, total int) {
+			fmt.Fprintf(os.Stderr, "hlbuild: landmark BFS %d/%d done\n", done, total)
+		}
+	}
 	start := time.Now()
-	ix, err := highway.BuildIndexOpts(ctx, g, lm, highway.BuildOptions{Workers: *workers})
+	ix, err := highway.BuildIndexOpts(ctx, g, lm, opts)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("built in %s: %s\n", time.Since(start).Round(time.Millisecond), ix.Stats())
+	bs := ix.BuildStats()
+	tr := bs.Traversal
+	fmt.Printf("workers=%d levels=%d (top-down %d, bottom-up %d) edges scanned=%d (top-down %d, bottom-up %d)\n",
+		bs.Workers, tr.Levels(), tr.TopDownLevels, tr.BottomUpLevels,
+		tr.EdgesScanned(), tr.EdgesTopDown, tr.EdgesBottomUp)
 
 	if *verify > 0 {
 		if err := ix.Verify(*verify, *seed); err != nil {
@@ -141,6 +164,19 @@ func runMigrate(args []string) error {
 	}
 	fmt.Printf("wrote %s (format %s)\n", dest, target)
 	return nil
+}
+
+// parseDirection maps the -direction flag to a build direction.
+func parseDirection(s string) (highway.BuildDirection, error) {
+	switch s {
+	case "auto", "":
+		return highway.DirectionAuto, nil
+	case "topdown":
+		return highway.DirectionTopDown, nil
+	case "bottomup":
+		return highway.DirectionBottomUp, nil
+	}
+	return 0, fmt.Errorf("unknown -direction %q (want auto | topdown | bottomup)", s)
 }
 
 // loadGraph auto-detects the binary format by extension, falling back to

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"os"
 	"path/filepath"
 	"testing"
@@ -162,5 +163,30 @@ func TestRunBuildErrors(t *testing.T) {
 	}
 	if err := run([]string{"-graph", gp, "-format", "v9"}); err == nil {
 		t.Error("unknown format accepted")
+	}
+	if err := run([]string{"-graph", gp, "-direction", "sideways"}); err == nil {
+		t.Error("unknown direction accepted")
+	}
+}
+
+// TestRunBuildDirections builds the same graph with every -direction and
+// -progress enabled; the index files must be byte-identical.
+func TestRunBuildDirections(t *testing.T) {
+	gp := writeGraph(t)
+	var want []byte
+	for _, dir := range []string{"auto", "topdown", "bottomup"} {
+		out := filepath.Join(t.TempDir(), dir+".idx")
+		if err := run([]string{"-graph", gp, "-k", "8", "-direction", dir, "-progress", "-out", out}); err != nil {
+			t.Fatalf("direction %s: %v", dir, err)
+		}
+		raw, err := os.ReadFile(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want == nil {
+			want = raw
+		} else if !bytes.Equal(want, raw) {
+			t.Fatalf("direction %s wrote different index bytes", dir)
+		}
 	}
 }

@@ -41,6 +41,7 @@ import (
 	"context"
 	"io"
 
+	"highway/internal/bfs"
 	"highway/internal/core"
 	"highway/internal/dynhl"
 	"highway/internal/fd"
@@ -69,8 +70,32 @@ type Index = core.Index
 // create one per goroutine with Index.NewSearcher.
 type Searcher = core.Searcher
 
-// BuildOptions controls index construction (worker count).
+// BuildOptions controls index construction (worker count, traversal
+// direction, progress reporting).
 type BuildOptions = core.Options
+
+// BuildDirection selects how pruned-BFS levels are expanded during
+// construction: the direction-optimizing hybrid (default), forced
+// top-down, or forced bottom-up. Every direction produces a
+// byte-identical index; this is a performance/diagnostic knob.
+type BuildDirection = core.Direction
+
+const (
+	// DirectionAuto switches top-down/bottom-up per level (the default).
+	DirectionAuto = core.DirectionAuto
+	// DirectionTopDown forces the classic top-down expansion.
+	DirectionTopDown = core.DirectionTopDown
+	// DirectionBottomUp forces bottom-up expansion (diagnostic).
+	DirectionBottomUp = core.DirectionBottomUp
+)
+
+// BuildStats describes how an index was constructed: worker count and
+// per-direction traversal work. Available via Index.BuildStats.
+type BuildStats = core.BuildStats
+
+// TraversalStats counts top-down vs bottom-up levels and edges scanned
+// by the traversal engine.
+type TraversalStats = bfs.TraversalStats
 
 // IndexStats summarizes an Index (entry counts, sizes).
 type IndexStats = core.Stats
@@ -203,6 +228,15 @@ func WriteIndex(ix *Index, w io.Writer, f IndexFormat) error { return ix.WriteFo
 
 // ReadIndex reads a serialized index from a stream and attaches it to g.
 func ReadIndex(r io.Reader, g *Graph) (*Index, error) { return core.Read(r, g) }
+
+// DistancesFrom returns the BFS distance from src to every vertex of g
+// (-1 where unreachable), writing into buf (grown as needed) and
+// returning it. It runs on the direction-optimizing traversal engine
+// with pooled scratch: passing the previous result back as buf makes
+// repeated sweeps allocation-free.
+func DistancesFrom(g *Graph, src int32, buf []int32) []int32 {
+	return bfs.DistancesReuse(g, src, buf)
+}
 
 // RandomPairs samples count (s,t) pairs uniformly from V×V; use for
 // benchmarking query latency the way the paper does (100,000 pairs).

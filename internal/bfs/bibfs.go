@@ -5,11 +5,13 @@ package bfs
 // most its capacity of vertices; it is not safe for concurrent use.
 //
 // Visited sides are tracked with epoch-stamped arrays so that resetting a
-// search costs O(1) instead of O(n).
+// search costs O(1) instead of O(n); the frontier bitmap of bottom-up
+// levels is kept clean by unsetting exactly the frontier's bits.
 type Scratch struct {
 	markS, markT []uint64 // epoch when vertex joined the s- or t-side
 	epoch        uint64
 	qs, qt, qn   []int32
+	fbits        Bitset // frontier bitmap for bottom-up levels
 }
 
 // NewScratch returns a Scratch for graphs with up to n vertices.
@@ -21,6 +23,7 @@ func NewScratch(n int) *Scratch {
 		qs:    make([]int32, 0, 1024),
 		qt:    make([]int32, 0, 1024),
 		qn:    make([]int32, 0, 1024),
+		fbits: NewBitset(n),
 	}
 }
 
@@ -31,6 +34,7 @@ func (s *Scratch) grow(n int) {
 		s.markT = make([]uint64, n)
 		s.epoch = 0
 	}
+	s.fbits = s.fbits.grown(n)
 }
 
 // NoBound disables the distance bound of BoundedBiBFS, turning it into the
@@ -58,7 +62,17 @@ func BiBFS[G Adjacency](g G, s, t int32, sc *Scratch) int32 {
 // was hit first, and Unreachable if the frontiers die out before the bound
 // is reached (only possible when bound is NoBound or the sparsified graph
 // is disconnected).
+//
+// On CSR graphs, levels whose frontier saturates the sparsified graph —
+// possible exactly when the bound is loose or absent — expand bottom-up.
 func BoundedBiBFS[G Adjacency](g G, s, t int32, bound int32, skip []bool, sc *Scratch) int32 {
+	return BoundedBiBFSDir(g, s, t, bound, skip, sc, DirectionAuto)
+}
+
+// BoundedBiBFSDir is BoundedBiBFS with an explicit traversal direction
+// (see Direction); the forced directions exist for differential testing.
+// Graphs without CSR access always expand top-down.
+func BoundedBiBFSDir[G Adjacency](g G, s, t int32, bound int32, skip []bool, sc *Scratch, dir Direction) int32 {
 	if s == t {
 		return 0
 	}
@@ -73,8 +87,25 @@ func BoundedBiBFS[G Adjacency](g G, s, t int32, bound int32, skip []bool, sc *Sc
 		clear(sc.markT)
 		sc.epoch = 1
 	}
-	epoch := sc.epoch
+	if off, tgt, ok := csrOf(g); ok {
+		return biBFSCSR(off, tgt, s, t, bound, skip, sc, dir)
+	}
+	return biBFSGeneric(g, s, t, bound, skip, sc)
+}
 
+// biBFSCSR is the direction-optimizing bidirectional search over flat
+// CSR arrays. Unlike the single-source engine, the direction decision is
+// frontier-*size* based: top-down expansions here usually exit early at
+// the meet, so neither a pre-level degree-sum pass nor per-visit edge
+// accounting pays for itself. A side goes bottom-up only once its
+// frontier holds more than 1/biBFSFrac of all vertices — i.e. when it
+// saturates the (sparsified) graph, which is when no quick meet is
+// coming and scanning the unvisited remainder is cheaper than pushing
+// the frontier's edges.
+func biBFSCSR(off []int64, tgt []int32, s, t int32, bound int32, skip []bool, sc *Scratch, dir Direction) int32 {
+	const biBFSFrac = 4
+	epoch := sc.epoch
+	n := len(off) - 1
 	qs := append(sc.qs[:0], s)
 	qt := append(sc.qt[:0], t)
 	spare := sc.qn[:0]
@@ -101,22 +132,54 @@ func BoundedBiBFS[G Adjacency](g G, s, t int32, bound int32, skip []bool, sc *Sc
 		} else {
 			frontier, mine, his = &qt, sc.markT, sc.markS
 		}
+		bottomUp := dir == DirectionBottomUp ||
+			(dir == DirectionAuto && len(*frontier) > n/biBFSFrac)
+
 		next := spare[:0]
-		for _, u := range *frontier {
-			for _, v := range g.Neighbors(u) {
-				if skip != nil && skip[v] {
+		if bottomUp {
+			fb := sc.fbits
+			fb.SetList(*frontier)
+			meet := int32(-1)
+		scan:
+			for v := 0; v < n; v++ {
+				vv := int32(v)
+				if mine[vv] == epoch || (skip != nil && skip[vv]) {
 					continue
 				}
-				if mine[v] == epoch {
-					continue
+				for _, u := range tgt[off[v]:off[v+1]] {
+					if fb.Get(u) {
+						if his[vv] == epoch {
+							// Frontiers meet: ds + 1 + dt is the shortest
+							// sparsified path (Algorithm 2 line 10).
+							meet = ds + 1 + dt
+							break scan
+						}
+						mine[vv] = epoch
+						next = append(next, vv)
+						break
+					}
 				}
-				if his[v] == epoch {
-					// Frontiers meet: ds + 1 + dt is the shortest
-					// sparsified path (Algorithm 2 line 10).
-					return ds + 1 + dt
+			}
+			fb.UnsetList(*frontier)
+			if meet >= 0 {
+				return meet
+			}
+		} else {
+			for _, u := range *frontier {
+				for _, v := range tgt[off[u]:off[u+1]] {
+					if skip != nil && skip[v] {
+						continue
+					}
+					if mine[v] == epoch {
+						continue
+					}
+					if his[v] == epoch {
+						// Frontiers meet (Algorithm 2 line 10).
+						return ds + 1 + dt
+					}
+					mine[v] = epoch
+					next = append(next, v)
 				}
-				mine[v] = epoch
-				next = append(next, v)
 			}
 		}
 		spare = *frontier // recycle the old frontier buffer
@@ -132,6 +195,67 @@ func BoundedBiBFS[G Adjacency](g G, s, t int32, bound int32, skip []bool, sc *Sc
 	if bound != NoBound {
 		// Frontier exhausted below the bound: every s-t path in the
 		// sparsified graph is longer than bound, so the bound is the answer.
+		return bound
+	}
+	return Unreachable
+}
+
+// biBFSGeneric is the top-down search over method-dispatch adjacency
+// (dynamic overlay graphs). The caller has already bumped the epoch and
+// handled the trivial cases.
+func biBFSGeneric[G Adjacency](g G, s, t int32, bound int32, skip []bool, sc *Scratch) int32 {
+	epoch := sc.epoch
+	qs := append(sc.qs[:0], s)
+	qt := append(sc.qt[:0], t)
+	spare := sc.qn[:0]
+	defer func() { sc.qs, sc.qt, sc.qn = qs, qt, spare }()
+	sc.markS[s] = epoch
+	sc.markT[t] = epoch
+	ds, dt := int32(0), int32(0)
+	sizeS, sizeT := 1, 1
+
+	for len(qs) > 0 && len(qt) > 0 {
+		if ds+dt >= bound {
+			return bound
+		}
+		var (
+			frontier  *[]int32
+			mine, his []uint64
+		)
+		forward := sizeS <= sizeT
+		if forward {
+			frontier, mine, his = &qs, sc.markS, sc.markT
+		} else {
+			frontier, mine, his = &qt, sc.markT, sc.markS
+		}
+		next := spare[:0]
+		for _, u := range *frontier {
+			for _, v := range g.Neighbors(u) {
+				if skip != nil && skip[v] {
+					continue
+				}
+				if mine[v] == epoch {
+					continue
+				}
+				if his[v] == epoch {
+					// Frontiers meet (Algorithm 2 line 10).
+					return ds + 1 + dt
+				}
+				mine[v] = epoch
+				next = append(next, v)
+			}
+		}
+		spare = *frontier
+		*frontier = next
+		if forward {
+			ds++
+			sizeS += len(next)
+		} else {
+			dt++
+			sizeT += len(next)
+		}
+	}
+	if bound != NoBound {
 		return bound
 	}
 	return Unreachable

@@ -1,0 +1,91 @@
+package bfs
+
+import "math/bits"
+
+// Bitset is a fixed-capacity bitmap over vertex ids, the frontier
+// representation of the bottom-up traversal direction: membership tests
+// are one shift and one AND over a cache-resident word array, which is
+// what makes scanning the neighbor ranges of every unvisited vertex
+// against the frontier cheaper than pushing a huge frontier's edges.
+type Bitset []uint64
+
+// NewBitset returns a Bitset able to hold vertex ids in [0, n).
+func NewBitset(n int) Bitset { return make(Bitset, (n+63)/64) }
+
+// grown returns b if it already holds n vertices, else a fresh zeroed
+// Bitset that does.
+func (b Bitset) grown(n int) Bitset {
+	if len(b)*64 >= n {
+		return b
+	}
+	return NewBitset(n)
+}
+
+// Set marks vertex i.
+func (b Bitset) Set(i int32) { b[uint32(i)>>6] |= 1 << (uint32(i) & 63) }
+
+// Unset clears vertex i.
+func (b Bitset) Unset(i int32) { b[uint32(i)>>6] &^= 1 << (uint32(i) & 63) }
+
+// Get reports whether vertex i is marked.
+func (b Bitset) Get(i int32) bool { return b[uint32(i)>>6]&(1<<(uint32(i)&63)) != 0 }
+
+// SetList marks every vertex in list.
+func (b Bitset) SetList(list []int32) {
+	for _, v := range list {
+		b.Set(v)
+	}
+}
+
+// UnsetList clears every vertex in list. Clearing by list is O(|list|)
+// instead of O(n/64), which keeps per-level bitmap maintenance
+// proportional to the frontier rather than the graph.
+func (b Bitset) UnsetList(list []int32) {
+	for _, v := range list {
+		b.Unset(v)
+	}
+}
+
+// FillOnes marks every vertex in [0, n) and clears any slack bits at or
+// beyond n, so word-level iteration never yields a phantom vertex. It is
+// how the unvisited set of a bottom-up search is initialized: scanning
+// "all vertices not yet visited" then skips fully-visited regions 64
+// vertices at a time.
+func (b Bitset) FillOnes(n int) {
+	full := n >> 6
+	for i := 0; i < full && i < len(b); i++ {
+		b[i] = ^uint64(0)
+	}
+	for i := full; i < len(b); i++ {
+		b[i] = 0
+	}
+	if rem := n & 63; rem != 0 && full < len(b) {
+		b[full] = 1<<rem - 1
+	}
+}
+
+// Absorb ORs o into b and clears o, in one pass over the words. It is
+// the per-level commit of a bottom-up sweep: vertices claimed during the
+// sweep accumulate in a "next" bitmap (so the sweep never probes them as
+// parents) and are merged into the persistent membership bitmap only
+// once the level is complete. Both bitsets must have the same length.
+func (b Bitset) Absorb(o Bitset) {
+	for i, w := range o {
+		if w != 0 {
+			b[i] |= w
+			o[i] = 0
+		}
+	}
+}
+
+// Count returns the number of marked vertices.
+func (b Bitset) Count() int {
+	c := 0
+	for _, w := range b {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// ClearAll unmarks every vertex.
+func (b Bitset) ClearAll() { clear(b) }

@@ -1,0 +1,244 @@
+// Differential tests of the direction-optimizing engine: every traversal
+// direction must agree with the naive top-down reference on the oracle
+// harness's corner-case and seeded-random graph families. The tests live
+// in package bfs_test so they can use internal/oracle (which itself
+// imports bfs for ground truth).
+package bfs_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"highway/internal/bfs"
+	"highway/internal/gen"
+	"highway/internal/graph"
+	"highway/internal/oracle"
+)
+
+// checkDistancesAgree runs a full BFS from every vertex in all three
+// directions and fails on the first disagreement with the top-down
+// reference.
+func checkDistancesAgree(t testing.TB, name string, g *graph.Graph) {
+	t.Helper()
+	n := g.NumVertices()
+	want := make([]int32, n)
+	got := make([]int32, n)
+	for s := int32(0); int(s) < n; s++ {
+		fill(want)
+		wantReached := bfs.DistancesIntoDir(g, s, want, bfs.DirectionTopDown, nil)
+		for _, dc := range []struct {
+			dn  string
+			dir bfs.Direction
+		}{{"auto", bfs.DirectionAuto}, {"bottomup", bfs.DirectionBottomUp}} {
+			fill(got)
+			reached := bfs.DistancesIntoDir(g, s, got, dc.dir, nil)
+			if reached != wantReached {
+				t.Fatalf("%s: src %d: %s reached %d vertices, top-down %d", name, s, dc.dn, reached, wantReached)
+			}
+			for v := 0; v < n; v++ {
+				if got[v] != want[v] {
+					t.Fatalf("%s: src %d: %s dist[%d] = %d, top-down says %d", name, s, dc.dn, v, got[v], want[v])
+				}
+			}
+		}
+	}
+}
+
+func fill(dist []int32) {
+	for i := range dist {
+		dist[i] = bfs.Unreachable
+	}
+}
+
+// TestDirectionsAgreeCornerCases cross-checks the engine on the oracle
+// harness's corner-case suite (paths, cycles, stars, grids, complete,
+// the paper's running example, disconnected graphs).
+func TestDirectionsAgreeCornerCases(t *testing.T) {
+	for _, c := range oracle.CornerCases() {
+		t.Run(c.Name, func(t *testing.T) {
+			checkDistancesAgree(t, c.Name, c.Graph)
+		})
+	}
+}
+
+// TestDirectionsAgreeRandom cross-checks the engine on the seeded random
+// generator families of the oracle harness.
+func TestDirectionsAgreeRandom(t *testing.T) {
+	for seed := int64(0); seed < 12; seed++ {
+		c := oracle.RandomCase(seed)
+		t.Run(c.Name, func(t *testing.T) {
+			checkDistancesAgree(t, c.Name, c.Graph)
+		})
+	}
+}
+
+// TestAutoTriggersBottomUp pins that the α/β heuristics actually fire on
+// a skewed-degree graph: an auto BFS from a hub of a dense BA graph must
+// expand at least one level bottom-up, and still agree with top-down
+// (agreement is covered above; here we check the stats).
+func TestAutoTriggersBottomUp(t *testing.T) {
+	g := gen.BarabasiAlbert(4000, 8, 77)
+	_, hub := g.MaxDegree()
+	var stats bfs.TraversalStats
+	dist := make([]int32, g.NumVertices())
+	fill(dist)
+	bfs.DistancesIntoDir(g, hub, dist, bfs.DirectionAuto, &stats)
+	if stats.BottomUpLevels == 0 {
+		t.Fatalf("auto BFS from hub %d never went bottom-up: %+v", hub, stats)
+	}
+	if stats.EdgesScanned() == 0 || stats.Levels() == 0 {
+		t.Fatalf("stats not collected: %+v", stats)
+	}
+}
+
+// TestBiBFSDirectionsAgree cross-checks BoundedBiBFSDir across
+// directions on random graphs, with and without skip masks and bounds.
+func TestBiBFSDirectionsAgree(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		c := oracle.RandomCase(seed)
+		g := c.Graph
+		n := g.NumVertices()
+		rng := rand.New(rand.NewSource(seed))
+		// Skip the top few degree vertices, like Algorithm 2 does.
+		skip := make([]bool, n)
+		for _, v := range g.DegreeOrder()[:min(3, n)] {
+			skip[v] = true
+		}
+		scTD := bfs.NewScratch(n)
+		scBU := bfs.NewScratch(n)
+		scAuto := bfs.NewScratch(n)
+		for trial := 0; trial < 200; trial++ {
+			s := int32(rng.Intn(n))
+			u := int32(rng.Intn(n))
+			if skip[s] || skip[u] {
+				continue
+			}
+			var mask []bool
+			if trial%2 == 0 {
+				mask = skip
+			}
+			bound := bfs.NoBound
+			if trial%3 == 0 {
+				bound = int32(rng.Intn(8))
+			}
+			want := bfs.BoundedBiBFSDir(g, s, u, bound, mask, scTD, bfs.DirectionTopDown)
+			if got := bfs.BoundedBiBFSDir(g, s, u, bound, mask, scBU, bfs.DirectionBottomUp); got != want {
+				t.Fatalf("%s: BiBFS(%d,%d,bound=%d) bottom-up = %d, top-down = %d", c.Name, s, u, bound, got, want)
+			}
+			if got := bfs.BoundedBiBFSDir(g, s, u, bound, mask, scAuto, bfs.DirectionAuto); got != want {
+				t.Fatalf("%s: BiBFS(%d,%d,bound=%d) auto = %d, top-down = %d", c.Name, s, u, bound, got, want)
+			}
+		}
+	}
+}
+
+// TestDistancesReuse verifies the no-prefill entry point grows and
+// reuses its buffer and matches Distances.
+func TestDistancesReuse(t *testing.T) {
+	g := gen.BarabasiAlbert(200, 3, 1)
+	var buf []int32
+	for _, s := range []int32{0, 5, 199} {
+		buf = bfs.DistancesReuse(g, s, buf)
+		want := bfs.Distances(g, s)
+		for v := range want {
+			if buf[v] != want[v] {
+				t.Fatalf("src %d: reuse dist[%d] = %d, want %d", s, v, buf[v], want[v])
+			}
+		}
+	}
+}
+
+// TestDistancesReuseSmallerGraph verifies a buffer from a larger graph
+// is truncated, not misread.
+func TestDistancesReuseSmallerGraph(t *testing.T) {
+	big := gen.Path(50)
+	small := gen.Path(5)
+	buf := bfs.DistancesReuse(big, 0, nil)
+	buf = bfs.DistancesReuse(small, 0, buf)
+	if len(buf) != 5 {
+		t.Fatalf("len = %d, want 5", len(buf))
+	}
+	for v := int32(0); v < 5; v++ {
+		if buf[v] != v {
+			t.Fatalf("dist[%d] = %d, want %d", v, buf[v], v)
+		}
+	}
+}
+
+// graphFromFuzzBytes decodes fuzz input into a small graph: the first
+// byte picks n in [2, 65], every following pair of bytes is an edge
+// {a%n, b%n}. Self-loops and duplicates are dropped by the builder.
+func graphFromFuzzBytes(data []byte) *graph.Graph {
+	if len(data) < 1 {
+		return nil
+	}
+	n := int(data[0])%64 + 2
+	b := graph.NewBuilder(n)
+	rest := data[1:]
+	for i := 0; i+1 < len(rest); i += 2 {
+		a := int32(int(rest[i]) % n)
+		c := int32(int(rest[i+1]) % n)
+		if a != c {
+			b.AddEdge(a, c)
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		return nil
+	}
+	return g
+}
+
+// FuzzDirectionOptimizedBFS asserts that every traversal direction
+// produces identical distance arrays, and identical BiBFS results, on
+// arbitrary fuzzer-built graphs.
+func FuzzDirectionOptimizedBFS(f *testing.F) {
+	f.Add([]byte{5, 0, 1, 1, 2, 2, 3})
+	f.Add([]byte{63, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 0, 1})
+	f.Add([]byte{2})
+	for seed := int64(0); seed < 4; seed++ {
+		c := oracle.RandomCase(seed)
+		var data []byte
+		n := c.Graph.NumVertices()
+		if n >= 2 && n <= 65 {
+			data = append(data, byte(n-2))
+		} else {
+			data = append(data, 30)
+		}
+		f.Add(data)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g := graphFromFuzzBytes(data)
+		if g == nil || g.NumVertices() == 0 {
+			return
+		}
+		n := g.NumVertices()
+		want := make([]int32, n)
+		got := make([]int32, n)
+		srcs := []int32{0, int32(n / 2), int32(n - 1)}
+		for _, s := range srcs {
+			fill(want)
+			bfs.DistancesIntoDir(g, s, want, bfs.DirectionTopDown, nil)
+			for _, dir := range []bfs.Direction{bfs.DirectionAuto, bfs.DirectionBottomUp} {
+				fill(got)
+				bfs.DistancesIntoDir(g, s, got, dir, nil)
+				for v := 0; v < n; v++ {
+					if got[v] != want[v] {
+						t.Fatalf("dir %d src %d: dist[%d] = %d, want %d\ngraph: %v", dir, s, v, got[v], want[v], fmt.Sprint(g))
+					}
+				}
+			}
+		}
+		// BiBFS agreement on a few pairs.
+		scTD, scBU := bfs.NewScratch(n), bfs.NewScratch(n)
+		for _, s := range srcs {
+			for _, u := range srcs {
+				want := bfs.BoundedBiBFSDir(g, s, u, bfs.NoBound, nil, scTD, bfs.DirectionTopDown)
+				if got := bfs.BoundedBiBFSDir(g, s, u, bfs.NoBound, nil, scBU, bfs.DirectionBottomUp); got != want {
+					t.Fatalf("BiBFS(%d,%d) bottom-up = %d, top-down = %d", s, u, got, want)
+				}
+			}
+		}
+	})
+}

@@ -3,10 +3,27 @@ package core
 import (
 	"context"
 	"fmt"
+	"math/bits"
 	"runtime"
 	"sync"
 
+	"highway/internal/bfs"
 	"highway/internal/graph"
+)
+
+// Direction selects the traversal strategy of the pruned BFSs; see
+// bfs.Direction. The labelling is identical for every direction
+// (Lemma 3.11 makes the output depend only on the graph and landmark
+// set), so this is purely a performance/testing knob.
+type Direction = bfs.Direction
+
+const (
+	// DirectionAuto is the direction-optimizing default.
+	DirectionAuto = bfs.DirectionAuto
+	// DirectionTopDown forces the classic top-down expansion.
+	DirectionTopDown = bfs.DirectionTopDown
+	// DirectionBottomUp forces bottom-up expansion (testing only).
+	DirectionBottomUp = bfs.DirectionBottomUp
 )
 
 // Options configures index construction.
@@ -16,6 +33,27 @@ type Options struct {
 	// HL of Algorithm 1. Because the labelling is deterministic
 	// (Lemma 3.11), every worker count produces an identical index.
 	Workers int
+
+	// Direction selects how pruned-BFS levels are expanded: the
+	// direction-optimizing hybrid (default), forced top-down (the
+	// pre-engine reference, kept for benchmarking the switch), or forced
+	// bottom-up (testing). Every direction produces an identical index.
+	Direction Direction
+
+	// Progress, when non-nil, is called after each landmark's pruned BFS
+	// completes, with the number of completed BFSs and the landmark
+	// count. Calls are serialized (one at a time) but may come from
+	// different worker goroutines.
+	Progress func(done, total int)
+}
+
+// BuildStats describes how an index was constructed: worker count and
+// the traversal engine's per-direction work counters, summed over all
+// pruned BFSs. Available via Index.BuildStats on built (not loaded)
+// indexes.
+type BuildStats struct {
+	Workers   int
+	Traversal bfs.TraversalStats
 }
 
 // Build constructs the highway cover distance labelling for the given
@@ -65,6 +103,7 @@ func BuildOpts(ctx context.Context, g *graph.Graph, landmarks []int32, opt Optio
 	if workers > k {
 		workers = k
 	}
+	progress := newProgressFunc(opt.Progress, k)
 
 	rows := make([][]labelPair, k) // labels discovered by each landmark's BFS
 	highway := make([]int32, k*k)  // filled row by row
@@ -72,26 +111,30 @@ func BuildOpts(ctx context.Context, g *graph.Graph, landmarks []int32, opt Optio
 		highway[i] = Infinity
 	}
 
+	var traversal bfs.TraversalStats
 	if workers == 1 {
 		sc := newBuildScratch(n)
 		for r := 0; r < k; r++ {
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
-			rows[r] = prunedBFS(g, landmarks[r], rankOf, k, sc, highway[r*k:(r+1)*k])
+			rows[r] = prunedBFS(g, landmarks[r], rankOf, k, sc, highway[r*k:(r+1)*k], opt.Direction, &traversal)
+			progress()
 		}
 	} else {
 		work := make(chan int)
+		perWorker := make([]bfs.TraversalStats, workers)
 		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
-			go func() {
+			go func(slot int) {
 				defer wg.Done()
 				sc := newBuildScratch(n)
 				for r := range work {
-					rows[r] = prunedBFS(g, landmarks[r], rankOf, k, sc, highway[r*k:(r+1)*k])
+					rows[r] = prunedBFS(g, landmarks[r], rankOf, k, sc, highway[r*k:(r+1)*k], opt.Direction, &perWorker[slot])
+					progress()
 				}
-			}()
+			}(w)
 		}
 		var err error
 	dispatch:
@@ -108,9 +151,33 @@ func BuildOpts(ctx context.Context, g *graph.Graph, landmarks []int32, opt Optio
 		if err != nil {
 			return nil, err
 		}
+		// Summed in worker-slot order so the totals are deterministic.
+		for _, s := range perWorker {
+			traversal.Add(s)
+		}
 	}
 
-	return assemble(g, landmarks, rankOf, isLandmark, highway, rows), nil
+	ix := assemble(g, landmarks, rankOf, isLandmark, highway, rows)
+	ix.built = BuildStats{Workers: workers, Traversal: traversal}
+	return ix, nil
+}
+
+// newProgressFunc wraps an Options.Progress callback into a serialized
+// completion notifier (no-op when cb is nil). The count increments under
+// the same lock that serializes the callback, so callers always observe
+// done = 1, 2, ..., total in order.
+func newProgressFunc(cb func(done, total int), total int) func() {
+	if cb == nil {
+		return func() {}
+	}
+	var mu sync.Mutex
+	done := 0
+	return func() {
+		mu.Lock()
+		done++
+		cb(done, total)
+		mu.Unlock()
+	}
 }
 
 // labelPair is one label entry produced by a pruned BFS: vertex v receives
@@ -122,28 +189,42 @@ type labelPair struct {
 
 // buildScratch holds reusable pruned-BFS state.
 type buildScratch struct {
-	visited []uint32 // epoch marks
-	epoch   uint32
-	labelF  []int32 // label frontier (Qlabel at the current depth)
-	pruneF  []int32 // prune frontier (Qprune at the current depth)
-	nextL   []int32
-	nextP   []int32
+	labelF []int32 // label frontier (Qlabel at the current depth)
+	pruneF []int32 // prune frontier (Qprune at the current depth)
+	nextL  []int32
+	nextP  []int32
+
+	// unvis is the unvisited set, doubling as the visited marker of
+	// top-down levels and the word-skipping scan set of bottom-up ones.
+	unvis bfs.Bitset
+	// Side-membership bitmaps: which side (label or prune) every visited
+	// vertex joined. Bottom-up levels probe these instead of per-level
+	// frontier bitmaps — any visited neighbor of a still-unvisited vertex
+	// is necessarily on the current frontier, because both queues expand
+	// every level. Claims made during a bottom-up sweep go to the *Next
+	// bitmaps and are absorbed after the sweep, so the sweep never sees
+	// its own claims as parents.
+	labelSeen, labelNext bfs.Bitset
+	pruneSeen, pruneNext bfs.Bitset
 }
 
 func newBuildScratch(n int) *buildScratch {
 	return &buildScratch{
-		visited: make([]uint32, n),
-		labelF:  make([]int32, 0, 1024),
-		pruneF:  make([]int32, 0, 1024),
-		nextL:   make([]int32, 0, 1024),
-		nextP:   make([]int32, 0, 1024),
+		labelF:    make([]int32, 0, 1024),
+		pruneF:    make([]int32, 0, 1024),
+		nextL:     make([]int32, 0, 1024),
+		nextP:     make([]int32, 0, 1024),
+		unvis:     bfs.NewBitset(n),
+		labelSeen: bfs.NewBitset(n),
+		labelNext: bfs.NewBitset(n),
+		pruneSeen: bfs.NewBitset(n),
+		pruneNext: bfs.NewBitset(n),
 	}
 }
 
 // prunedBFS is Algorithm 1's pruned BFS from one landmark root. It returns
-// the label entries (v, d) it generates, in BFS discovery order, and fills
-// hwRow with the distances from root to every landmark rank (Infinity
-// where unreachable).
+// the label entries (v, d) it generates and fills hwRow with the distances
+// from root to every landmark rank (Infinity where unreachable).
 //
 // The two frontiers follow the paper exactly, with the crucial ordering
 // that at each depth the *prune* frontier claims vertices before the label
@@ -156,55 +237,208 @@ func newBuildScratch(n int) *buildScratch {
 // expansion keeps running until every landmark has been seen so the
 // highway row is computed in the same pass ("we can indeed compute the
 // distances δH ... along with Algorithm 1", Section 3.2).
-func prunedBFS(g *graph.Graph, root int32, rankOf []int32, k int, sc *buildScratch, hwRow []int32) []labelPair {
-	sc.epoch++
-	if sc.epoch == 0 {
-		clear(sc.visited)
-		sc.epoch = 1
-	}
-	epoch := sc.epoch
+//
+// Levels run top-down or bottom-up per the direction-optimizing
+// heuristics (see internal/bfs). A bottom-up level scans every unvisited
+// vertex's neighbor range against the two frontier bitmaps; "prune
+// neighbor wins over label neighbor" replaces the prune-first queue
+// ordering, claiming exactly the same vertex set. Entries within a level
+// are then emitted in vertex order rather than discovery order, which is
+// invisible in the assembled index: each vertex carries at most one entry
+// per landmark, and assemble orders entries by (vertex, rank) alone. The
+// index bytes are therefore identical for every direction — pinned by
+// TestBuildDirectionsByteIdentical and the golden tiny.hl2 fixture.
+func prunedBFS(g *graph.Graph, root int32, rankOf []int32, k int, sc *buildScratch, hwRow []int32, dir Direction, stats *bfs.TraversalStats) []labelPair {
+	off, tgt := g.CSR()
+	n := g.NumVertices()
+	unvis := sc.unvis
+	unvis.FillOnes(n)
+	lSeen, lNext := sc.labelSeen, sc.labelNext
+	pSeen, pNext := sc.pruneSeen, sc.pruneNext
+	lSeen.ClearAll()
+	pSeen.ClearAll()
 
 	var out []labelPair
 	labelF := append(sc.labelF[:0], root)
 	pruneF := sc.pruneF[:0]
-	sc.visited[root] = epoch
+	unvis.Unset(root)
+	lSeen.Set(root)
 	hwRow[rankOf[root]] = 0
 	foundLm := 1
 
+	frontEdges := off[root+1] - off[root]    // Σ deg over both frontiers
+	remEdges := int64(len(tgt)) - frontEdges // Σ deg over unvisited vertices
+	bottomUp := false
+
 	for d := int32(0); len(labelF) > 0 || (foundLm < k && len(pruneF) > 0); d++ {
+		switch dir {
+		case DirectionTopDown:
+			bottomUp = false
+		case DirectionBottomUp:
+			bottomUp = true
+		default:
+			if !bottomUp {
+				bottomUp = frontEdges > remEdges/bfs.AlphaDOpt
+			} else {
+				bottomUp = len(labelF)+len(pruneF) > n/bfs.BetaDOpt
+			}
+		}
 		nextL := sc.nextL[:0]
 		nextP := sc.nextP[:0]
-		// Prune frontier first: pruned parents capture their children
-		// before the label frontier can label them.
-		for _, u := range pruneF {
-			for _, v := range g.Neighbors(u) {
-				if sc.visited[v] == epoch {
-					continue
+		var scanned, nextEdges int64
+		if bottomUp {
+			switch {
+			case len(labelF) == 0:
+				// Prune-only phase (labels died out, still completing the
+				// highway row): one probe, first hit claims the vertex.
+				// These are exactly the heavy saturated levels, so this
+				// single-probe loop is the construction hot spot.
+				for wi, w := range unvis {
+					for w != 0 {
+						v := int32(wi<<6 | bits.TrailingZeros64(w))
+						w &= w - 1
+						lo, hi := off[v], off[v+1]
+						for _, u := range tgt[lo:hi] {
+							scanned++
+							if pSeen.Get(u) {
+								unvis.Unset(v)
+								pNext.Set(v)
+								nextEdges += hi - lo
+								if r := rankOf[v]; r >= 0 {
+									hwRow[r] = d + 1
+									foundLm++
+								}
+								nextP = append(nextP, v)
+								break
+							}
+						}
+					}
 				}
-				sc.visited[v] = epoch
-				if r := rankOf[v]; r >= 0 {
-					hwRow[r] = d + 1
-					foundLm++
+			case len(pruneF) == 0:
+				// Label-only level (no pruned vertex yet): one probe;
+				// hits are labelled unless they are landmarks.
+				for wi, w := range unvis {
+					for w != 0 {
+						v := int32(wi<<6 | bits.TrailingZeros64(w))
+						w &= w - 1
+						lo, hi := off[v], off[v+1]
+						for _, u := range tgt[lo:hi] {
+							scanned++
+							if lSeen.Get(u) {
+								unvis.Unset(v)
+								nextEdges += hi - lo
+								if r := rankOf[v]; r >= 0 {
+									hwRow[r] = d + 1
+									foundLm++
+									pNext.Set(v)
+									nextP = append(nextP, v)
+								} else {
+									lNext.Set(v)
+									nextL = append(nextL, v)
+									out = append(out, labelPair{v: v, d: d + 1})
+								}
+								break
+							}
+						}
+					}
 				}
-				nextP = append(nextP, v)
+			default:
+				for wi, w := range unvis {
+					for w != 0 {
+						v := int32(wi<<6 | bits.TrailingZeros64(w))
+						w &= w - 1
+						// hasP dominates: any pruned (or landmark) parent
+						// on a shortest path claims v for the prune side,
+						// mirroring the prune-first ordering of the
+						// top-down level.
+						hasP, hasL := false, false
+						lo, hi := off[v], off[v+1]
+						for _, u := range tgt[lo:hi] {
+							scanned++
+							if pSeen.Get(u) {
+								hasP = true
+								break
+							}
+							if !hasL && lSeen.Get(u) {
+								hasL = true
+							}
+						}
+						if !hasP && !hasL {
+							continue
+						}
+						unvis.Unset(v)
+						nextEdges += hi - lo
+						if r := rankOf[v]; r >= 0 {
+							hwRow[r] = d + 1
+							foundLm++
+							pNext.Set(v)
+							nextP = append(nextP, v)
+						} else if hasP {
+							pNext.Set(v)
+							nextP = append(nextP, v)
+						} else {
+							lNext.Set(v)
+							nextL = append(nextL, v)
+							out = append(out, labelPair{v: v, d: d + 1})
+						}
+					}
+				}
 			}
-		}
-		for _, u := range labelF {
-			for _, v := range g.Neighbors(u) {
-				if sc.visited[v] == epoch {
-					continue
-				}
-				sc.visited[v] = epoch
-				if r := rankOf[v]; r >= 0 {
-					hwRow[r] = d + 1
-					foundLm++
+			// Commit the sweep's claims into the side-membership bitmaps.
+			pSeen.Absorb(pNext)
+			lSeen.Absorb(lNext)
+			if stats != nil {
+				stats.BottomUpLevels++
+				stats.EdgesBottomUp += scanned
+			}
+		} else {
+			// Prune frontier first: pruned parents capture their children
+			// before the label frontier can label them.
+			for _, u := range pruneF {
+				lo, hi := off[u], off[u+1]
+				scanned += hi - lo
+				for _, v := range tgt[lo:hi] {
+					if !unvis.Get(v) {
+						continue
+					}
+					unvis.Unset(v)
+					pSeen.Set(v)
+					nextEdges += off[v+1] - off[v]
+					if r := rankOf[v]; r >= 0 {
+						hwRow[r] = d + 1
+						foundLm++
+					}
 					nextP = append(nextP, v)
-				} else {
-					nextL = append(nextL, v)
-					out = append(out, labelPair{v: v, d: d + 1})
 				}
 			}
+			for _, u := range labelF {
+				lo, hi := off[u], off[u+1]
+				scanned += hi - lo
+				for _, v := range tgt[lo:hi] {
+					if !unvis.Get(v) {
+						continue
+					}
+					unvis.Unset(v)
+					nextEdges += off[v+1] - off[v]
+					if r := rankOf[v]; r >= 0 {
+						hwRow[r] = d + 1
+						foundLm++
+						pSeen.Set(v)
+						nextP = append(nextP, v)
+					} else {
+						lSeen.Set(v)
+						nextL = append(nextL, v)
+						out = append(out, labelPair{v: v, d: d + 1})
+					}
+				}
+			}
+			if stats != nil {
+				stats.TopDownLevels++
+				stats.EdgesTopDown += scanned
+			}
 		}
+		remEdges -= nextEdges
+		frontEdges = nextEdges
 		// Rotate: the filled next buffers become the frontiers, and the
 		// old frontier buffers are handed back to the scratch as spares,
 		// keeping all four buffers distinct across iterations and calls.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"context"
 	"math/rand"
 	"testing"
@@ -183,8 +184,11 @@ func sameEntrySet(a, b *Index, v int32) bool {
 	return true
 }
 
-// TestParallelMatchesSequential verifies HL-P determinism: any worker
-// count produces an identical index.
+// TestParallelMatchesSequential verifies HL-P determinism (Lemma 3.11):
+// any worker count AND any traversal direction produces an identical
+// index. The direction sweep pins the direction-optimizing engine to the
+// top-down reference: bottom-up levels must claim exactly the same label
+// and prune sets.
 func TestParallelMatchesSequential(t *testing.T) {
 	g := gen.BarabasiAlbert(600, 4, 17)
 	lm := g.DegreeOrder()[:20]
@@ -193,12 +197,106 @@ func TestParallelMatchesSequential(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, workers := range []int{0, 2, 3, 8} {
-		par, err := BuildOpts(context.Background(), g, lm, Options{Workers: workers})
+		for _, dir := range []Direction{DirectionAuto, DirectionTopDown, DirectionBottomUp} {
+			par, err := BuildOpts(context.Background(), g, lm, Options{Workers: workers, Direction: dir})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !indexesIdentical(seq, par) {
+				t.Fatalf("workers=%d direction=%d produced a different index", workers, dir)
+			}
+		}
+	}
+}
+
+// TestBuildDirectionsByteIdentical pins the acceptance contract at the
+// serialization layer: sequential, parallel and every traversal
+// direction produce byte-identical v2 index files.
+func TestBuildDirectionsByteIdentical(t *testing.T) {
+	g := gen.BarabasiAlbert(900, 5, 23)
+	lm := g.DegreeOrder()[:20]
+	var want []byte
+	for _, cfg := range []Options{
+		{Workers: 1, Direction: DirectionTopDown}, // pre-engine reference
+		{Workers: 1, Direction: DirectionAuto},
+		{Workers: 1, Direction: DirectionBottomUp},
+		{Workers: 4, Direction: DirectionAuto},
+		{Workers: 0, Direction: DirectionBottomUp},
+	} {
+		ix, err := BuildOpts(context.Background(), g, lm, cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if !indexesIdentical(seq, par) {
-			t.Fatalf("workers=%d produced a different index", workers)
+		var buf bytes.Buffer
+		if err := ix.WriteFormat(&buf, FormatV2); err != nil {
+			t.Fatal(err)
+		}
+		if want == nil {
+			want = buf.Bytes()
+			continue
+		}
+		if !bytes.Equal(want, buf.Bytes()) {
+			t.Fatalf("workers=%d direction=%d: v2 bytes differ from reference build", cfg.Workers, cfg.Direction)
+		}
+	}
+}
+
+// TestBuildStats verifies the traversal counters: a forced-top-down
+// build reports no bottom-up work, a forced-bottom-up build no top-down
+// work, and both report the same level totals.
+func TestBuildStats(t *testing.T) {
+	g := gen.BarabasiAlbert(500, 4, 3)
+	lm := g.DegreeOrder()[:10]
+	td, err := BuildOpts(context.Background(), g, lm, Options{Workers: 1, Direction: DirectionTopDown})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bu, err := BuildOpts(context.Background(), g, lm, Options{Workers: 1, Direction: DirectionBottomUp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, bs := td.BuildStats().Traversal, bu.BuildStats().Traversal
+	if ts.BottomUpLevels != 0 || ts.EdgesBottomUp != 0 || ts.TopDownLevels == 0 {
+		t.Fatalf("top-down build stats: %+v", ts)
+	}
+	if bs.TopDownLevels != 0 || bs.EdgesTopDown != 0 || bs.BottomUpLevels == 0 {
+		t.Fatalf("bottom-up build stats: %+v", bs)
+	}
+	if ts.Levels() != bs.Levels() {
+		t.Fatalf("level totals differ: top-down %d vs bottom-up %d", ts.Levels(), bs.Levels())
+	}
+	if td.BuildStats().Workers != 1 {
+		t.Fatalf("workers = %d, want 1", td.BuildStats().Workers)
+	}
+}
+
+// TestBuildProgress verifies the Progress callback fires once per
+// landmark with a monotonically complete count, sequentially and in
+// parallel.
+func TestBuildProgress(t *testing.T) {
+	g := gen.BarabasiAlbert(300, 3, 9)
+	lm := g.DegreeOrder()[:12]
+	for _, workers := range []int{1, 4} {
+		var calls int
+		last := 0
+		_, err := BuildOpts(context.Background(), g, lm, Options{
+			Workers: workers,
+			Progress: func(done, total int) {
+				calls++
+				if total != len(lm) {
+					t.Fatalf("total = %d, want %d", total, len(lm))
+				}
+				if done != last+1 {
+					t.Fatalf("done = %d after %d", done, last)
+				}
+				last = done
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if calls != len(lm) {
+			t.Fatalf("workers=%d: %d progress calls, want %d", workers, calls, len(lm))
 		}
 	}
 }

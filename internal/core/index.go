@@ -83,8 +83,19 @@ type Index struct {
 	labelRank []int32 // len labelOff[n]; landmark ranks, sorted per vertex
 	labelDist []int32 // len labelOff[n]; decoded exact distances
 
+	// built records how BuildOpts constructed this index (zero value for
+	// loaded or FromParts indexes). Written once before BuildOpts
+	// returns, immutable after.
+	built BuildStats
+
 	pool sync.Pool // of *Searcher, for the concurrency-safe conveniences
 }
+
+// BuildStats returns the construction statistics of an index built by
+// Build/BuildParallel/BuildOpts: worker count and the traversal engine's
+// top-down/bottom-up level and edge counters. Indexes obtained by
+// loading or FromParts return the zero value.
+func (ix *Index) BuildStats() BuildStats { return ix.built }
 
 // Graph returns the underlying graph.
 func (ix *Index) Graph() *graph.Graph { return ix.g }

@@ -1,6 +1,9 @@
 package core
 
-import "highway/internal/bfs"
+import (
+	"highway/internal/bfs"
+	"highway/internal/graph"
+)
 
 // Searcher answers distance queries against an Index. It owns the scratch
 // buffers of the bounded bidirectional search and the common-landmark
@@ -114,21 +117,43 @@ func (sr *Searcher) UpperBound(s, t int32) int32 {
 	// cross pair they participate in (triangle inequality), so pass 2 may
 	// skip those pairs entirely.
 	mask := sr.maskBuf(k)
-	i, j := slo, tlo
-	for i < shi && j < thi {
-		ri, rj := rank[i], rank[j]
-		switch {
-		case ri == rj:
-			mask[ri] = true
-			if d := dist[i] + dist[j]; best < 0 || d < best {
-				best = d
+	if ls, lt := shi-slo, thi-tlo; ls > 16*lt || lt > 16*ls {
+		// One label dwarfs the other: iterate the short side and probe
+		// the long side with the shared lower-bound helper
+		// (graph.SearchInt32, also behind Graph.HasEdge) instead of
+		// stepping the merge one rank at a time.
+		pLo, pHi, qLo, qHi := slo, shi, tlo, thi
+		if ls > lt {
+			pLo, pHi, qLo, qHi = tlo, thi, slo, shi
+		}
+		long := rank[qLo:qHi]
+		for p := pLo; p < pHi; p++ {
+			rp := rank[p]
+			q := qLo + int64(graph.SearchInt32(long, rp))
+			if q < qHi && rank[q] == rp {
+				mask[rp] = true
+				if d := dist[p] + dist[q]; best < 0 || d < best {
+					best = d
+				}
 			}
-			i++
-			j++
-		case ri < rj:
-			i++
-		default:
-			j++
+		}
+	} else {
+		i, j := slo, tlo
+		for i < shi && j < thi {
+			ri, rj := rank[i], rank[j]
+			switch {
+			case ri == rj:
+				mask[ri] = true
+				if d := dist[i] + dist[j]; best < 0 || d < best {
+					best = d
+				}
+				i++
+				j++
+			case ri < rj:
+				i++
+			default:
+				j++
+			}
 		}
 	}
 	// Pass 2: cross pairs through the highway (Equation 4), skipping any

@@ -87,12 +87,7 @@ func Build(ctx context.Context, g *graph.Graph, landmarks []int32) (*Index, erro
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		row := make([]int32, n)
-		for i := range row {
-			row[i] = bfs.Unreachable
-		}
-		bfs.DistancesInto(g, l, row)
-		ix.dist[r] = row
+		ix.dist[r] = bfs.DistancesReuse(g, l, make([]int32, n))
 	}
 	return ix, nil
 }

@@ -62,16 +62,36 @@ func (g *Graph) Neighbors(v int32) []int32 {
 // HasEdge reports whether the undirected edge {u,v} is present.
 func (g *Graph) HasEdge(u, v int32) bool {
 	nb := g.Neighbors(u)
-	lo, hi := 0, len(nb)
+	if len(nb) == 0 {
+		return false
+	}
+	i := SearchInt32(nb, v)
+	return i < len(nb) && nb[i] == v
+}
+
+// SearchInt32 returns the smallest index i with a[i] >= x (len(a) if no
+// such element), assuming a is sorted ascending. It is the shared
+// lower-bound helper behind HasEdge and the label lookups in
+// internal/core: a sort.Search specialization that the compiler can
+// inline because it takes no closure.
+func SearchInt32(a []int32, x int32) int {
+	lo, hi := 0, len(a)
 	for lo < hi {
-		mid := (lo + hi) / 2
-		if nb[mid] < v {
+		mid := int(uint(lo+hi) >> 1)
+		if a[mid] < x {
 			lo = mid + 1
 		} else {
 			hi = mid
 		}
 	}
-	return lo < len(nb) && nb[lo] == v
+	return lo
+}
+
+// CSR exposes the raw adjacency arrays — offsets (len n+1) and targets
+// (len 2m) — implementing the traversal engine's bfs.CSRAccess fast
+// path. Callers must not modify the returned slices.
+func (g *Graph) CSR() (offsets []int64, targets []int32) {
+	return g.offsets, g.targets
 }
 
 // MaxDegree returns the maximum vertex degree, and the vertex attaining it.

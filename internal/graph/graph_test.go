@@ -119,6 +119,62 @@ func TestHasEdge(t *testing.T) {
 	}
 }
 
+// TestHasEdgeIsolatedVertex pins the degenerate empty-adjacency case:
+// probing from or to a vertex with no neighbors must return false
+// without touching the targets array.
+func TestHasEdgeIsolatedVertex(t *testing.T) {
+	g := MustFromEdges(4, [][2]int32{{0, 1}})
+	for _, c := range [][2]int32{{2, 0}, {2, 3}, {3, 2}, {2, 2}} {
+		if g.HasEdge(c[0], c[1]) {
+			t.Errorf("HasEdge(%d,%d) = true on isolated vertex", c[0], c[1])
+		}
+	}
+}
+
+func TestSearchInt32(t *testing.T) {
+	cases := []struct {
+		a    []int32
+		x    int32
+		want int
+	}{
+		{nil, 5, 0},
+		{[]int32{}, 5, 0},
+		{[]int32{3}, 2, 0},
+		{[]int32{3}, 3, 0},
+		{[]int32{3}, 4, 1},
+		{[]int32{1, 3, 5, 7}, 0, 0},
+		{[]int32{1, 3, 5, 7}, 4, 2},
+		{[]int32{1, 3, 5, 7}, 5, 2},
+		{[]int32{1, 3, 5, 7}, 8, 4},
+	}
+	for _, c := range cases {
+		if got := SearchInt32(c.a, c.x); got != c.want {
+			t.Errorf("SearchInt32(%v, %d) = %d, want %d", c.a, c.x, got, c.want)
+		}
+	}
+}
+
+// TestCSRView verifies the flat-array view matches the method-based one.
+func TestCSRView(t *testing.T) {
+	g := MustFromEdges(4, [][2]int32{{0, 1}, {1, 2}, {0, 3}})
+	off, tgt := g.CSR()
+	if len(off) != g.NumVertices()+1 || int64(len(tgt)) != 2*g.NumEdges() {
+		t.Fatalf("CSR shape: %d offsets, %d targets", len(off), len(tgt))
+	}
+	for v := int32(0); int(v) < g.NumVertices(); v++ {
+		nb := tgt[off[v]:off[v+1]]
+		want := g.Neighbors(v)
+		if len(nb) != len(want) {
+			t.Fatalf("vertex %d: CSR degree %d, Neighbors %d", v, len(nb), len(want))
+		}
+		for i := range nb {
+			if nb[i] != want[i] {
+				t.Fatalf("vertex %d neighbor %d: CSR %d, Neighbors %d", v, i, nb[i], want[i])
+			}
+		}
+	}
+}
+
 func TestDegreeStats(t *testing.T) {
 	// Star: center 0 with 4 leaves.
 	g := MustFromEdges(5, [][2]int32{{0, 1}, {0, 2}, {0, 3}, {0, 4}})

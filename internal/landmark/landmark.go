@@ -86,12 +86,9 @@ func byCloseness(g *graph.Graph, k int, seed int64) []int32 {
 	perm := rng.Perm(n)
 	score := make([]int64, n)
 	const penalty = int64(1) << 30
-	dist := make([]int32, n)
+	var dist []int32
 	for s := 0; s < samples; s++ {
-		for i := range dist {
-			dist[i] = bfs.Unreachable
-		}
-		bfs.DistancesInto(g, int32(perm[s]), dist)
+		dist = bfs.DistancesReuse(g, int32(perm[s]), dist)
 		for v, d := range dist {
 			if d == bfs.Unreachable {
 				score[v] += penalty

@@ -97,8 +97,10 @@ func SampledPairs(n, trials int, seed int64) [][2]int32 {
 
 // Diff compares the oracle against BFS ground truth on the given pairs
 // and returns an error describing the first mismatch, or nil. Ground
-// truth is computed once per distinct source with a full BFS, so checking
-// all pairs of a small graph costs n BFS runs, not n².
+// truth is computed once per distinct source with a full BFS into one
+// reused buffer (the BFS itself draws scratch from the engine pool), so
+// checking all pairs of a small graph costs n BFS runs and one distance
+// array, not n² runs and n arrays.
 func Diff(g *graph.Graph, o Oracle, pairs [][2]int32) error {
 	var truth []int32
 	truthSrc := int32(-1)
@@ -107,7 +109,7 @@ func Diff(g *graph.Graph, o Oracle, pairs [][2]int32) error {
 		want := int32(0)
 		if s != t {
 			if truthSrc != s {
-				truth = bfs.Distances(g, s)
+				truth = bfs.DistancesReuse(g, s, truth)
 				truthSrc = s
 			}
 			want = truth[t]
