@@ -1,18 +1,26 @@
 // Command hlserve serves exact distance queries from a prebuilt highway
 // cover index, as a concurrent HTTP/JSON API or a high-throughput
-// stdin/stdout batch pipeline.
+// stdin/stdout batch pipeline. The HTTP server is live: it accepts edge
+// insertions (POST /edges) while serving reads lock-free, optionally
+// journalling them to a write-ahead edge log and compacting the log via
+// background rebuilds (see the "Live updates" section of the README and
+// DESIGN.md).
 //
 // Usage:
 //
-//	hlserve serve -graph g.hwg -addr :8080       # HTTP API until SIGINT
+//	hlserve serve -graph g.hwg -addr :8080       # live HTTP API until SIGINT
+//	hlserve serve -graph g.hwg -wal edges.wal    # ... with durable updates
 //	hlserve batch -graph g.hwg < pairs.txt       # one distance per line, input order
 //	hlserve load  -graph g.hwg -n 100000         # generated load test, prints qps
+//	hlserve load  -graph g.hwg -writeratio 0.01  # ... mixing writes into the reads
 //	hlserve genpairs -graph g.hwg -n 100000      # emit "s t" lines for batch mode
 //	hlserve help [command]
 //
 // Build the graph and index first with hlbuild. Every command takes
 // -graph (binary graph file); serve, batch and load also take -index
-// (default: graph path + .idx).
+// (default: graph path + .idx). With -wal, serve prefers the compacted
+// snapshot a previous run's rebuild persisted next to the log, then
+// replays the log, so restarts lose nothing that was acknowledged.
 package main
 
 import (
@@ -34,9 +42,9 @@ var commands = []struct {
 	name, summary string
 	run           func(args []string, stdin io.Reader, stdout, stderr io.Writer) error
 }{
-	{"serve", "serve the HTTP/JSON API (GET /distance, POST /distance/batch, /stats, /healthz)", runServe},
+	{"serve", "serve the live HTTP/JSON API (GET /distance, POST /distance/batch, POST /edges, /stats, /healthz)", runServe},
 	{"batch", `answer "s t" lines from stdin, one distance per line on stdout, in input order`, runBatch},
-	{"load", "run a deterministic generated load test and report throughput", runLoad},
+	{"load", "run a generated load test (read-only, or mixed read/write with -writeratio) and report throughput", runLoad},
 	{"genpairs", `emit "s t" query lines from the workload generator (feed for batch)`, runGenpairs},
 }
 
@@ -76,49 +84,102 @@ func usage(w io.Writer) {
 }
 
 // indexFlags declares the flags every command shares and returns a
-// loader for them.
-func indexFlags(fs *flag.FlagSet) func() (*highway.Index, error) {
+// resolver for the graph/index paths plus a loader.
+func indexFlags(fs *flag.FlagSet) (paths func() (graphPath, indexPath string, err error), load func() (*highway.Index, error)) {
 	graphPath := fs.String("graph", "", "binary graph file (required; build with hlbuild)")
 	indexPath := fs.String("index", "", "index file (default: graph path + .idx)")
-	return func() (*highway.Index, error) {
+	paths = func() (string, string, error) {
 		if *graphPath == "" {
-			return nil, fmt.Errorf("-graph is required")
-		}
-		g, err := highway.LoadGraph(*graphPath)
-		if err != nil {
-			return nil, err
+			return "", "", fmt.Errorf("-graph is required")
 		}
 		ip := *indexPath
 		if ip == "" {
 			ip = *graphPath + ".idx"
 		}
+		return *graphPath, ip, nil
+	}
+	load = func() (*highway.Index, error) {
+		gp, ip, err := paths()
+		if err != nil {
+			return nil, err
+		}
+		g, err := highway.LoadGraph(gp)
+		if err != nil {
+			return nil, err
+		}
 		return highway.LoadIndex(ip, g)
 	}
+	return paths, load
 }
 
 func runServe(args []string, _ io.Reader, stdout, _ io.Writer) error {
 	fs := flag.NewFlagSet("hlserve serve", flag.ContinueOnError)
-	load := indexFlags(fs)
+	paths, load := indexFlags(fs)
 	addr := fs.String("addr", ":8080", "HTTP listen address")
-	maxBatch := fs.Int("maxbatch", 0, "max pairs per batch request (0 = default)")
+	maxBatch := fs.Int("maxbatch", 0, "max pairs/edges per batch request (0 = default)")
+	walPath := fs.String("wal", "", "write-ahead edge log for durable updates (replayed on startup; empty = in-memory updates only)")
+	rebuildTh := fs.Int("rebuild-threshold", 0, "accepted edges triggering a background rebuild (0 = default, <0 = never)")
+	rebuildGrowth := fs.Float64("rebuild-growth", 0, "label-entry growth factor triggering a rebuild (0 = default, <=1 = never)")
+	readonly := fs.Bool("readonly", false, "serve the index frozen, without the update API")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	ix, err := load()
-	if err != nil {
-		return err
+	if *readonly && *walPath != "" {
+		// A frozen server cannot replay or append the log; refusing
+		// beats silently serving state that is missing acknowledged
+		// edges.
+		return fmt.Errorf("-readonly and -wal are mutually exclusive")
 	}
-	srv := serve.New(ix, serve.Config{MaxBatch: *maxBatch})
+	cfg := serve.LiveConfig{
+		Config:           serve.Config{MaxBatch: *maxBatch},
+		RebuildThreshold: *rebuildTh,
+		RebuildGrowth:    *rebuildGrowth,
+	}
+	var srv *serve.Server
+	switch {
+	case *readonly:
+		ix, err := load()
+		if err != nil {
+			return err
+		}
+		srv = serve.New(ix, cfg.Config)
+	case *walPath != "":
+		gp, ip, err := paths()
+		if err != nil {
+			return err
+		}
+		srv, err = serve.LoadLive(gp, ip, *walPath, cfg)
+		if err != nil {
+			return err
+		}
+	default:
+		ix, err := load()
+		if err != nil {
+			return err
+		}
+		srv, err = serve.NewLive(ix, cfg)
+		if err != nil {
+			return err
+		}
+	}
+	defer srv.Close()
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	fmt.Fprintf(stdout, "hlserve: %s\n", ix.Stats())
-	fmt.Fprintf(stdout, "hlserve: listening on %s (GET /distance?s=&t=, POST /distance/batch, GET /stats, GET /healthz)\n", *addr)
+	fmt.Fprintf(stdout, "hlserve: %s\n", srv.Index().Stats())
+	if st := srv.LiveStats(); st != nil {
+		mode := "in-memory only"
+		if st.WALEnabled {
+			mode = fmt.Sprintf("wal %s (%d records replayed)", *walPath, st.WALLen)
+		}
+		fmt.Fprintf(stdout, "hlserve: live updates enabled, %s\n", mode)
+	}
+	fmt.Fprintf(stdout, "hlserve: listening on %s (GET /distance?s=&t=, POST /distance/batch, POST /edges, GET /stats, GET /healthz)\n", *addr)
 	return srv.ListenAndServe(ctx, *addr)
 }
 
 func runBatch(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("hlserve batch", flag.ContinueOnError)
-	load := indexFlags(fs)
+	_, load := indexFlags(fs)
 	workers := fs.Int("workers", 0, "worker goroutines (0 = all cores)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -137,16 +198,33 @@ func runBatch(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 
 func runLoad(args []string, _ io.Reader, stdout, _ io.Writer) error {
 	fs := flag.NewFlagSet("hlserve load", flag.ContinueOnError)
-	load := indexFlags(fs)
+	_, load := indexFlags(fs)
 	n := fs.Int("n", 100_000, "pairs to generate (the paper samples 100,000)")
 	seed := fs.Int64("seed", 42, "workload seed")
 	workers := fs.Int("workers", 0, "worker goroutines (0 = all cores)")
+	writeRatio := fs.Float64("writeratio", 0, "fraction of reads paired with a random edge insertion (0 = read-only load)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	ix, err := load()
 	if err != nil {
 		return err
+	}
+	if *writeRatio > 0 {
+		// Mixed read/write mode: a live in-memory server absorbing
+		// random insertions while the read pipeline hammers it, the
+		// serving-side equivalent of the FD comparison.
+		srv, err := serve.NewLive(ix, serve.LiveConfig{})
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		stats, err := srv.RunLoadMixed(io.Discard, *n, *seed, *workers, *writeRatio)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout, "hlserve:", stats)
+		return nil
 	}
 	stats, err := serve.New(ix, serve.Config{}).RunLoad(io.Discard, *n, *seed, *workers)
 	if err != nil {

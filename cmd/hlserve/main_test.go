@@ -116,9 +116,33 @@ func TestBatchFromStdin(t *testing.T) {
 
 func TestMissingGraphFlag(t *testing.T) {
 	var out bytes.Buffer
-	for _, cmd := range []string{"load", "genpairs"} {
+	for _, cmd := range []string{"load", "genpairs", "serve"} {
 		if err := run([]string{cmd}, nil, &out, io.Discard); err == nil {
 			t.Fatalf("%s without -graph: want error", cmd)
 		}
+	}
+}
+
+func TestMixedLoad(t *testing.T) {
+	gp := writeIndexedGraph(t)
+	var out bytes.Buffer
+	if err := run([]string{"load", "-graph", gp, "-n", "500", "-seed", "1", "-workers", "2", "-writeratio", "0.05"}, nil, &out, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "500 pairs") || !strings.Contains(out.String(), "writes") {
+		t.Fatalf("mixed load output %q lacks read/write stats", out.String())
+	}
+
+	if err := run([]string{"load", "-graph", gp, "-writeratio", "1.5"}, nil, &out, io.Discard); err == nil {
+		t.Fatal("want error for write ratio outside [0,1]")
+	}
+}
+
+func TestServeBadWALPath(t *testing.T) {
+	gp := writeIndexedGraph(t)
+	var out bytes.Buffer
+	err := run([]string{"serve", "-graph", gp, "-wal", filepath.Join(gp, "impossible", "edges.wal")}, nil, &out, io.Discard)
+	if err == nil {
+		t.Fatal("want error for unopenable WAL path")
 	}
 }

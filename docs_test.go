@@ -1,0 +1,113 @@
+package highway_test
+
+import (
+	"bufio"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestDocRefsExist fails when a Go comment or a curated markdown doc
+// references a markdown file that does not exist, so documentation
+// pointers (DESIGN.md, EXPERIMENTS.md, README.md, …) cannot rot. CI
+// runs it in the docs job; it also runs with the normal test suite.
+//
+// Scanned: every .go file's comments (line and doc comments), plus the
+// curated docs listed below. Deliberately NOT scanned: PAPERS.md,
+// SNIPPETS.md, ISSUE.md and CHANGES.md, which quote external material
+// and per-PR logs that may name files from other repositories.
+func TestDocRefsExist(t *testing.T) {
+	root, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The test runs in the package directory == repository root (this
+	// file lives at the root). Guard against being moved.
+	if _, err := os.Stat(filepath.Join(root, "go.mod")); err != nil {
+		t.Fatalf("expected to run at the repository root: %v", err)
+	}
+
+	mdRef := regexp.MustCompile(`[A-Za-z0-9_\-./]*[A-Za-z0-9_\-]\.md\b`)
+	curated := map[string]bool{
+		"README.md": true, "DESIGN.md": true, "EXPERIMENTS.md": true, "ROADMAP.md": true,
+	}
+
+	var violations []string
+	checkLine := func(path string, lineNo int, text string) {
+		for _, ref := range mdRef.FindAllString(text, -1) {
+			if strings.Contains(text, "://") {
+				continue // URLs point elsewhere
+			}
+			// Resolve relative to the repo root, then relative to the
+			// referencing file; either existing is fine.
+			if _, err := os.Stat(filepath.Join(root, ref)); err == nil {
+				continue
+			}
+			if _, err := os.Stat(filepath.Join(filepath.Dir(path), ref)); err == nil {
+				continue
+			}
+			violations = append(violations, strings.TrimPrefix(path, root+"/")+
+				":"+itoa(lineNo)+": reference to missing "+ref)
+		}
+	}
+
+	err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if name := d.Name(); name == ".git" || name == "testdata" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		isGo := strings.HasSuffix(path, ".go")
+		isCurated := curated[filepath.Base(path)] && filepath.Dir(path) == root
+		if !isGo && !isCurated {
+			return nil
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		sc := bufio.NewScanner(f)
+		sc.Buffer(make([]byte, 1<<20), 1<<20)
+		for lineNo := 1; sc.Scan(); lineNo++ {
+			line := sc.Text()
+			if isGo {
+				// Only comments: references inside string literals are
+				// data, not documentation.
+				i := strings.Index(line, "//")
+				if i < 0 {
+					continue
+				}
+				line = line[i:]
+			}
+			checkLine(path, lineNo, line)
+		}
+		return sc.Err()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range violations {
+		t.Error(v)
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [12]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}

@@ -2,6 +2,9 @@ package highway_test
 
 import (
 	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
 
 	"highway"
 )
@@ -22,6 +25,54 @@ func ExampleBuildIndex() {
 	// Output:
 	// 3
 	// 3
+}
+
+// ExampleNewServer serves an index over the HTTP/JSON API and answers
+// one request. Production servers use ListenAndServe; the test uses an
+// httptest listener around the same Handler.
+func ExampleNewServer() {
+	g, _ := highway.FromEdges(6, [][2]int32{
+		{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 0}, {1, 4},
+	})
+	landmarks, _ := highway.SelectLandmarks(g, 2, highway.ByDegree, 0)
+	ix, _ := highway.BuildIndex(g, landmarks)
+
+	srv := highway.NewServer(ix, highway.ServeConfig{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/distance?s=0&t=3")
+	if err != nil {
+		panic(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	fmt.Print(string(body))
+	// Output:
+	// {"s":0,"t":3,"distance":3}
+}
+
+// ExampleServer_InsertEdges shows the live-update API: a server built
+// with NewLiveServer accepts edge insertions (programmatically here;
+// POST /edges over HTTP) and every subsequent read sees them. Passing a
+// WAL in LiveConfig would additionally make the writes crash-durable.
+func ExampleServer_InsertEdges() {
+	g, _ := highway.FromEdges(6, [][2]int32{
+		{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 0}, {1, 4},
+	})
+	landmarks, _ := highway.SelectLandmarks(g, 2, highway.ByDegree, 0)
+	ix, _ := highway.BuildIndex(g, landmarks)
+
+	srv, _ := highway.NewLiveServer(ix, highway.LiveConfig{})
+	defer srv.Close()
+
+	before, _ := srv.Distance(0, 3)
+	res, _ := srv.InsertEdges([][2]int32{{0, 3}})
+	after, _ := srv.Distance(0, 3)
+	fmt.Printf("d(0,3) before=%d after=%d (inserted %d edge at epoch %d)\n",
+		before, after, res.Inserted, res.Epoch)
+	// Output:
+	// d(0,3) before=3 after=1 (inserted 1 edge at epoch 1)
 }
 
 // ExampleIndex_UpperBound shows the offline bound versus the exact

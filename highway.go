@@ -21,7 +21,7 @@
 //
 // # Serving
 //
-// To serve an index to network clients, wrap it in a Server: a pool of
+// To serve an index to network clients, wrap it in a Server: pools of
 // per-goroutine searchers behind an HTTP/JSON API with single and
 // batched query endpoints, atomic latency/QPS counters at /stats, and
 // graceful shutdown when the context is cancelled. The hlserve command
@@ -31,6 +31,23 @@
 //	err := srv.ListenAndServe(ctx, ":8080")
 //	// GET  /distance?s=12&t=34          -> {"s":12,"t":34,"distance":3}
 //	// POST /distance/batch {"pairs":[[1,2],[3,4]]} -> {"count":2,"distances":[2,3]}
+//
+// # Live updates
+//
+// A server built with NewLiveServer additionally accepts edge
+// insertions while serving: reads stay lock-free against an atomically
+// swapped immutable snapshot, writes go through the dynamic labelling
+// (selective landmark rebuild) and publish a fresh snapshot per batch.
+// An optional write-ahead edge log (OpenWAL) makes acknowledged writes
+// crash-durable, and a staleness threshold triggers background full
+// rebuilds that hot-swap in and compact the log. See DESIGN.md for the
+// architecture and lifecycle.
+//
+//	wal, _ := highway.OpenWAL("edges.wal")
+//	srv, _ := highway.NewLiveServer(ix, highway.LiveConfig{WAL: wal})
+//	// POST /edges {"edge":[12,34]}       -> {"accepted":1,"inserted":1,"epoch":1}
+//	// POST /edges {"edges":[[1,2],[3,4]]}
+//	// DELETE /edges                      -> 405 (the labelling is insert-only)
 //
 // The package also re-exports the three baseline oracles the paper
 // evaluates against (PLL, FD, IS-L) so downstream users can reproduce the
@@ -262,6 +279,43 @@ func NewServer(ix *Index, cfg ServeConfig) *Server { return serve.New(ix, cfg) }
 // NewServer(ix, ServeConfig{}).ListenAndServe(ctx, addr).
 func Serve(ctx context.Context, ix *Index, addr string) error {
 	return serve.New(ix, ServeConfig{}).ListenAndServe(ctx, addr)
+}
+
+// LiveConfig tunes an updatable Server: the base ServeConfig plus the
+// write-ahead log and the staleness thresholds that trigger background
+// rebuilds. The zero value serves in-memory live updates with default
+// thresholds.
+type LiveConfig = serve.LiveConfig
+
+// WAL is a write-ahead edge log: it makes acknowledged edge insertions
+// durable (one fsync per accepted batch) and is replayed on startup.
+type WAL = serve.WAL
+
+// InsertResult reports one accepted update batch: edges accepted (and
+// logged), edges actually new, and the snapshot epoch the batch became
+// visible at.
+type InsertResult = serve.InsertResult
+
+// OpenWAL opens (creating if absent) a write-ahead edge log, truncating
+// any torn tail left by a crash. Pass it to NewLiveServer via
+// LiveConfig.WAL; the server takes ownership and closes it.
+func OpenWAL(path string) (*WAL, error) { return serve.OpenWAL(path) }
+
+// NewLiveServer returns an updatable Server seeded from ix: reads are
+// answered lock-free from an immutable snapshot, InsertEdges (and POST
+// /edges) mutations publish fresh snapshots, and accumulated drift
+// triggers a background rebuild with the direction-optimizing builder.
+// If cfg.WAL is set, previously logged edges are replayed before the
+// server starts answering. Call Server.Close on shutdown.
+func NewLiveServer(ix *Index, cfg LiveConfig) (*Server, error) { return serve.NewLive(ix, cfg) }
+
+// LoadLiveServer assembles a live server from files: the newest
+// persisted state (a rebuild's compacted snapshot next to the WAL if
+// present, else the base graph+index files), with the WAL replayed on
+// top. This is the crash-recovery entry point behind "hlserve serve
+// -wal".
+func LoadLiveServer(graphPath, indexPath, walPath string, cfg LiveConfig) (*Server, error) {
+	return serve.LoadLive(graphPath, indexPath, walPath, cfg)
 }
 
 // Baseline oracles.

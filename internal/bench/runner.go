@@ -1,3 +1,18 @@
+// Package bench is the evaluation harness behind cmd/hlbench: it
+// re-runs the paper's experiments — the dataset statistics of Table 1,
+// the construction/query/size comparisons of Tables 2-3, the speedup
+// and scaling curves of Figures 1 and 6-9 — over the synthetic stand-in
+// datasets of internal/datasets, plus the ablation studies DESIGN.md
+// calls out (landmark selection strategies, bound-only vs full
+// queries). Each experiment id maps to one Runner method; see DESIGN.md
+// for the per-experiment index (what each id reproduces, which methods
+// and measurements it involves) and EXPERIMENTS.md for recorded runs
+// next to the paper's published numbers.
+//
+// Methods that exceed the per-run build budget are reported as DNF
+// rather than aborting the whole table, mirroring how the paper reports
+// timeouts on its largest datasets. Build results are cached per
+// (dataset, method, k) so experiments sharing a build pay for it once.
 package bench
 
 import (

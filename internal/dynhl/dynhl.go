@@ -22,8 +22,22 @@
 // Because Algorithm 1 is independent per landmark (Lemma 3.11), rebuilding
 // a subset of landmarks yields exactly the index a full rebuild would
 // produce — this invariant is property-tested against from-scratch builds.
-// Batched insertions (InsertEdges) share one rebuild pass across the
-// batch.
+// Batched insertions (InsertEdges, Apply) share one rebuild pass across
+// the batch.
+//
+// # Deletions
+//
+// The index is insert-only: there is no DeleteEdge, deliberately
+// mirroring the documented scope of internal/fd (whose deletions need
+// per-tree parent counts and are orthogonal to the paper's comparison).
+// An edge removal can turn "no new shortest path" into "a shortest path
+// disappeared", which the |d(r,a)−d(r,b)| dirtiness test cannot detect
+// without per-landmark parent bookkeeping; handling it exactly would
+// re-run the pruned BFS for *every* landmark reaching the edge, i.e. a
+// near-full rebuild. Callers that need deletions should rebuild the
+// index on the edited graph (cheap, per the paper's construction
+// numbers); the serving layer (internal/serve) surfaces this contract as
+// a 405 on DELETE /edges rather than pretending to support it.
 package dynhl
 
 import (
@@ -229,13 +243,27 @@ func (ix *Index) InsertEdge(a, b int32) error {
 // InsertEdges applies a batch of insertions with a single repair pass:
 // dirty landmarks are collected across the whole batch and rebuilt once.
 func (ix *Index) InsertEdges(edges [][2]int32) error {
+	_, err := ix.Apply(edges)
+	return err
+}
+
+// Apply is InsertEdges reporting how many of the edges were actually
+// new. Self-loops and already-present edges are skipped (and not
+// counted), which makes replaying a write-ahead log against any
+// earlier-or-equal state idempotent — the property the serving layer's
+// crash recovery builds on.
+func (ix *Index) Apply(edges [][2]int32) (int, error) {
+	// Validate the whole batch before touching any state: a mid-batch
+	// failure after mutating the adjacency would leave labels stale.
+	for _, e := range edges {
+		if a, b := e[0], e[1]; a < 0 || b < 0 || int(a) >= ix.n || int(b) >= ix.n {
+			return 0, fmt.Errorf("dynhl: edge {%d,%d} out of range [0,%d)", a, b, ix.n)
+		}
+	}
 	dirty := make([]bool, len(ix.landmarks))
 	inserted := 0
 	for _, e := range edges {
 		a, b := e[0], e[1]
-		if a < 0 || b < 0 || int(a) >= ix.n || int(b) >= ix.n {
-			return fmt.Errorf("dynhl: edge {%d,%d} out of range [0,%d)", a, b, ix.n)
-		}
 		if a == b || ix.hasEdge(a, b) {
 			continue
 		}
@@ -262,14 +290,14 @@ func (ix *Index) InsertEdges(edges [][2]int32) error {
 		inserted++
 	}
 	if inserted == 0 {
-		return nil
+		return 0, nil
 	}
 	for r, d := range dirty {
 		if d {
 			ix.rebuildLandmark(r)
 		}
 	}
-	return nil
+	return inserted, nil
 }
 
 func (ix *Index) hasEdge(a, b int32) bool {

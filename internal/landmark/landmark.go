@@ -3,7 +3,14 @@
 // vertices ("we chose top 20 vertices as landmarks after sorting based on
 // decreasing order of their degrees", Section 6.3); the paper's conclusion
 // names landmark selection strategies as future work, so this package also
-// implements the natural alternatives used by the ablation benches.
+// implements the natural alternatives — uniform random, sampled
+// closeness centrality, and degree-with-spread — that internal/bench's
+// ablation experiment compares on construction time, labelling size,
+// pair coverage and query time (see DESIGN.md's per-experiment index).
+//
+// Selection is deterministic given the strategy's seed, so every
+// experiment and test that derives landmarks from a (graph, k, seed)
+// triple is reproducible.
 package landmark
 
 import (

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"runtime"
 	"strconv"
 	"sync/atomic"
@@ -41,9 +42,8 @@ func (b BatchStats) String() string {
 // It is the high-throughput offline mode: the same searcher pool as the
 // HTTP API without per-request dispatch.
 func (s *Server) RunBatch(r io.Reader, w io.Writer, workers int) (BatchStats, error) {
-	n := s.g.NumVertices()
 	return s.runPipeline(w, workers, func(emit func(workload.Pair) error) error {
-		return workload.ReadPairs(r, n, emit)
+		return workload.ReadPairs(r, s.n, emit)
 	})
 }
 
@@ -52,7 +52,7 @@ func (s *Server) RunBatch(r io.Reader, w io.Writer, workers int) (BatchStats, er
 // deterministic load tests straight from the binary.
 func (s *Server) RunLoad(w io.Writer, count int, seed int64, workers int) (BatchStats, error) {
 	return s.runPipeline(w, workers, func(emit func(workload.Pair) error) error {
-		st := workload.NewStream(s.g, seed)
+		st := workload.NewStream(s.graphNow(), seed)
 		for i := 0; i < count; i++ {
 			if err := emit(st.Next()); err != nil {
 				return err
@@ -60,6 +60,60 @@ func (s *Server) RunLoad(w io.Writer, count int, seed int64, workers int) (Batch
 		}
 		return nil
 	})
+}
+
+// MixedStats summarizes one RunLoadMixed execution: the read-side
+// BatchStats plus the write traffic interleaved with it.
+type MixedStats struct {
+	BatchStats
+	Writes   int64  // InsertEdges batches issued (one edge each)
+	Inserted int64  // edges that were actually new
+	Epoch    uint64 // snapshot epoch after the run
+}
+
+func (m MixedStats) String() string {
+	return fmt.Sprintf("%s; %d writes (%d new edges), epoch %d",
+		m.BatchStats, m.Writes, m.Inserted, m.Epoch)
+}
+
+// RunLoadMixed is RunLoad with writes mixed in: for every read emitted,
+// an edge insertion is issued with probability writeRatio (deterministic
+// per seed), exercising snapshot swaps under read load. The server must
+// be live (NewLive/LoadLive). Distances are written to w in input
+// order; note that with concurrent snapshot swaps the distance printed
+// for a pair depends on which snapshot its worker holds, so only the
+// read *throughput* is deterministic, not the byte output.
+func (s *Server) RunLoadMixed(w io.Writer, count int, seed int64, workers int, writeRatio float64) (MixedStats, error) {
+	if s.up == nil {
+		return MixedStats{}, ErrReadOnly
+	}
+	if writeRatio < 0 || writeRatio > 1 {
+		return MixedStats{}, fmt.Errorf("serve: write ratio %v outside [0,1]", writeRatio)
+	}
+	var mixed MixedStats
+	n := int32(s.n)
+	rng := rand.New(rand.NewSource(seed ^ 0x6c69_7665)) // distinct stream from the read workload
+	bs, err := s.runPipeline(w, workers, func(emit func(workload.Pair) error) error {
+		st := workload.NewStream(s.graphNow(), seed)
+		for i := 0; i < count; i++ {
+			if rng.Float64() < writeRatio {
+				a, b := rng.Int31n(n), rng.Int31n(n)
+				res, err := s.InsertEdges([][2]int32{{a, b}})
+				if err != nil {
+					return err
+				}
+				mixed.Writes++
+				mixed.Inserted += int64(res.Inserted)
+			}
+			if err := emit(st.Next()); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	mixed.BatchStats = bs
+	mixed.Epoch = s.Epoch()
+	return mixed, err
 }
 
 // batchJob carries one chunk through the pipeline. done is buffered so a
@@ -84,12 +138,12 @@ func (s *Server) runPipeline(w io.Writer, workers int, source func(emit func(wor
 	for i := 0; i < workers; i++ {
 		go func() {
 			for job := range work {
-				sr := s.acquire()
+				sn, sr := s.acquire()
 				out := make([]int32, len(job.pairs))
 				for i, p := range job.pairs {
 					out[i] = sr.Distance(p.S, p.T)
 				}
-				s.release(sr)
+				s.release(sn, sr)
 				job.done <- out
 			}
 		}()

@@ -12,11 +12,16 @@ import (
 
 // Handler returns the HTTP API as an http.Handler. Routes:
 //
-//	GET  /                 self-documenting endpoint listing
-//	GET  /distance?s=&t=   one exact distance
-//	POST /distance/batch   {"pairs":[[s,t],...]} -> {"distances":[...]}
-//	GET  /stats            index stats + per-endpoint counters
-//	GET  /healthz          liveness probe
+//	GET    /                 self-documenting endpoint listing
+//	GET    /distance?s=&t=   one exact distance
+//	POST   /distance/batch   {"pairs":[[s,t],...]} -> {"distances":[...]}
+//	GET    /stats            index + live-serving stats, per-endpoint counters
+//	GET    /healthz          liveness probe
+//
+// Live servers (NewLive/LoadLive) additionally expose the mutation API:
+//
+//	POST   /edges            {"edge":[a,b]} or {"edges":[[a,b],...]}
+//	DELETE /edges            always 405: the labelling is insert-only
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /{$}", s.handleHelp)
@@ -24,6 +29,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /distance/batch", s.timed(epBatch, s.handleBatch))
 	mux.HandleFunc("GET /stats", s.timed(epStats, s.handleStats))
 	mux.HandleFunc("GET /healthz", s.timed(epHealth, s.handleHealth))
+	if s.up != nil {
+		mux.HandleFunc("POST /edges", s.timed(epEdges, s.handleInsertEdges))
+		mux.HandleFunc("DELETE /edges", s.timed(epEdges, s.handleDeleteEdges))
+	}
 	return mux
 }
 
@@ -57,14 +66,19 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 }
 
 func (s *Server) handleHelp(w http.ResponseWriter, r *http.Request) {
+	endpoints := map[string]string{
+		"GET /distance?s=&t=":  "one exact distance; -1 = disconnected",
+		"POST /distance/batch": `{"pairs":[[s,t],...]} -> {"distances":[...]}; max ` + strconv.Itoa(s.cfg.MaxBatch) + " pairs",
+		"GET /stats":           "index + live-serving stats, per-endpoint latency/QPS counters",
+		"GET /healthz":         "liveness probe",
+	}
+	if s.up != nil {
+		endpoints["POST /edges"] = `{"edge":[a,b]} or {"edges":[[a,b],...]} -> {"accepted":n,"inserted":m,"epoch":e}`
+		endpoints["DELETE /edges"] = "always 405: the dynamic labelling is insert-only (see internal/dynhl)"
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"service": "hlserve: exact distance oracle (highway cover labelling, EDBT 2019)",
-		"endpoints": map[string]string{
-			"GET /distance?s=&t=":  "one exact distance; -1 = disconnected",
-			"POST /distance/batch": `{"pairs":[[s,t],...]} -> {"distances":[...]}; max ` + strconv.Itoa(s.cfg.MaxBatch) + " pairs",
-			"GET /stats":           "index stats + per-endpoint latency/QPS counters",
-			"GET /healthz":         "liveness probe",
-		},
+		"service":   "hlserve: exact distance oracle (highway cover labelling, EDBT 2019)",
+		"endpoints": endpoints,
 	})
 }
 
@@ -148,20 +162,98 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) (int64, boo
 		}
 	}
 	// One searcher answers the whole batch: the dispatch cost (pool
-	// checkout, JSON decode) is amortized over len(Pairs) queries.
+	// checkout, JSON decode) is amortized over len(Pairs) queries. The
+	// snapshot is held for the whole batch, so all answers come from one
+	// consistent index even if writers publish mid-request.
 	distances := make([]int32, len(req.Pairs))
-	sr := s.acquire()
+	sn, sr := s.acquire()
 	for i, p := range req.Pairs {
 		distances[i] = sr.Distance(p[0], p[1])
 	}
-	s.release(sr)
+	s.release(sn, sr)
 	writeJSON(w, http.StatusOK, batchResponse{Count: len(distances), Distances: distances})
 	return int64(len(distances)), false
+}
+
+// insertRequest is the JSON shape of POST /edges: either one edge or a
+// batch, not both. Edges decode as slices (not [2]int32) for the same
+// reason as batchRequest: a [a,b,junk] triple must be a 400, not a
+// guess.
+type insertRequest struct {
+	Edge  []int32   `json:"edge"`
+	Edges [][]int32 `json:"edges"`
+}
+
+func (s *Server) handleInsertEdges(w http.ResponseWriter, r *http.Request) (int64, bool) {
+	var req insertRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, int64(s.cfg.MaxBatch)*64+1024))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				"update request body exceeds %d bytes", tooLarge.Limit)
+			return 0, true
+		}
+		writeError(w, http.StatusBadRequest, "malformed update request: %v", err)
+		return 0, true
+	}
+	if err := dec.Decode(&struct{}{}); err != io.EOF {
+		writeError(w, http.StatusBadRequest, "malformed update request: trailing data after JSON object")
+		return 0, true
+	}
+	if (req.Edge == nil) == (req.Edges == nil) {
+		writeError(w, http.StatusBadRequest, `want exactly one of "edge" or "edges"`)
+		return 0, true
+	}
+	pairs := req.Edges
+	if req.Edge != nil {
+		pairs = [][]int32{req.Edge}
+	}
+	if len(pairs) > s.cfg.MaxBatch {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			"batch of %d edges exceeds limit %d", len(pairs), s.cfg.MaxBatch)
+		return 0, true
+	}
+	edges := make([][2]int32, len(pairs))
+	for i, e := range pairs {
+		if len(e) != 2 {
+			writeError(w, http.StatusBadRequest, "edge %d: want [a,b], got %d elements", i, len(e))
+			return 0, true
+		}
+		edges[i] = [2]int32{e[0], e[1]}
+	}
+	res, err := s.InsertEdges(edges)
+	switch {
+	case err == nil:
+	case errors.Is(err, ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return 0, true
+	case errors.Is(err, ErrEdgeRange):
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return 0, true
+	default:
+		// WAL append or freeze failure: the batch was NOT applied.
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return 0, true
+	}
+	writeJSON(w, http.StatusOK, res)
+	return int64(res.Accepted), false
+}
+
+// handleDeleteEdges documents the deletion story instead of surprising
+// clients with a bare 405: the dynamic labelling is insert-only (see
+// internal/dynhl), matching the documented scope of the FD baseline.
+func (s *Server) handleDeleteEdges(w http.ResponseWriter, r *http.Request) (int64, bool) {
+	writeError(w, http.StatusMethodNotAllowed,
+		"edge deletions are not supported: the dynamic labelling is insert-only (see internal/dynhl); rebuild the index without the edge instead")
+	return 0, true
 }
 
 // statsResponse is the JSON shape of GET /stats.
 type statsResponse struct {
 	Index         indexStats               `json:"index"`
+	Live          *LiveStats               `json:"live,omitempty"`
 	UptimeSeconds float64                  `json:"uptime_seconds"`
 	Endpoints     map[string]EndpointStats `json:"endpoints"`
 }
@@ -177,8 +269,9 @@ type indexStats struct {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) (int64, bool) {
-	st := s.ix.Stats()
+	st := s.snap.Load().ix.Stats()
 	writeJSON(w, http.StatusOK, statsResponse{
+		Live: s.LiveStats(),
 		Index: indexStats{
 			NumVertices:  st.NumVertices,
 			NumEdges:     st.NumEdges,

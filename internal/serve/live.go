@@ -1,0 +1,507 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"highway/internal/core"
+	"highway/internal/dynhl"
+	"highway/internal/graph"
+)
+
+// LiveConfig tunes an updatable Server. The zero value serves live
+// updates in memory only (no WAL, default rebuild thresholds).
+type LiveConfig struct {
+	Config
+
+	// WAL, when non-nil, makes accepted writes durable: every batch is
+	// appended (one fsync per request) before it is applied, and the
+	// background rebuild persists a compacted snapshot next to the log.
+	// The server owns the WAL once passed in and closes it in Close.
+	WAL *WAL
+
+	// RebuildThreshold is the number of accepted edges since the last
+	// full rebuild (equivalently, the WAL length) that triggers a
+	// background rebuild + compaction. 0 means DefaultRebuildThreshold;
+	// negative disables the count trigger.
+	RebuildThreshold int
+
+	// RebuildGrowth triggers a rebuild when the labelling has grown past
+	// this factor of its entry count at the last rebuild (drift measured
+	// in label entries, the paper's size(L)). 0 means
+	// DefaultRebuildGrowth; values ≤ 1 disable the growth trigger.
+	RebuildGrowth float64
+
+	// RebuildWorkers is the worker count for the background
+	// direction-optimizing build (0 = GOMAXPROCS).
+	RebuildWorkers int
+}
+
+// DefaultRebuildThreshold is the accepted-edge count that triggers a
+// background rebuild when LiveConfig.RebuildThreshold is zero.
+const DefaultRebuildThreshold = 8192
+
+// DefaultRebuildGrowth is the label-entry growth factor that triggers a
+// background rebuild when LiveConfig.RebuildGrowth is zero.
+const DefaultRebuildGrowth = 1.5
+
+// ErrReadOnly is returned by InsertEdges on a server built with New.
+var ErrReadOnly = errors.New("serve: read-only server (built without NewLive)")
+
+// ErrClosed is returned by InsertEdges after Close.
+var ErrClosed = errors.New("serve: server is closed")
+
+// ErrEdgeRange is wrapped by InsertEdges when a batch names a vertex
+// outside the graph: a client fault (HTTP 400), distinguishable with
+// errors.Is from server-side failures (HTTP 500).
+var ErrEdgeRange = errors.New("serve: edge endpoint out of range")
+
+// InsertResult reports one accepted update batch.
+type InsertResult struct {
+	// Accepted is the number of edges validated and (if a WAL is
+	// configured) durably logged — the whole batch, including edges that
+	// turn out to be duplicates or self-loops.
+	Accepted int `json:"accepted"`
+	// Inserted is the number of edges that were actually new.
+	Inserted int `json:"inserted"`
+	// Epoch is the snapshot epoch the batch is visible at: every read
+	// that starts after InsertEdges returns sees at least this epoch.
+	Epoch uint64 `json:"epoch"`
+}
+
+// updater is the writer half of a live server. All fields are guarded
+// by mu except the atomic monitoring counters at the bottom.
+type updater struct {
+	mu  sync.Mutex
+	cfg LiveConfig
+
+	// dyn is the mutable truth: the dynamic labelling every accepted
+	// batch is applied to. Its labelling is always identical to a
+	// from-scratch build on the current edge set (internal/dynhl's
+	// invariant), which is what makes WAL replay and snapshot
+	// publication exact.
+	dyn *dynhl.Index
+	wal *WAL // nil when running without durability
+
+	// lastGraph is the frozen graph of the newest published snapshot;
+	// the background rebuild runs the full builder over it.
+	lastGraph *graph.Graph
+
+	// sinceRebuild counts accepted edges since the last completed
+	// rebuild/compaction (== WAL length when a WAL is configured).
+	sinceRebuild int
+	// baseEntries is size(L) at the last completed rebuild, the
+	// denominator of the growth trigger.
+	baseEntries int64
+	// delta collects batches accepted while a rebuild is in flight;
+	// they are replayed onto the fresh index before it is published.
+	delta      [][2]int32
+	rebuilding bool
+	closed     bool
+	wg         sync.WaitGroup // in-flight rebuild goroutine
+
+	// Monitoring counters (read lock-free by /stats).
+	epoch         atomic.Uint64
+	rebuilds      atomic.Int64
+	rebuildErrs   atomic.Int64
+	lastRebuildNs atomic.Int64
+	acceptedTotal atomic.Int64
+}
+
+// NewLive returns an updatable Server seeded from ix. If cfg.WAL is set,
+// any edges recovered from the log are replayed first (through the
+// copy-on-write dynhl.FromCore conversion), so the served snapshot
+// reflects every write acknowledged before a crash. The server takes
+// ownership of the WAL.
+func NewLive(ix *core.Index, cfg LiveConfig) (*Server, error) {
+	// The server owns cfg.WAL from here on, including on error paths.
+	fail := func(err error) (*Server, error) {
+		if cfg.WAL != nil {
+			cfg.WAL.Close()
+		}
+		return nil, err
+	}
+	dyn, err := dynhl.FromCore(ix)
+	if err != nil {
+		return fail(fmt.Errorf("serve: live conversion: %w", err))
+	}
+	s := newServer(ix, cfg.Config)
+	up := &updater{cfg: cfg, dyn: dyn, wal: cfg.WAL, lastGraph: ix.Graph(), baseEntries: ix.NumEntries()}
+	s.up = up
+	if up.wal != nil {
+		if rec := up.wal.Recovered(); len(rec) > 0 {
+			if _, err := dyn.Apply(rec); err != nil {
+				return fail(fmt.Errorf("serve: wal replay: %w", err))
+			}
+			g, fresh, err := dyn.Freeze()
+			if err != nil {
+				return fail(fmt.Errorf("serve: wal replay freeze: %w", err))
+			}
+			up.lastGraph = g
+			up.epoch.Store(1)
+			s.snap.Store(newSnapshot(fresh, 1))
+		}
+		up.sinceRebuild = up.wal.Len()
+	}
+	return s, nil
+}
+
+// LoadLive assembles a live server from files: it loads the newest
+// persisted state (the WAL's compacted snapshot pair if a rebuild wrote
+// one, else the base graph+index files), opens the WAL at walPath and
+// replays it. This is the crash-recovery entry point hlserve uses; the
+// combination (snapshot ⊕ WAL replay) always reconstructs exactly the
+// acknowledged edge set, because compaction persists the snapshot
+// before truncating the log and replay is idempotent.
+func LoadLive(graphPath, indexPath, walPath string, cfg LiveConfig) (*Server, error) {
+	wal, err := OpenWAL(walPath)
+	if err != nil {
+		return nil, err
+	}
+	var ix *core.Index
+	if _, serr := os.Stat(wal.SnapshotPath()); serr == nil {
+		_, ix, err = loadSnapshot(wal.SnapshotPath())
+	} else {
+		var g *graph.Graph
+		g, err = graph.LoadBinary(graphPath)
+		if err == nil {
+			ix, err = core.Load(indexPath, g)
+		}
+	}
+	if err != nil {
+		wal.Close()
+		return nil, err
+	}
+	cfg.WAL = wal
+	return NewLive(ix, cfg) // NewLive owns (and closes) the WAL on failure
+}
+
+// snapMagic heads the single-file graph+index snapshot a rebuild
+// persists next to the WAL. One file, one atomic rename: the graph and
+// the labelling can never be on disk out of step with each other,
+// which a two-file scheme could not guarantee across a crash.
+const snapMagic = "HWLSNAP1"
+
+// writeSnapshot persists graph+index as one file, fsynced before an
+// atomic rename into place — only after this returns may the WAL be
+// compacted, or a power failure could lose acknowledged edges.
+func writeSnapshot(path string, g *graph.Graph, ix *core.Index) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("serve: snapshot: %w", err)
+	}
+	bw := bufio.NewWriterSize(f, 1<<20)
+	_, err = bw.WriteString(snapMagic)
+	if err == nil {
+		err = g.WriteBinary(bw)
+	}
+	if err == nil {
+		err = ix.WriteFormat(bw, core.FormatV2)
+	}
+	if err == nil {
+		err = bw.Flush()
+	}
+	if err == nil {
+		err = f.Sync() // contents must be durable before the rename publishes them
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp, path)
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("serve: snapshot: %w", err)
+	}
+	syncDir(filepath.Dir(path))
+	return nil
+}
+
+// loadSnapshot reads a snapshot written by writeSnapshot.
+func loadSnapshot(path string) (*graph.Graph, *core.Index, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("serve: snapshot: %w", err)
+	}
+	defer f.Close()
+	br := bufio.NewReaderSize(f, 1<<20)
+	var magic [len(snapMagic)]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil || string(magic[:]) != snapMagic {
+		return nil, nil, fmt.Errorf("serve: %s is not a serving snapshot (bad magic)", path)
+	}
+	g, err := graph.ReadBinary(br)
+	if err != nil {
+		return nil, nil, fmt.Errorf("serve: snapshot graph: %w", err)
+	}
+	ix, err := core.Read(br, g)
+	if err != nil {
+		return nil, nil, fmt.Errorf("serve: snapshot index: %w", err)
+	}
+	return g, ix, nil
+}
+
+// InsertEdges accepts a batch of undirected edge insertions: validates
+// every endpoint (the whole batch is rejected on any invalid vertex —
+// no partial application), appends the batch to the WAL with one fsync,
+// applies it to the dynamic labelling, and publishes a fresh snapshot
+// that every subsequent read observes. Duplicate edges and self-loops
+// are accepted but ignored (counted in Accepted, not Inserted), which
+// is what makes WAL replay idempotent. Safe for concurrent use; writers
+// are serialized, readers never blocked.
+func (s *Server) InsertEdges(edges [][2]int32) (InsertResult, error) {
+	if s.up == nil {
+		return InsertResult{}, ErrReadOnly
+	}
+	for _, e := range edges {
+		if e[0] < 0 || int(e[0]) >= s.n || e[1] < 0 || int(e[1]) >= s.n {
+			return InsertResult{}, fmt.Errorf("%w: {%d,%d} outside [0,%d)", ErrEdgeRange, e[0], e[1], s.n)
+		}
+	}
+	up := s.up
+	up.mu.Lock()
+	defer up.mu.Unlock()
+	if up.closed {
+		return InsertResult{}, ErrClosed
+	}
+	if len(edges) == 0 {
+		return InsertResult{Epoch: up.epoch.Load()}, nil
+	}
+	// Durability first: the batch must be on disk before any state the
+	// crash-recovery path cannot reconstruct is mutated.
+	if up.wal != nil {
+		if err := up.wal.Append(edges); err != nil {
+			return InsertResult{}, err
+		}
+	}
+	inserted, err := up.dyn.Apply(edges)
+	if err != nil {
+		// Unreachable after the validation above; keep the state
+		// machine honest anyway.
+		return InsertResult{}, err
+	}
+	g, fresh, err := up.dyn.Freeze()
+	if err != nil {
+		return InsertResult{}, fmt.Errorf("serve: freeze: %w", err)
+	}
+	up.lastGraph = g
+	epoch := up.epoch.Add(1)
+	s.snap.Store(newSnapshot(fresh, epoch))
+
+	up.sinceRebuild += len(edges)
+	up.acceptedTotal.Add(int64(len(edges)))
+	if up.rebuilding {
+		up.delta = append(up.delta, edges...)
+	}
+	s.maybeRebuild(fresh.NumEntries())
+	return InsertResult{Accepted: len(edges), Inserted: inserted, Epoch: epoch}, nil
+}
+
+// rebuildThreshold resolves the configured accepted-edge trigger.
+func (up *updater) rebuildThreshold() int {
+	switch {
+	case up.cfg.RebuildThreshold == 0:
+		return DefaultRebuildThreshold
+	case up.cfg.RebuildThreshold < 0:
+		return 0 // disabled
+	default:
+		return up.cfg.RebuildThreshold
+	}
+}
+
+// rebuildGrowth resolves the configured label-entry growth trigger.
+func (up *updater) rebuildGrowth() float64 {
+	if up.cfg.RebuildGrowth == 0 {
+		return DefaultRebuildGrowth
+	}
+	if up.cfg.RebuildGrowth <= 1 {
+		return 0 // disabled
+	}
+	return up.cfg.RebuildGrowth
+}
+
+// maybeRebuild (mu held) checks the staleness triggers and kicks off the
+// background rebuild goroutine if one is due and none is running.
+func (s *Server) maybeRebuild(entries int64) {
+	up := s.up
+	if up.rebuilding || up.closed {
+		return
+	}
+	due := false
+	if th := up.rebuildThreshold(); th > 0 && up.sinceRebuild >= th {
+		due = true
+	}
+	if gf := up.rebuildGrowth(); gf > 1 && up.baseEntries > 0 &&
+		float64(entries) >= gf*float64(up.baseEntries) {
+		due = true
+	}
+	if !due {
+		return
+	}
+	up.rebuilding = true
+	up.delta = up.delta[:0]
+	g := up.lastGraph // frozen: safe to read outside the lock
+	lms := append([]int32(nil), up.dyn.Landmarks()...)
+	up.wg.Add(1)
+	go s.rebuild(g, lms)
+}
+
+// rebuild runs the full direction-optimizing parallel builder over a
+// frozen graph, then swaps the fresh index in. Writes keep landing on
+// the old state while it runs; the batches accepted in the meantime
+// (up.delta) are replayed onto the fresh index before it is published,
+// so the swap is never a step backwards. With a WAL configured, the
+// fresh snapshot is persisted and the log compacted down to the delta.
+func (s *Server) rebuild(g *graph.Graph, landmarks []int32) {
+	up := s.up
+	defer up.wg.Done()
+	start := time.Now()
+	ix, err := core.BuildOpts(context.Background(), g, landmarks,
+		core.Options{Workers: up.cfg.RebuildWorkers})
+	var dyn *dynhl.Index
+	if err == nil {
+		dyn, err = dynhl.FromCore(ix)
+	}
+	// Persist the rebuilt base BEFORE taking the writer lock: g and ix
+	// are immutable, so the (possibly long) disk write must not stall
+	// InsertEdges or /stats. Order still matters for crash safety —
+	// once the snapshot is durably on disk, compacting the log (under
+	// the lock, below) cannot lose edges; a crash in between is benign
+	// because replaying the old, longer log against the new snapshot
+	// is idempotent.
+	persisted := false
+	if err == nil && up.wal != nil {
+		if perr := writeSnapshot(up.wal.SnapshotPath(), g, ix); perr == nil {
+			persisted = true
+		} else {
+			up.rebuildErrs.Add(1)
+		}
+	}
+
+	up.mu.Lock()
+	defer up.mu.Unlock()
+	up.rebuilding = false
+	if up.closed {
+		return
+	}
+	if err != nil {
+		// The old state keeps serving; the failure is surfaced in
+		// /stats and the triggers will fire again.
+		up.rebuildErrs.Add(1)
+		up.delta = nil
+		return
+	}
+	delta := up.delta
+	up.delta = nil
+	fresh, freshGraph := ix, g
+	if len(delta) > 0 {
+		if _, err := dyn.Apply(delta); err != nil {
+			up.rebuildErrs.Add(1)
+			return
+		}
+		freshGraph, fresh, err = dyn.Freeze()
+		if err != nil {
+			up.rebuildErrs.Add(1)
+			return
+		}
+	}
+	up.dyn = dyn
+	up.lastGraph = freshGraph
+	up.baseEntries = fresh.NumEntries()
+	up.sinceRebuild = len(delta)
+	epoch := up.epoch.Add(1)
+	s.snap.Store(newSnapshot(fresh, epoch))
+
+	if up.wal != nil && persisted {
+		// Shrink the log to the delta. Skipped when the snapshot
+		// persist failed: the full log plus the old base still
+		// reconstruct everything, so failing to compact is safe and
+		// failing to compact *after a failed persist* would not be.
+		if err := up.wal.CompactTo(delta); err != nil {
+			up.rebuildErrs.Add(1)
+		}
+	}
+	up.rebuilds.Add(1)
+	up.lastRebuildNs.Store(int64(time.Since(start)))
+}
+
+// Rebuilding reports whether a background rebuild is in flight.
+func (s *Server) Rebuilding() bool {
+	if s.up == nil {
+		return false
+	}
+	s.up.mu.Lock()
+	defer s.up.mu.Unlock()
+	return s.up.rebuilding
+}
+
+// Close shuts the writer side down: it waits for an in-flight
+// background rebuild to finish and closes the WAL. Reads keep working
+// against the last snapshot; InsertEdges returns ErrClosed afterwards.
+// Close is a no-op on read-only servers.
+func (s *Server) Close() error {
+	if s.up == nil {
+		return nil
+	}
+	up := s.up
+	up.mu.Lock()
+	if up.closed {
+		up.mu.Unlock()
+		return nil
+	}
+	up.closed = true
+	up.mu.Unlock()
+	up.wg.Wait()
+	if up.wal != nil {
+		return up.wal.Close()
+	}
+	return nil
+}
+
+// LiveStats is the snapshot/WAL/rebuild section of /stats, present only
+// on live servers.
+type LiveStats struct {
+	Epoch             uint64  `json:"epoch"`
+	AcceptedEdges     int64   `json:"accepted_edges"`
+	EdgesSinceRebuild int     `json:"edges_since_rebuild"`
+	WALEnabled        bool    `json:"wal_enabled"`
+	WALLen            int     `json:"wal_len"`
+	Rebuilds          int64   `json:"rebuilds"`
+	RebuildErrors     int64   `json:"rebuild_errors"`
+	Rebuilding        bool    `json:"rebuilding"`
+	LastRebuildMs     float64 `json:"last_rebuild_ms"`
+}
+
+// LiveStats returns the live-serving counters, or nil on a read-only
+// server.
+func (s *Server) LiveStats() *LiveStats {
+	up := s.up
+	if up == nil {
+		return nil
+	}
+	up.mu.Lock()
+	st := &LiveStats{
+		Epoch:             up.epoch.Load(),
+		AcceptedEdges:     up.acceptedTotal.Load(),
+		EdgesSinceRebuild: up.sinceRebuild,
+		WALEnabled:        up.wal != nil,
+		Rebuilds:          up.rebuilds.Load(),
+		RebuildErrors:     up.rebuildErrs.Load(),
+		Rebuilding:        up.rebuilding,
+		LastRebuildMs:     float64(up.lastRebuildNs.Load()) / 1e6,
+	}
+	if up.wal != nil {
+		st.WALLen = up.wal.Len()
+	}
+	up.mu.Unlock()
+	return st
+}

@@ -12,6 +12,7 @@ const (
 	epBatch
 	epStats
 	epHealth
+	epEdges
 	numEndpoints
 )
 
@@ -20,6 +21,7 @@ var endpointNames = [numEndpoints]string{
 	epBatch:    "batch",
 	epStats:    "stats",
 	epHealth:   "healthz",
+	epEdges:    "edges",
 }
 
 // endpointMetrics accumulates one endpoint's counters. All fields are

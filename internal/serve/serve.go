@@ -1,22 +1,51 @@
 // Package serve turns a highway cover labelling into a concurrent
 // query-serving subsystem: the load-bearing entry point between the
 // offline index of the paper and a system answering heavy online
-// traffic.
+// traffic — including traffic that *mutates the graph while queries are
+// being served*.
 //
-// A Server wraps one immutable core.Index and answers exact distance
-// queries through a pool of per-goroutine Searchers, so concurrent
-// requests never contend on scratch buffers. It exposes
+// # Reading
+//
+// A Server answers exact distance queries from an immutable snapshot: a
+// core.Index plus its own pool of per-goroutine Searchers, published
+// behind an atomic pointer. Readers load the current snapshot, check a
+// Searcher out of that snapshot's pool, answer allocation-free, and
+// return it — no locks, no contention with writers, ever. It exposes
 //
 //   - an HTTP/JSON API (Handler): GET /distance for single pairs,
 //     POST /distance/batch to amortize dispatch over many pairs per
-//     request, GET /stats for index and per-endpoint latency/QPS
-//     counters, GET /healthz for liveness, and GET / for
+//     request, GET /stats for index, snapshot and per-endpoint
+//     latency/QPS counters, GET /healthz for liveness, and GET / for
 //     self-documenting help;
 //   - a high-throughput stdin/stdout batch mode (RunBatch) that streams
 //     "s t" lines through a bounded worker pipeline in input order; and
 //   - graceful shutdown via context (ListenAndServe).
 //
-// All state mutated after construction is held in atomic counters, so
+// # Writing (live servers)
+//
+// A Server built with NewLive or LoadLive additionally accepts edge
+// insertions (POST /edges, or InsertEdges from Go). Writers are
+// serialized behind a mutex and never block readers: each accepted batch
+// is (1) appended to the write-ahead edge log if one is configured, (2)
+// applied to a mutable dynhl.Index by selective landmark rebuild, and
+// (3) frozen into a fresh immutable snapshot that is atomically swapped
+// in, so the next read observes it. Deletions are not supported — the
+// dynamic labelling is insert-only (see internal/dynhl) — and are
+// rejected with a 4xx.
+//
+// The WAL makes acknowledged writes durable: appends are batched into
+// one fsync per accepted request, and LoadLive replays the log through
+// dynhl.FromCore on startup, so a crash loses nothing that was
+// acknowledged. When accumulated drift passes a staleness threshold
+// (accepted-edge count or label-entry growth; see LiveConfig), the
+// server rebuilds the index from scratch in the background with the
+// direction-optimizing parallel builder, hot-swaps the fresh snapshot,
+// persists it next to the WAL and compacts the log — bounding both
+// memory fragmentation and restart replay time. See DESIGN.md for the
+// full lifecycle.
+//
+// All cross-request state is either immutable (snapshots), atomic
+// (counters, the snapshot pointer) or mutex-held (the writer state), so
 // every method on Server is safe for concurrent use.
 package serve
 
@@ -26,6 +55,7 @@ import (
 	"net"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"highway/internal/core"
@@ -35,6 +65,7 @@ import (
 // Config tunes a Server. The zero value is ready for production use.
 type Config struct {
 	// MaxBatch caps the number of pairs accepted by one batch request
+	// and the number of edges accepted by one update request
 	// (DefaultMaxBatch when 0). Oversized batches are rejected with 413
 	// rather than truncated.
 	MaxBatch int
@@ -53,45 +84,81 @@ const DefaultMaxBatch = 100_000
 // Config.ShutdownGrace is zero.
 const DefaultShutdownGrace = 5 * time.Second
 
-// Server serves exact distance queries from a shared Index. Create one
-// with New; the zero value is not usable.
-type Server struct {
-	ix  *core.Index
-	g   *graph.Graph
-	cfg Config
-
-	// searchers pools scratch state so a request checks out a Searcher,
-	// answers its pairs allocation-free, and returns it. sync.Pool (over
-	// a fixed shard-per-worker array) lets the pool grow to the true
-	// concurrency level under load and shrink when idle.
+// snapshot is one immutable published state of the server: an index and
+// the searcher pool bound to it. Searchers hold scratch state sized and
+// aimed at one specific index, so every snapshot owns its own pool and a
+// checked-out Searcher is always returned to the snapshot it came from.
+type snapshot struct {
+	ix        *core.Index
+	epoch     uint64
 	searchers sync.Pool
+}
+
+func newSnapshot(ix *core.Index, epoch uint64) *snapshot {
+	sn := &snapshot{ix: ix, epoch: epoch}
+	sn.searchers.New = func() any { return ix.NewSearcher() }
+	return sn
+}
+
+// Server serves exact distance queries from an atomically swappable
+// index snapshot. Create one with New (read-only) or NewLive/LoadLive
+// (updatable); the zero value is not usable.
+type Server struct {
+	cfg Config
+	n   int // vertex count; fixed for the server's lifetime (inserts add edges, not vertices)
+
+	// snap is the current read state. Readers Load it once per request
+	// and work against that immutable snapshot; writers publish a new
+	// snapshot with Store. Never mutated in place.
+	snap atomic.Pointer[snapshot]
+
+	// up holds the writer state of a live server; nil for read-only
+	// servers (New).
+	up *updater
 
 	metrics metricSet
 	started time.Time
 }
 
-// New returns a Server over ix.
+// New returns a read-only Server over ix.
 func New(ix *core.Index, cfg Config) *Server {
+	s := newServer(ix, cfg)
+	return s
+}
+
+func newServer(ix *core.Index, cfg Config) *Server {
 	if cfg.MaxBatch <= 0 {
 		cfg.MaxBatch = DefaultMaxBatch
 	}
 	if cfg.ShutdownGrace <= 0 {
 		cfg.ShutdownGrace = DefaultShutdownGrace
 	}
-	s := &Server{ix: ix, g: ix.Graph(), cfg: cfg, started: time.Now()}
-	s.searchers.New = func() any { return ix.NewSearcher() }
+	s := &Server{cfg: cfg, n: ix.Graph().NumVertices(), started: time.Now()}
+	s.snap.Store(newSnapshot(ix, 0))
 	return s
 }
 
-// Index returns the served index.
-func (s *Server) Index() *core.Index { return s.ix }
+// Index returns the currently served index snapshot. On a live server a
+// later call may return a newer index; the returned index itself is
+// immutable and stays valid.
+func (s *Server) Index() *core.Index { return s.snap.Load().ix }
 
-// acquire checks a Searcher out of the pool; release returns it.
-func (s *Server) acquire() *core.Searcher   { return s.searchers.Get().(*core.Searcher) }
-func (s *Server) release(sr *core.Searcher) { s.searchers.Put(sr) }
+// Epoch returns the current snapshot epoch: 0 at startup, incremented
+// every time a write or a background rebuild publishes a new snapshot.
+func (s *Server) Epoch() uint64 { return s.snap.Load().epoch }
 
-// Distance answers one exact distance query through the pool. It is the
-// programmatic equivalent of GET /distance and safe for concurrent use.
+// acquire loads the current snapshot and checks a Searcher out of its
+// pool; release returns the Searcher to the snapshot it came from.
+func (s *Server) acquire() (*snapshot, *core.Searcher) {
+	sn := s.snap.Load()
+	return sn, sn.searchers.Get().(*core.Searcher)
+}
+
+func (s *Server) release(sn *snapshot, sr *core.Searcher) { sn.searchers.Put(sr) }
+
+// Distance answers one exact distance query against the current
+// snapshot. It is the programmatic equivalent of GET /distance and safe
+// for concurrent use.
 func (s *Server) Distance(sv, tv int32) (int32, error) {
 	if err := s.checkVertex(sv); err != nil {
 		return core.Infinity, err
@@ -99,13 +166,19 @@ func (s *Server) Distance(sv, tv int32) (int32, error) {
 	if err := s.checkVertex(tv); err != nil {
 		return core.Infinity, err
 	}
-	sr := s.acquire()
+	sn, sr := s.acquire()
 	d := sr.Distance(sv, tv)
-	s.release(sr)
+	s.release(sn, sr)
 	return d, nil
 }
 
-func (s *Server) checkVertex(v int32) error { return s.g.CheckVertex(v) }
+func (s *Server) checkVertex(v int32) error {
+	return s.snap.Load().ix.Graph().CheckVertex(v)
+}
+
+// graphNow returns the graph of the current snapshot (for workload
+// generation; the vertex set never changes, only the edge set grows).
+func (s *Server) graphNow() *graph.Graph { return s.snap.Load().ix.Graph() }
 
 // ListenAndServe serves the HTTP API on addr until ctx is cancelled,
 // then shuts down gracefully, waiting up to Config.ShutdownGrace for

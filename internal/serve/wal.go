@@ -1,0 +1,238 @@
+package serve
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// WAL is a write-ahead edge log: the durability substrate of a live
+// server. Every accepted edge insertion is appended (and fsynced) to the
+// log *before* it is applied to the in-memory labelling, so an
+// acknowledged write survives a crash; on startup the log is replayed
+// into a fresh dynamic index (LoadLive). Replay is idempotent — the
+// dynamic index treats re-inserting an existing edge as a no-op — which
+// keeps the crash-recovery protocol simple: it is always safe to replay
+// the whole log against any snapshot at or behind the log's tail.
+//
+// The on-disk format is a fixed 8-byte magic ("HWLWAL01") followed by
+// 12-byte records: two little-endian int32 endpoints plus a CRC-32C of
+// the pair. A torn final record (crash mid-append) or any corrupt tail
+// is detected by length or checksum and truncated away on open; records
+// before it are kept.
+//
+// A WAL is not safe for concurrent use by itself; the live server
+// serializes all calls behind its writer mutex.
+type WAL struct {
+	path      string
+	f         *os.File
+	records   int
+	recovered [][2]int32
+	buf       []byte
+}
+
+const (
+	walMagic      = "HWLWAL01"
+	walRecordSize = 12 // int32 a, int32 b, crc32c(a,b)
+)
+
+var walTable = crc32.MakeTable(crc32.Castagnoli)
+
+func walSum(a, b int32) uint32 {
+	var p [8]byte
+	binary.LittleEndian.PutUint32(p[0:4], uint32(a))
+	binary.LittleEndian.PutUint32(p[4:8], uint32(b))
+	return crc32.Checksum(p[:], walTable)
+}
+
+// OpenWAL opens (creating if absent) the edge log at path, scans it,
+// truncates any torn or corrupt tail, and retains the surviving records
+// for Recovered. The file stays open for appends until Close.
+func OpenWAL(path string) (*WAL, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: open: %w", err)
+	}
+	w := &WAL{path: path, f: f}
+	if err := w.recover(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return w, nil
+}
+
+// recover scans the log from the start, keeping every intact record and
+// truncating the file at the first torn or corrupt one.
+func (w *WAL) recover() error {
+	info, err := w.f.Stat()
+	if err != nil {
+		return fmt.Errorf("wal: stat: %w", err)
+	}
+	if info.Size() == 0 {
+		// Fresh log: stamp the magic so a later open can tell "new log"
+		// from "not a log".
+		if _, err := w.f.Write([]byte(walMagic)); err != nil {
+			return fmt.Errorf("wal: init: %w", err)
+		}
+		return w.f.Sync()
+	}
+	var magic [len(walMagic)]byte
+	if _, err := io.ReadFull(w.f, magic[:]); err != nil || string(magic[:]) != walMagic {
+		return fmt.Errorf("wal: %s is not an edge log (bad magic)", w.path)
+	}
+	good := int64(len(walMagic))
+	rec := make([]byte, walRecordSize)
+	for {
+		_, err := io.ReadFull(w.f, rec)
+		if err != nil {
+			break // EOF or torn tail: keep what we have
+		}
+		a := int32(binary.LittleEndian.Uint32(rec[0:4]))
+		b := int32(binary.LittleEndian.Uint32(rec[4:8]))
+		if binary.LittleEndian.Uint32(rec[8:12]) != walSum(a, b) {
+			break // corrupt record: everything after it is suspect
+		}
+		w.recovered = append(w.recovered, [2]int32{a, b})
+		good += walRecordSize
+	}
+	w.records = len(w.recovered)
+	if good != info.Size() {
+		if err := w.f.Truncate(good); err != nil {
+			return fmt.Errorf("wal: truncating torn tail: %w", err)
+		}
+	}
+	if _, err := w.f.Seek(good, io.SeekStart); err != nil {
+		return fmt.Errorf("wal: seek: %w", err)
+	}
+	return nil
+}
+
+// Recovered returns the edges that were in the log when it was opened,
+// in append order. The caller replays them and must not modify the
+// slice.
+func (w *WAL) Recovered() [][2]int32 { return w.recovered }
+
+// Len returns the number of records currently in the log.
+func (w *WAL) Len() int { return w.records }
+
+// Path returns the log's file path.
+func (w *WAL) Path() string { return w.path }
+
+// SnapshotPath returns the path of the compacted graph+index snapshot
+// written next to the log by a background rebuild (a single file, so
+// the graph and the index can never be persisted out of step). LoadLive
+// prefers it over the base files when it exists.
+func (w *WAL) SnapshotPath() string { return w.path + ".snap" }
+
+// Append logs a batch of edges with a single fsync (group commit: the
+// whole batch becomes durable together, amortizing the sync over the
+// batch). The edges are durable when Append returns nil.
+func (w *WAL) Append(edges [][2]int32) error {
+	if w.f == nil {
+		return fmt.Errorf("wal: log handle lost (failed compaction reopen or closed)")
+	}
+	if len(edges) == 0 {
+		return nil
+	}
+	w.buf = w.buf[:0]
+	for _, e := range edges {
+		var rec [walRecordSize]byte
+		binary.LittleEndian.PutUint32(rec[0:4], uint32(e[0]))
+		binary.LittleEndian.PutUint32(rec[4:8], uint32(e[1]))
+		binary.LittleEndian.PutUint32(rec[8:12], walSum(e[0], e[1]))
+		w.buf = append(w.buf, rec[:]...)
+	}
+	if _, err := w.f.Write(w.buf); err != nil {
+		return fmt.Errorf("wal: append: %w", err)
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("wal: fsync: %w", err)
+	}
+	w.records += len(edges)
+	return nil
+}
+
+// CompactTo atomically replaces the log's contents with the given edges
+// (those accepted after the snapshot the caller just persisted): a new
+// log is written and fsynced beside the old one, then renamed over it.
+// A crash at any point leaves either the old or the new log intact, and
+// because replay is idempotent, either is correct against the snapshot.
+//
+// If the rename succeeds but the handle cannot be pointed at the new
+// log, the WAL fails stop: the stale handle (now an unlinked inode) is
+// dropped and every subsequent Append errors rather than acknowledging
+// writes that would vanish with the process.
+func (w *WAL) CompactTo(edges [][2]int32) error {
+	if w.f == nil {
+		return fmt.Errorf("wal: log handle lost (failed compaction reopen or closed)")
+	}
+	tmp := w.path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("wal: compact: %w", err)
+	}
+	nw := &WAL{path: tmp, f: f}
+	if _, err := f.Write([]byte(walMagic)); err == nil {
+		err = nw.Append(edges)
+	}
+	if err == nil {
+		err = f.Sync() // Append only syncs non-empty batches; the magic must hit disk too
+	}
+	if err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("wal: compact: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("wal: compact: %w", err)
+	}
+	if err := os.Rename(tmp, w.path); err != nil {
+		// The old log is still in place and the handle still valid:
+		// nothing changed, the caller may retry later.
+		os.Remove(tmp)
+		return fmt.Errorf("wal: compact: %w", err)
+	}
+	syncDir(filepath.Dir(w.path))
+	// The path now names the new log; the old handle points at an
+	// unlinked inode and must not receive further appends.
+	w.f.Close()
+	w.f = nil
+	nf, err := os.OpenFile(w.path, os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: reopen after compact: %w", err)
+	}
+	if _, err := nf.Seek(0, io.SeekEnd); err != nil {
+		nf.Close()
+		return fmt.Errorf("wal: reopen after compact: %w", err)
+	}
+	w.f = nf
+	w.records = len(edges)
+	return nil
+}
+
+// Close syncs and closes the log file.
+func (w *WAL) Close() error {
+	if w.f == nil {
+		return nil
+	}
+	err := w.f.Sync()
+	if cerr := w.f.Close(); err == nil {
+		err = cerr
+	}
+	w.f = nil
+	return err
+}
+
+// syncDir fsyncs a directory so a just-renamed file is durable. Best
+// effort: some filesystems reject directory fsync, and the rename
+// itself is already atomic.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+}

@@ -1,0 +1,189 @@
+package serve
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func tempWALPath(t *testing.T) string {
+	t.Helper()
+	return filepath.Join(t.TempDir(), "edges.wal")
+}
+
+func TestWALAppendRecoverRoundTrip(t *testing.T) {
+	path := tempWALPath(t)
+	w, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Recovered()) != 0 || w.Len() != 0 {
+		t.Fatalf("fresh log not empty: %d records", w.Len())
+	}
+	edges := [][2]int32{{1, 2}, {3, 4}, {5, 6}}
+	if err := w.Append(edges[:2]); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(edges[2:]); err != nil {
+		t.Fatal(err)
+	}
+	if w.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", w.Len())
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	w2, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	got := w2.Recovered()
+	if len(got) != len(edges) {
+		t.Fatalf("recovered %d records, want %d", len(got), len(edges))
+	}
+	for i, e := range edges {
+		if got[i] != e {
+			t.Fatalf("record %d = %v, want %v", i, got[i], e)
+		}
+	}
+	// Appends after recovery extend the log, not overwrite it.
+	if err := w2.Append([][2]int32{{7, 8}}); err != nil {
+		t.Fatal(err)
+	}
+	w2.Close()
+	w3, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w3.Close()
+	if w3.Len() != 4 || w3.Recovered()[3] != [2]int32{7, 8} {
+		t.Fatalf("after append+reopen: %v", w3.Recovered())
+	}
+}
+
+func TestWALTornTailTruncated(t *testing.T) {
+	path := tempWALPath(t)
+	w, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append([][2]int32{{1, 2}, {3, 4}}); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+
+	// Simulate a crash mid-append: a partial third record.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{9, 9, 9, 9, 9}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	w2, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if w2.Len() != 2 {
+		t.Fatalf("torn tail: recovered %d records, want 2", w2.Len())
+	}
+	// The torn bytes must be gone from disk, so the next append starts a
+	// valid record.
+	if err := w2.Append([][2]int32{{5, 6}}); err != nil {
+		t.Fatal(err)
+	}
+	w2.Close()
+	w3, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w3.Close()
+	if w3.Len() != 3 || w3.Recovered()[2] != [2]int32{5, 6} {
+		t.Fatalf("after torn-tail repair: %v", w3.Recovered())
+	}
+}
+
+func TestWALCorruptRecordTruncatesSuffix(t *testing.T) {
+	path := tempWALPath(t)
+	w, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append([][2]int32{{1, 2}, {3, 4}, {5, 6}}); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+
+	// Flip one byte in the middle record; it and everything after must
+	// be dropped.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(walMagic)+walRecordSize+2] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	w2, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if w2.Len() != 1 || w2.Recovered()[0] != [2]int32{1, 2} {
+		t.Fatalf("corrupt middle record: recovered %v, want just {1,2}", w2.Recovered())
+	}
+}
+
+func TestWALBadMagicRejected(t *testing.T) {
+	path := tempWALPath(t)
+	if err := os.WriteFile(path, []byte("NOTAWAL0: something else entirely"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenWAL(path); err == nil {
+		t.Fatal("want error opening a non-WAL file")
+	}
+}
+
+func TestWALCompactTo(t *testing.T) {
+	path := tempWALPath(t)
+	w, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if err := w.Append([][2]int32{{1, 2}, {3, 4}, {5, 6}, {7, 8}}); err != nil {
+		t.Fatal(err)
+	}
+	delta := [][2]int32{{7, 8}}
+	if err := w.CompactTo(delta); err != nil {
+		t.Fatal(err)
+	}
+	if w.Len() != 1 {
+		t.Fatalf("Len after compact = %d, want 1", w.Len())
+	}
+	// The handle must keep working against the new file.
+	if err := w.Append([][2]int32{{9, 10}}); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	w2, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	want := [][2]int32{{7, 8}, {9, 10}}
+	if len(w2.Recovered()) != len(want) {
+		t.Fatalf("recovered %v, want %v", w2.Recovered(), want)
+	}
+	for i := range want {
+		if w2.Recovered()[i] != want[i] {
+			t.Fatalf("recovered %v, want %v", w2.Recovered(), want)
+		}
+	}
+}
