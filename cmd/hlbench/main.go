@@ -6,6 +6,8 @@
 //	hlbench -exp all                      # every table and figure
 //	hlbench -exp table2,table3 -shrink 4  # quicker, smaller stand-ins
 //	hlbench -exp fig7 -datasets Skitter,Flickr -pairs 10000
+//	hlbench -exp table2 -json runs.json   # machine-readable build report
+//	                                      # (DNF rows carry method + reason)
 package main
 
 import (
@@ -39,6 +41,7 @@ func run(args []string) error {
 		work   = fs.Int("workers", 0, "HL-P workers (0 = all cores)")
 		seed   = fs.Int64("seed", 42, "workload seed")
 		list   = fs.Bool("list", false, "list experiment ids and datasets, then exit")
+		jsonTo = fs.String("json", "", "also write a machine-readable build report to this file (DNF rows carry the method name and reason)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -75,5 +78,22 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	return r.Run(strings.Split(*exp, ","))
+	if err := r.Run(strings.Split(*exp, ",")); err != nil {
+		return err
+	}
+	if *jsonTo != "" {
+		f, err := os.Create(*jsonTo)
+		if err != nil {
+			return err
+		}
+		if err := r.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "[hlbench] wrote %s (%d builds)\n", *jsonTo, len(r.Results()))
+	}
+	return nil
 }

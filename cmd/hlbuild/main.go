@@ -5,9 +5,11 @@
 //
 //	hlbuild -graph web.hwg -k 20 -out web.idx
 //	hlbuild -graph edges.txt -k 40 -strategy degree -workers 8 -verify 1000
+//	hlbuild -graph web.hwg -method pll -bitparallel 50  (any registry method)
+//	hlbuild -graph web.hwg -method isl -out web.isl.idx
 //	hlbuild -graph web.hwg -k 20 -progress           (log per-landmark BFS completion)
 //	hlbuild -graph web.hwg -k 20 -direction topdown  (disable direction optimization)
-//	hlbuild -graph web.hwg -k 20 -format v1          (old on-disk format)
+//	hlbuild -graph web.hwg -k 20 -format v1          (old on-disk format, hl only)
 //	hlbuild migrate -graph web.hwg -in web.idx -out web.idx.v2
 //
 // After a build, hlbuild reports wall time, worker count and the
@@ -43,24 +45,33 @@ func run(args []string) error {
 	}
 	fs := flag.NewFlagSet("hlbuild", flag.ContinueOnError)
 	var (
-		graphPath = fs.String("graph", "", "graph file: binary (.hwg) or text edge list (required)")
-		k         = fs.Int("k", 20, "number of landmarks")
-		strategy  = fs.String("strategy", "degree", "landmark strategy: degree | random | closeness | degree-spread")
-		seed      = fs.Int64("seed", 42, "seed for randomized strategies")
-		workers   = fs.Int("workers", 0, "parallel pruned BFSs (0 = all cores, 1 = sequential HL)")
-		out       = fs.String("out", "", "index output path (default: graph path + .idx)")
-		verify    = fs.Int("verify", 0, "cross-check this many random pairs against BFS after building")
-		timeout   = fs.Duration("timeout", 0, "abort construction after this duration (0 = none)")
-		format    = fs.String("format", "v2", "index file format: v2 (checksummed sections) | v1 (legacy)")
-		direction = fs.String("direction", "auto", "pruned-BFS traversal: auto (direction-optimizing) | topdown | bottomup")
-		progress  = fs.Bool("progress", false, "log one line per completed landmark BFS to stderr")
+		graphPath  = fs.String("graph", "", "graph file: binary (.hwg) or text edge list (required)")
+		methodName = fs.String("method", "hl", "labelling method: "+strings.Join(highway.MethodNames(), " | "))
+		k          = fs.Int("k", 20, "number of landmarks")
+		strategy   = fs.String("strategy", "degree", "landmark strategy: degree | random | closeness | degree-spread")
+		seed       = fs.Int64("seed", 42, "seed for randomized strategies")
+		workers    = fs.Int("workers", 0, "parallel pruned BFSs (0 = all cores, 1 = sequential HL)")
+		bp         = fs.Int("bitparallel", 0, "bit-parallel trees (pll: tree count, fd: >0 enables one per landmark)")
+		out        = fs.String("out", "", "index output path (default: graph path + .idx)")
+		verify     = fs.Int("verify", 0, "cross-check this many random pairs against BFS after building")
+		timeout    = fs.Duration("timeout", 0, "abort construction after this duration (0 = none)")
+		format     = fs.String("format", "v2", "index file format for -method hl: v2 (checksummed sections) | v1 (legacy)")
+		direction  = fs.String("direction", "auto", "pruned-BFS traversal: auto (direction-optimizing) | topdown | bottomup")
+		progress   = fs.Bool("progress", false, "log one line per completed landmark BFS to stderr")
 	)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	m, err := highway.MethodByName(*methodName)
+	if err != nil {
 		return err
 	}
 	f, err := highway.ParseIndexFormat(*format)
 	if err != nil {
 		return err
+	}
+	if m.Name != "hl" && f != highway.IndexFormatV2 {
+		return fmt.Errorf("-format %s is an hl knob; method %q always writes the tagged v2 container", f, m.Name)
 	}
 	dir, err := parseDirection(*direction)
 	if err != nil {
@@ -69,42 +80,50 @@ func run(args []string) error {
 	if *graphPath == "" {
 		return fmt.Errorf("-graph is required")
 	}
+	if *k <= 0 {
+		return fmt.Errorf("-k must be positive, got %d", *k)
+	}
 	g, err := loadGraph(*graphPath)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("graph: n=%d m=%d\n", g.NumVertices(), g.NumEdges())
 
-	lm, err := highway.SelectLandmarks(g, *k, highway.LandmarkStrategy(*strategy), *seed)
-	if err != nil {
-		return err
-	}
 	ctx := context.Background()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
-	opts := highway.BuildOptions{Workers: *workers, Direction: dir}
+	opts := []highway.BuildOption{
+		highway.WithLandmarkCount(*k),
+		highway.WithStrategy(highway.LandmarkStrategy(*strategy)),
+		highway.WithSeed(*seed),
+		highway.WithWorkers(*workers),
+		highway.WithDirection(dir),
+		highway.WithBitParallel(*bp),
+	}
 	if *progress {
-		opts.Progress = func(done, total int) {
+		opts = append(opts, highway.WithProgress(func(done, total int) {
 			fmt.Fprintf(os.Stderr, "hlbuild: landmark BFS %d/%d done\n", done, total)
-		}
+		}))
 	}
 	start := time.Now()
-	ix, err := highway.BuildIndexOpts(ctx, g, lm, opts)
+	ix, err := highway.Build(ctx, g, m.Name, opts...)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("built in %s: %s\n", time.Since(start).Round(time.Millisecond), ix.Stats())
-	bs := ix.BuildStats()
-	tr := bs.Traversal
-	fmt.Printf("workers=%d levels=%d (top-down %d, bottom-up %d) edges scanned=%d (top-down %d, bottom-up %d)\n",
-		bs.Workers, tr.Levels(), tr.TopDownLevels, tr.BottomUpLevels,
-		tr.EdgesScanned(), tr.EdgesTopDown, tr.EdgesBottomUp)
+	fmt.Printf("built %s in %s: %s\n", m.Name, time.Since(start).Round(time.Millisecond), ix.Stats())
+	if hl, ok := ix.(*highway.Index); ok {
+		bs := hl.BuildStats()
+		tr := bs.Traversal
+		fmt.Printf("workers=%d levels=%d (top-down %d, bottom-up %d) edges scanned=%d (top-down %d, bottom-up %d)\n",
+			bs.Workers, tr.Levels(), tr.TopDownLevels, tr.BottomUpLevels,
+			tr.EdgesScanned(), tr.EdgesTopDown, tr.EdgesBottomUp)
+	}
 
 	if *verify > 0 {
-		if err := ix.Verify(*verify, *seed); err != nil {
+		if err := highway.VerifyIndex(g, ix, *verify, *seed); err != nil {
 			return err
 		}
 		fmt.Printf("verified %d random pairs against BFS\n", *verify)
@@ -114,10 +133,17 @@ func run(args []string) error {
 	if dest == "" {
 		dest = *graphPath + ".idx"
 	}
-	if err := highway.SaveIndexAs(ix, dest, f); err != nil {
+	if hl, ok := ix.(*highway.Index); ok {
+		if err := highway.SaveIndexAs(hl, dest, f); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (format %s)\n", dest, f)
+		return nil
+	}
+	if err := ix.Save(dest); err != nil {
 		return err
 	}
-	fmt.Printf("wrote %s (format %s)\n", dest, f)
+	fmt.Printf("wrote %s (method %s, tagged v2 container)\n", dest, m.Name)
 	return nil
 }
 

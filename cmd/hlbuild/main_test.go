@@ -190,3 +190,42 @@ func TestRunBuildDirections(t *testing.T) {
 		}
 	}
 }
+
+// TestRunBuildMethods drives -method through every registry entry: the
+// written file must carry the method tag, load back through
+// LoadIndexAny, and answer a query.
+func TestRunBuildMethods(t *testing.T) {
+	gp := writeGraph(t)
+	g, err := highway.LoadGraph(gp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range highway.Methods() {
+		out := filepath.Join(t.TempDir(), m.Name+".idx")
+		args := []string{"-graph", gp, "-method", m.Name, "-k", "6", "-out", out, "-verify", "50"}
+		if m.Name == "pll" {
+			args = append(args, "-bitparallel", "4")
+		}
+		if err := run(args); err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+		tag, err := highway.SniffIndexMethod(out)
+		if err != nil || tag != m.Name {
+			t.Fatalf("%s: sniffed tag %q, err %v", m.Name, tag, err)
+		}
+		ix, err := highway.LoadIndexAny(out, g)
+		if err != nil {
+			t.Fatalf("%s: LoadIndexAny: %v", m.Name, err)
+		}
+		if d := ix.Distance(0, 1); d < 0 {
+			t.Fatalf("%s: d(0,1) = %d on a connected BA graph", m.Name, d)
+		}
+	}
+	// -format is an hl-only knob.
+	if err := run([]string{"-graph", gp, "-method", "pll", "-format", "v1"}); err == nil {
+		t.Error("-method pll -format v1 accepted")
+	}
+	if err := run([]string{"-graph", gp, "-method", "bogus"}); err == nil {
+		t.Error("unknown -method accepted")
+	}
+}

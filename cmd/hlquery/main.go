@@ -16,6 +16,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"os"
 	"os/signal"
@@ -58,17 +59,27 @@ func run(args []string) error {
 	if ip == "" {
 		ip = *graphPath + ".idx"
 	}
-	// Both index formats load transparently; -stats surfaces which one a
-	// file is in (hlbuild migrate rewrites between them).
-	ix, format, err := highway.LoadIndexFormat(ip, g)
+	// Any registered method's index loads transparently: the file's
+	// method tag selects the decoder (hl for untagged/legacy files).
+	ix, err := highway.LoadIndexAny(ip, g)
 	if err != nil {
 		return err
 	}
 
 	switch {
 	case *stats:
-		fmt.Printf("index: %s\nformat: %s\nstats: %s\nmemory: %d bytes\n",
-			ip, format, ix.Stats(), ix.ActualBytes())
+		st := ix.Stats()
+		fmt.Printf("index: %s\nmethod: %s\nstats: %s\n", ip, st.Method, st)
+		if hl, ok := ix.(*highway.Index); ok {
+			// hl files exist in two formats; surface which one (hlbuild
+			// migrate rewrites between them) and the real footprint. The
+			// format IS the file magic — no need to re-decode the index.
+			format, err := indexFileFormat(ip)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("format: %s\nmemory: %d bytes\n", format, hl.ActualBytes())
+		}
 		return nil
 	case *s >= 0 && *t >= 0:
 		if err := checkVertex(g, *s); err != nil {
@@ -85,6 +96,25 @@ func run(args []string) error {
 	}
 }
 
+// indexFileFormat maps the index file's magic to its format name
+// without decoding the file a second time (LoadIndexAny already
+// validated it in full).
+func indexFileFormat(path string) (highway.IndexFormat, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	var magic [8]byte
+	if _, err := io.ReadFull(f, magic[:]); err != nil {
+		return 0, err
+	}
+	if string(magic[:]) == "HWLIDX01" {
+		return highway.IndexFormatV1, nil
+	}
+	return highway.IndexFormatV2, nil
+}
+
 // checkVertex validates an int vertex id before it is narrowed to
 // int32: ids beyond int32 must be rejected, not silently wrapped.
 func checkVertex(g *highway.Graph, v int) error {
@@ -94,14 +124,14 @@ func checkVertex(g *highway.Graph, v int) error {
 	return g.CheckVertex(int32(v))
 }
 
-func oneShot(ix *highway.Index, s, t int32) error {
+func oneShot(ix highway.DistanceIndex, s, t int32) error {
 	start := time.Now()
 	d := ix.Distance(s, t)
 	fmt.Printf("d(%d,%d) = %d  (%s)\n", s, t, d, time.Since(start))
 	return nil
 }
 
-func repl(ix *highway.Index, g *highway.Graph) error {
+func repl(ix highway.DistanceIndex, g *highway.Graph) error {
 	sr := ix.NewSearcher()
 	sc := bufio.NewScanner(os.Stdin)
 	fmt.Println("enter queries as: s t   (EOF to quit)")
@@ -129,10 +159,11 @@ func repl(ix *highway.Index, g *highway.Graph) error {
 }
 
 // serveHTTP delegates to the shared serving subsystem so hlquery -serve
-// and hlserve expose one API instead of two drifting ones.
-func serveHTTP(ix *highway.Index, addr string) error {
+// and hlserve expose one API instead of two drifting ones. Any method's
+// index serves (read-only) through the same machinery.
+func serveHTTP(ix highway.DistanceIndex, addr string) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	fmt.Printf("serving on %s (GET /distance?s=&t=, POST /distance/batch, GET /stats, GET /healthz)\n", addr)
-	return highway.Serve(ctx, ix, addr)
+	return highway.NewServerFor(ix, highway.ServeConfig{}).ListenAndServe(ctx, addr)
 }

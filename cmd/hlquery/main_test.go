@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"math/bits"
 	"path/filepath"
 	"testing"
@@ -97,6 +98,28 @@ func TestCheckVertex(t *testing.T) {
 		big <<= 32
 		if err := checkVertex(g, big); err == nil {
 			t.Error("id beyond int32 accepted")
+		}
+	}
+}
+
+// TestAnyMethodIndex: hlquery auto-detects the method tag, so one-shot
+// queries and -stats work on any registered method's index file.
+func TestAnyMethodIndex(t *testing.T) {
+	gp, _, g := fixture(t)
+	for _, name := range []string{"pll", "isl", "fd", "dynhl"} {
+		ix, err := highway.Build(context.Background(), g, name, highway.WithLandmarkCount(6))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ip := filepath.Join(t.TempDir(), name+".idx")
+		if err := ix.Save(ip); err != nil {
+			t.Fatal(err)
+		}
+		if err := run([]string{"-graph", gp, "-index", ip, "-s", "1", "-t", "250"}); err != nil {
+			t.Fatalf("%s one-shot: %v", name, err)
+		}
+		if err := run([]string{"-graph", gp, "-index", ip, "-stats"}); err != nil {
+			t.Fatalf("%s -stats: %v", name, err)
 		}
 	}
 }

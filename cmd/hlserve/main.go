@@ -10,17 +10,22 @@
 //
 //	hlserve serve -graph g.hwg -addr :8080       # live HTTP API until SIGINT
 //	hlserve serve -graph g.hwg -wal edges.wal    # ... with durable updates
+//	hlserve serve -graph g.hwg -method pll       # serve any labelling method (read-only)
 //	hlserve batch -graph g.hwg < pairs.txt       # one distance per line, input order
 //	hlserve load  -graph g.hwg -n 100000         # generated load test, prints qps
 //	hlserve load  -graph g.hwg -writeratio 0.01  # ... mixing writes into the reads
 //	hlserve genpairs -graph g.hwg -n 100000      # emit "s t" lines for batch mode
 //	hlserve help [command]
 //
-// Build the graph and index first with hlbuild. Every command takes
-// -graph (binary graph file); serve, batch and load also take -index
-// (default: graph path + .idx). With -wal, serve prefers the compacted
-// snapshot a previous run's rebuild persisted next to the log, then
-// replays the log, so restarts lose nothing that was acknowledged.
+// Build the graph and index first with hlbuild (any -method). Every
+// command takes -graph (binary graph file); serve, batch and load also
+// take -index (default: graph path + .idx) and accept any registered
+// method's index — the file's method tag selects the decoder, and
+// serve's -method flag cross-checks it. Only the highway labelling
+// serves live updates; every other method serves read-only. With -wal,
+// serve prefers the compacted snapshot a previous run's rebuild
+// persisted next to the log, then replays the log, so restarts lose
+// nothing that was acknowledged.
 package main
 
 import (
@@ -30,6 +35,7 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 
 	"highway"
@@ -84,8 +90,10 @@ func usage(w io.Writer) {
 }
 
 // indexFlags declares the flags every command shares and returns a
-// resolver for the graph/index paths plus a loader.
-func indexFlags(fs *flag.FlagSet) (paths func() (graphPath, indexPath string, err error), load func() (*highway.Index, error)) {
+// resolver for the graph/index paths plus a method-agnostic loader
+// (the file's method tag selects the decoder, so every subcommand
+// accepts any registered method's index).
+func indexFlags(fs *flag.FlagSet) (paths func() (graphPath, indexPath string, err error), load func() (highway.DistanceIndex, error)) {
 	graphPath := fs.String("graph", "", "binary graph file (required; build with hlbuild)")
 	indexPath := fs.String("index", "", "index file (default: graph path + .idx)")
 	paths = func() (string, string, error) {
@@ -98,7 +106,7 @@ func indexFlags(fs *flag.FlagSet) (paths func() (graphPath, indexPath string, er
 		}
 		return *graphPath, ip, nil
 	}
-	load = func() (*highway.Index, error) {
+	load = func() (highway.DistanceIndex, error) {
 		gp, ip, err := paths()
 		if err != nil {
 			return nil, err
@@ -107,7 +115,7 @@ func indexFlags(fs *flag.FlagSet) (paths func() (graphPath, indexPath string, er
 		if err != nil {
 			return nil, err
 		}
-		return highway.LoadIndex(ip, g)
+		return highway.LoadIndexAny(ip, g)
 	}
 	return paths, load
 }
@@ -121,6 +129,7 @@ func runServe(args []string, _ io.Reader, stdout, _ io.Writer) error {
 	rebuildTh := fs.Int("rebuild-threshold", 0, "accepted edges triggering a background rebuild (0 = default, <0 = never)")
 	rebuildGrowth := fs.Float64("rebuild-growth", 0, "label-entry growth factor triggering a rebuild (0 = default, <=1 = never)")
 	readonly := fs.Bool("readonly", false, "serve the index frozen, without the update API")
+	methodName := fs.String("method", "", "index method to serve: "+strings.Join(highway.MethodNames(), " | ")+" (default: auto-detect from the index file; non-dynamic methods serve read-only)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -135,19 +144,76 @@ func runServe(args []string, _ io.Reader, stdout, _ io.Writer) error {
 		RebuildThreshold: *rebuildTh,
 		RebuildGrowth:    *rebuildGrowth,
 	}
+
+	// Resolve the method: sniff the index file's tag, cross-checked
+	// against -method when given (serving a file under the wrong decoder
+	// must fail loudly, not mis-answer). The -wal restart path may
+	// legitimately run without the index file — serve.LoadLive prefers
+	// the compacted snapshot a previous rebuild persisted — so there the
+	// tag defaults to hl and is only sniffed when the file is present.
+	gp, ip, err := paths()
+	if err != nil {
+		return err
+	}
+	tag := "hl"
+	if _, serr := os.Stat(ip); serr == nil || *walPath == "" {
+		if tag, err = highway.SniffIndexMethod(ip); err != nil {
+			return err
+		}
+	}
+	m, err := highway.MethodByName(tag)
+	if err != nil {
+		return err
+	}
+	if *methodName != "" {
+		want, err := highway.MethodByName(*methodName)
+		if err != nil {
+			return err
+		}
+		if want.Name != m.Name {
+			return fmt.Errorf("-method %s, but %s is a %q index", want.Name, ip, m.Name)
+		}
+	}
+
 	var srv *serve.Server
 	switch {
+	case m.Name != "hl":
+		// Generic path: any method serves through the shared machinery.
+		// The WAL/rebuild pipeline is bound to the highway labelling's
+		// files; a dynamic-method index (dynhl) still serves live via its
+		// frozen snapshot, every non-dynamic method serves read-only.
+		if *walPath != "" {
+			return fmt.Errorf("-wal requires an hl index (got a %q index)", m.Name)
+		}
+		ix, err := load()
+		if err != nil {
+			return err
+		}
+		dyn, isDynHL := ix.(*highway.DynamicIndex)
+		switch {
+		case *readonly || !isDynHL:
+			if !*readonly {
+				fmt.Fprintf(stdout, "hlserve: method %s serves read-only (POST /edges needs a dynamic highway index)\n", m.Name)
+			}
+			srv = serve.NewIndex(ix, cfg.Config)
+		default:
+			// dynhl: snapshot the evolved state and serve it live.
+			_, frozen, err := dyn.Freeze()
+			if err != nil {
+				return err
+			}
+			srv, err = serve.NewLive(frozen, cfg)
+			if err != nil {
+				return err
+			}
+		}
 	case *readonly:
 		ix, err := load()
 		if err != nil {
 			return err
 		}
-		srv = serve.New(ix, cfg.Config)
+		srv = serve.NewIndex(ix, cfg.Config)
 	case *walPath != "":
-		gp, ip, err := paths()
-		if err != nil {
-			return err
-		}
 		srv, err = serve.LoadLive(gp, ip, *walPath, cfg)
 		if err != nil {
 			return err
@@ -157,7 +223,8 @@ func runServe(args []string, _ io.Reader, stdout, _ io.Writer) error {
 		if err != nil {
 			return err
 		}
-		srv, err = serve.NewLive(ix, cfg)
+		// The m.Name == "hl" guard above makes this assertion safe.
+		srv, err = serve.NewLive(ix.(*highway.Index), cfg)
 		if err != nil {
 			return err
 		}
@@ -188,7 +255,7 @@ func runBatch(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
-	stats, err := serve.New(ix, serve.Config{}).RunBatch(stdin, stdout, *workers)
+	stats, err := serve.NewIndex(ix, serve.Config{}).RunBatch(stdin, stdout, *workers)
 	if err != nil {
 		return err
 	}
@@ -213,8 +280,13 @@ func runLoad(args []string, _ io.Reader, stdout, _ io.Writer) error {
 	if *writeRatio > 0 {
 		// Mixed read/write mode: a live in-memory server absorbing
 		// random insertions while the read pipeline hammers it, the
-		// serving-side equivalent of the FD comparison.
-		srv, err := serve.NewLive(ix, serve.LiveConfig{})
+		// serving-side equivalent of the FD comparison. Writes need the
+		// dynamic highway pipeline, hence an hl index.
+		hl, ok := ix.(*highway.Index)
+		if !ok {
+			return fmt.Errorf("-writeratio needs an hl index (method %q serves read-only)", ix.Stats().Method)
+		}
+		srv, err := serve.NewLive(hl, serve.LiveConfig{})
 		if err != nil {
 			return err
 		}
@@ -226,7 +298,7 @@ func runLoad(args []string, _ io.Reader, stdout, _ io.Writer) error {
 		fmt.Fprintln(stdout, "hlserve:", stats)
 		return nil
 	}
-	stats, err := serve.New(ix, serve.Config{}).RunLoad(io.Discard, *n, *seed, *workers)
+	stats, err := serve.NewIndex(ix, serve.Config{}).RunLoad(io.Discard, *n, *seed, *workers)
 	if err != nil {
 		return err
 	}

@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"context"
+	"fmt"
 	"io"
 	"path/filepath"
 	"strconv"
@@ -144,5 +146,78 @@ func TestServeBadWALPath(t *testing.T) {
 	err := run([]string{"serve", "-graph", gp, "-wal", filepath.Join(gp, "impossible", "edges.wal")}, nil, &out, io.Discard)
 	if err == nil {
 		t.Fatal("want error for unopenable WAL path")
+	}
+}
+
+// writeMethodIndex builds a non-hl index next to the graph, for the
+// generic serving paths.
+func writeMethodIndex(t *testing.T, methodName string) (graphPath, indexPath string) {
+	t.Helper()
+	g := highway.BarabasiAlbert(300, 3, 5)
+	dir := t.TempDir()
+	gp := filepath.Join(dir, "g.hwg")
+	if err := highway.SaveGraph(g, gp); err != nil {
+		t.Fatal(err)
+	}
+	ix, err := highway.Build(context.Background(), g, methodName, highway.WithLandmarkCount(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ip := gp + ".idx"
+	if err := ix.Save(ip); err != nil {
+		t.Fatal(err)
+	}
+	return gp, ip
+}
+
+// TestBatchAnyMethod runs the offline batch pipeline over a PLL index:
+// the shared loader must detect the method tag and the generic server
+// must answer through the interface.
+func TestBatchAnyMethod(t *testing.T) {
+	gp, _ := writeMethodIndex(t, "pll")
+	var out, errOut bytes.Buffer
+	in := strings.NewReader("0 1\n5 9\n")
+	if err := run([]string{"batch", "-graph", gp, "-workers", "2"}, in, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	got := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(got) != 2 {
+		t.Fatalf("batch wrote %d lines, want 2: %q", len(got), out.String())
+	}
+	g, err := highway.LoadGraph(gp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := highway.Build(context.Background(), g, "pll")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range [][2]int32{{0, 1}, {5, 9}} {
+		if want := fmt.Sprint(ix.Distance(p[0], p[1])); got[i] != want {
+			t.Fatalf("pair %v: batch says %s, index says %s", p, got[i], want)
+		}
+	}
+}
+
+// TestServeMethodMismatch pins the -method cross-check: pointing serve
+// at a pll file while asking for hl must fail loudly before listening.
+func TestServeMethodMismatch(t *testing.T) {
+	gp, ip := writeMethodIndex(t, "pll")
+	err := run([]string{"serve", "-graph", gp, "-index", ip, "-method", "hl", "-addr", "127.0.0.1:0"},
+		nil, io.Discard, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), `"pll"`) {
+		t.Fatalf("err = %v, want a method-mismatch error naming pll", err)
+	}
+	// A WAL needs the hl pipeline.
+	err = run([]string{"serve", "-graph", gp, "-index", ip, "-wal", filepath.Join(t.TempDir(), "edges.wal"), "-addr", "127.0.0.1:0"},
+		nil, io.Discard, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "hl index") {
+		t.Fatalf("err = %v, want the -wal/-method conflict", err)
+	}
+	// -writeratio load needs hl too.
+	err = run([]string{"load", "-graph", gp, "-index", ip, "-n", "10", "-writeratio", "0.5"},
+		nil, io.Discard, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "hl index") {
+		t.Fatalf("err = %v, want the -writeratio restriction", err)
 	}
 }

@@ -1,10 +1,13 @@
 package highway_test
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 
 	"highway"
 )
@@ -75,6 +78,42 @@ func ExampleServer_InsertEdges() {
 	// d(0,3) before=3 after=1 (inserted 1 edge at epoch 1)
 }
 
+// ExampleBuild builds three different labelling methods through the
+// unified registry entry point with functional options, queries them
+// through the shared DistanceIndex interface, and round-trips one via
+// Save/LoadIndexAny. The answers agree because every method is exact.
+func ExampleBuild() {
+	g, _ := highway.FromEdges(6, [][2]int32{
+		{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 0}, {1, 4},
+	})
+	ctx := context.Background()
+	landmarks, _ := highway.SelectLandmarks(g, 2, highway.ByDegree, 0)
+
+	for _, name := range []string{"hl", "pll", "isl"} {
+		ix, err := highway.Build(ctx, g, name,
+			highway.WithLandmarks(landmarks), // used by hl; pll and isl ignore it
+			highway.WithWorkers(1),
+		)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%s: d(0,3)=%d\n", ix.Stats().Method, ix.Distance(0, 3))
+	}
+
+	dir, _ := os.MkdirTemp("", "highway-example")
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "g.pll.idx")
+	ix, _ := highway.Build(ctx, g, "pll")
+	_ = ix.Save(path)
+	back, _ := highway.LoadIndexAny(path, g) // the method tag selects the decoder
+	fmt.Printf("loaded %s: d(2,5)=%d\n", back.Stats().Method, back.Distance(2, 5))
+	// Output:
+	// hl: d(0,3)=3
+	// pll: d(0,3)=3
+	// isl: d(0,3)=3
+	// loaded pll: d(2,5)=3
+}
+
 // ExampleIndex_UpperBound shows the offline bound versus the exact
 // distance on a path where the landmark sits at one end.
 func ExampleIndex_UpperBound() {
@@ -88,11 +127,14 @@ func ExampleIndex_UpperBound() {
 	// 3
 }
 
-// ExampleSearcher_Path reconstructs one shortest path.
+// ExampleSearcher_Path reconstructs one shortest path. Path lives on
+// the concrete highway cover Searcher (Index.Searcher); the
+// method-agnostic NewSearcher interface covers Distance and UpperBound
+// only.
 func ExampleSearcher_Path() {
 	g, _ := highway.FromEdges(5, [][2]int32{{0, 1}, {1, 2}, {2, 3}, {3, 4}})
 	ix, _ := highway.BuildIndex(g, []int32{2})
-	sr := ix.NewSearcher()
+	sr := ix.Searcher()
 	fmt.Println(sr.Path(0, 4))
 	// Output:
 	// [0 1 2 3 4]

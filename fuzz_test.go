@@ -1,0 +1,51 @@
+package highway_test
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"highway"
+)
+
+// FuzzReadIndexAny holds every registered method's decoder total on
+// arbitrary bytes: no panic, no runaway allocation — either a valid
+// index or an error. Seeds are each method's own serialized output
+// (the interesting shapes) plus the legacy magics.
+func FuzzReadIndexAny(f *testing.F) {
+	g := highway.BarabasiAlbert(60, 2, 3)
+	dir := f.TempDir()
+	for _, m := range highway.Methods() {
+		ix, err := highway.Build(context.Background(), g, m.Name, highway.WithLandmarkCount(4))
+		if err != nil {
+			f.Fatal(err)
+		}
+		path := filepath.Join(dir, m.Name+".idx")
+		if err := ix.Save(path); err != nil {
+			f.Fatal(err)
+		}
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(raw)
+	}
+	f.Add([]byte("HWLIDX01"))
+	f.Add([]byte("HWLIDX02"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, m := range highway.Methods() {
+			ix, err := m.Read(bytes.NewReader(data), g)
+			if err != nil {
+				continue
+			}
+			// A successfully decoded index must answer queries without
+			// panicking.
+			_ = ix.Distance(0, int32(g.NumVertices()-1))
+			_ = ix.UpperBound(1, 2)
+			_ = ix.Stats()
+		}
+	})
+}

@@ -49,9 +49,24 @@
 //	// POST /edges {"edges":[[1,2],[3,4]]}
 //	// DELETE /edges                      -> 405 (the labelling is insert-only)
 //
-// The package also re-exports the three baseline oracles the paper
-// evaluates against (PLL, FD, IS-L) so downstream users can reproduce the
-// comparisons on their own graphs; see BuildPLL, BuildFD and BuildISL.
+// # Methods
+//
+// The paper's method and every baseline it evaluates against (PLL, FD,
+// IS-L) plus the dynamic highway labelling implement one interface —
+// DistanceIndex — and register under one name, so all five build, query,
+// persist and serve through the same API:
+//
+//	for _, m := range highway.Methods() { fmt.Println(m.Name) } // hl dynhl pll fd isl
+//	ix, _ := highway.Build(ctx, g, "pll")
+//	_ = ix.Save("g.pll.idx")
+//	back, _ := highway.LoadIndexAny("g.pll.idx", g)
+//	srv := highway.NewServerFor(back, highway.ServeConfig{})
+//
+// Build takes functional options (WithLandmarks, WithWorkers,
+// WithDirection, WithProgress, WithBitParallel, ...). The per-method
+// constructors below (BuildIndex, BuildPLL, BuildFD, BuildISL,
+// BuildDynamic, ...) remain as thin deprecated shims over the same
+// implementations.
 package highway
 
 import (
@@ -194,18 +209,28 @@ func SelectLandmarks(g *Graph, k int, strategy LandmarkStrategy, seed int64) ([]
 // BuildIndex constructs the highway cover labelling with one pruned BFS
 // per landmark running in parallel (the paper's HL-P). The labelling is
 // deterministic: it does not depend on worker count or landmark order.
+//
+// Deprecated: use Build(ctx, g, "hl", WithLandmarks(landmarks)); this
+// shim remains so pre-registry code keeps compiling.
 func BuildIndex(g *Graph, landmarks []int32) (*Index, error) {
 	return core.BuildParallel(g, landmarks)
 }
 
 // BuildIndexSequential constructs the labelling with a single worker (the
 // paper's HL), producing an identical index to BuildIndex.
+//
+// Deprecated: use Build(ctx, g, "hl", WithLandmarks(landmarks),
+// WithWorkers(1)).
 func BuildIndexSequential(g *Graph, landmarks []int32) (*Index, error) {
 	return core.Build(g, landmarks)
 }
 
 // BuildIndexOpts constructs the labelling with explicit options and
 // cancellation.
+//
+// Deprecated: use Build(ctx, g, "hl", WithLandmarks(landmarks),
+// WithWorkers(opt.Workers), WithDirection(opt.Direction),
+// WithProgress(opt.Progress)).
 func BuildIndexOpts(ctx context.Context, g *Graph, landmarks []int32, opt BuildOptions) (*Index, error) {
 	return core.BuildOpts(ctx, g, landmarks, opt)
 }
@@ -274,6 +299,12 @@ type ServeConfig = serve.Config
 // NewServer returns a Server over ix.
 func NewServer(ix *Index, cfg ServeConfig) *Server { return serve.New(ix, cfg) }
 
+// NewServerFor returns a read-only Server over any method's
+// DistanceIndex (the generic path behind "hlserve serve -method").
+// Only the highway cover labelling serves live updates; every other
+// method serves frozen.
+func NewServerFor(ix DistanceIndex, cfg ServeConfig) *Server { return serve.NewIndex(ix, cfg) }
+
 // Serve answers HTTP distance queries against ix on addr until ctx is
 // cancelled, then shuts down gracefully. Shorthand for
 // NewServer(ix, ServeConfig{}).ListenAndServe(ctx, addr).
@@ -323,7 +354,8 @@ func LoadLiveServer(graphPath, indexPath, walPath string, cfg LiveConfig) (*Serv
 // These are the comparison methods of the paper's evaluation, implemented
 // from scratch on the same graph substrate. They answer the same exact
 // distance queries with different construction-time / size / query-time
-// trade-offs.
+// trade-offs. All of them implement DistanceIndex and build through
+// Build; the typed constructors below are deprecated shims.
 
 // PLLIndex is a pruned landmark labelling (Akiba et al. 2013): a complete
 // 2-hop cover answering queries by label intersection alone.
@@ -332,11 +364,15 @@ type PLLIndex = pll.Index
 // BuildPLL constructs the full PLL index (one pruned BFS per vertex in
 // decreasing-degree order). Expect much higher construction time and
 // labelling size than BuildIndex on large graphs.
+//
+// Deprecated: use Build(ctx, g, "pll").
 func BuildPLL(ctx context.Context, g *Graph) (*PLLIndex, error) { return pll.Build(ctx, g) }
 
 // BuildPLLBP constructs PLL with nBP bit-parallel trees (the paper runs
 // PLL with 50), which shrinks the normal labels and speeds construction
 // on hub-heavy graphs.
+//
+// Deprecated: use Build(ctx, g, "pll", WithBitParallel(nBP)).
 func BuildPLLBP(ctx context.Context, g *Graph, nBP int) (*PLLIndex, error) {
 	return pll.BuildBP(ctx, g, nBP)
 }
@@ -346,6 +382,8 @@ func BuildPLLBP(ctx context.Context, g *Graph, nBP int) (*PLLIndex, error) {
 type FDIndex = fd.Index
 
 // BuildFD constructs the FD index (one full BFS per landmark).
+//
+// Deprecated: use Build(ctx, g, "fd", WithLandmarks(landmarks)).
 func BuildFD(ctx context.Context, g *Graph, landmarks []int32) (*FDIndex, error) {
 	return fd.Build(ctx, g, landmarks)
 }
@@ -353,6 +391,9 @@ func BuildFD(ctx context.Context, g *Graph, landmarks []int32) (*FDIndex, error)
 // BuildFDBP constructs FD with one bit-parallel tree per landmark (the
 // paper's "20+64" configuration), tightening upper bounds and pair
 // coverage at the cost of 17 bytes per vertex per landmark.
+//
+// Deprecated: use Build(ctx, g, "fd", WithLandmarks(landmarks),
+// WithBitParallel(1)).
 func BuildFDBP(ctx context.Context, g *Graph, landmarks []int32) (*FDIndex, error) {
 	return fd.BuildBP(ctx, g, landmarks)
 }
@@ -365,6 +406,8 @@ type ISLOptions = isl.Options
 
 // BuildISL constructs an IS-Label index with the paper's default
 // parameters when opt is the zero value.
+//
+// Deprecated: use Build(ctx, g, "isl", WithISLOptions(opt)).
 func BuildISL(ctx context.Context, g *Graph, opt ISLOptions) (*ISLIndex, error) {
 	if opt.Levels == 0 {
 		opt = isl.DefaultOptions()
@@ -381,6 +424,8 @@ type DynamicIndex = dynhl.Index
 
 // BuildDynamic constructs a DynamicIndex; the graph is copied into a
 // mutable adjacency and not retained.
+//
+// Deprecated: use Build(ctx, g, "dynhl", WithLandmarks(landmarks)).
 func BuildDynamic(g *Graph, landmarks []int32) (*DynamicIndex, error) {
 	return dynhl.Build(g, landmarks)
 }

@@ -267,7 +267,7 @@ func TestPathViaFacade(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sr := ix.NewSearcher()
+	sr := ix.Searcher()
 	for _, q := range highway.RandomPairs(g, 30, 5) {
 		d := sr.Distance(q.S, q.T)
 		p := sr.Path(q.S, q.T)

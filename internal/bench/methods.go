@@ -8,19 +8,20 @@ package bench
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"time"
 
+	"highway"
 	"highway/internal/bfs"
-	"highway/internal/core"
-	"highway/internal/fd"
 	"highway/internal/graph"
-	"highway/internal/isl"
-	"highway/internal/pll"
 	"highway/internal/workload"
 )
 
-// MethodName identifies one competitor.
+// MethodName identifies one competitor row/column in the tables. The
+// names are the paper's display names; each maps onto a registry method
+// plus options (registryBuild), except the online Bi-BFS baseline,
+// which has no index to build.
 type MethodName string
 
 const (
@@ -34,113 +35,99 @@ const (
 )
 
 // BuildResult captures one method's build on one graph, with the paper's
-// DNF semantics: a build that exceeds its budget (or runs out of expressible
-// work) reports DNF and no index.
+// DNF semantics: a build that exceeds its budget reports DNF and no
+// index. DNFReason records WHY — "build budget 60s exceeded" for a
+// timeout, the build error otherwise — so the JSON report (hlbench
+// -json) can say which method timed out instead of leaving a blank row.
 type BuildResult struct {
 	Method MethodName
 	CT     time.Duration
 	DNF    bool
+	// DNFReason is empty on success.
+	DNFReason string
 
 	NumEntries int64
 	ALS        float64
 	SizeBytes  int64
 	SizeBytes8 int64 // HL only: the paper's compressed accounting
-	BPTrees    int   // PLL only: bit-parallel trees (the paper's "+50")
+	BPTrees    int   // bit-parallel trees (PLL's "+50", FD+BP's per-landmark trees)
 
 	// NewSearcher returns a single-goroutine exact-distance oracle.
 	NewSearcher func() workload.Oracle
-	// Bounder exposes the label upper bound where the method has one
-	// (HL, FD); nil otherwise.
+	// Bounder exposes the method's label upper bound (every registry
+	// method implements one; nil only for Bi-BFS).
 	Bounder workload.Bounder
 }
 
-// buildMethod runs one method under a wall-clock budget.
-func buildMethod(m MethodName, g *graph.Graph, landmarks []int32, budget time.Duration, workers int) BuildResult {
-	ctx, cancel := context.WithTimeout(context.Background(), budget)
-	defer cancel()
-	start := time.Now()
-	res := BuildResult{Method: m}
+// registryBuild maps a display name onto the unified method registry:
+// the registry name plus the options reproducing the paper's
+// configuration of that competitor.
+func registryBuild(m MethodName, landmarks []int32, workers int) (name string, opts []highway.BuildOption, ok bool) {
+	opts = []highway.BuildOption{highway.WithLandmarks(landmarks)}
 	switch m {
-	case MethodHL, MethodHLP:
-		w := 1
-		if m == MethodHLP {
-			w = workers
-		}
-		ix, err := core.BuildOpts(ctx, g, landmarks, core.Options{Workers: w})
-		if err != nil {
-			return BuildResult{Method: m, DNF: true, CT: time.Since(start)}
-		}
-		res.CT = time.Since(start)
-		res.NumEntries = ix.NumEntries()
-		res.ALS = ix.AvgLabelSize()
-		res.SizeBytes = ix.SizeBytes32()
-		res.SizeBytes8 = ix.SizeBytes8()
-		res.Bounder = ix
-		res.NewSearcher = func() workload.Oracle {
-			sr := ix.NewSearcher()
-			return workload.OracleFunc(sr.Distance)
-		}
-	case MethodFD, MethodFDBP:
-		var ix *fd.Index
-		var err error
-		if m == MethodFDBP {
-			ix, err = fd.BuildBP(ctx, g, landmarks)
-		} else {
-			ix, err = fd.Build(ctx, g, landmarks)
-		}
-		if err != nil {
-			return BuildResult{Method: m, DNF: true, CT: time.Since(start)}
-		}
-		res.CT = time.Since(start)
-		res.NumEntries = ix.NumEntries()
-		res.ALS = ix.AvgLabelSize()
-		res.SizeBytes = ix.SizeBytes()
-		res.Bounder = ix
-		res.NewSearcher = func() workload.Oracle {
-			sr := ix.NewSearcher()
-			return workload.OracleFunc(sr.Distance)
-		}
+	case MethodHLP:
+		return "hl", append(opts, highway.WithWorkers(workers)), true
+	case MethodHL:
+		return "hl", append(opts, highway.WithWorkers(1)), true
+	case MethodFD:
+		return "fd", opts, true
+	case MethodFDBP:
+		return "fd", append(opts, highway.WithBitParallel(1)), true
 	case MethodPLL:
 		// The paper's PLL configuration: 50 bit-parallel trees plus the
 		// pruned labelling (Section 6.2).
-		ix, err := pll.BuildBP(ctx, g, 50)
-		if err != nil {
-			return BuildResult{Method: m, DNF: true, CT: time.Since(start)}
-		}
-		res.CT = time.Since(start)
-		res.NumEntries = ix.NumEntries()
-		res.ALS = ix.AvgLabelSize()
-		res.BPTrees = ix.NumBPTrees()
-		res.SizeBytes = ix.SizeBytes()
-		res.NewSearcher = func() workload.Oracle {
-			return workload.OracleFunc(ix.Distance)
-		}
+		return "pll", []highway.BuildOption{highway.WithBitParallel(50)}, true
 	case MethodISL:
-		ix, err := isl.Build(ctx, g, isl.DefaultOptions())
-		if err != nil {
-			return BuildResult{Method: m, DNF: true, CT: time.Since(start)}
-		}
-		res.CT = time.Since(start)
-		res.NumEntries = ix.NumEntries()
-		res.ALS = ix.AvgLabelSize()
-		res.SizeBytes = ix.SizeBytes()
-		res.NewSearcher = func() workload.Oracle {
-			sr := ix.NewSearcher()
-			return workload.OracleFunc(sr.Distance)
-		}
-	case MethodBiBFS:
-		// Online method: no construction.
-		res.CT = 0
-		res.NewSearcher = func() workload.Oracle {
-			sc := bfs.NewScratch(g.NumVertices())
-			return workload.OracleFunc(func(s, t int32) int32 {
-				return bfs.BiBFS(g, s, t, sc)
-			})
-		}
+		return "isl", nil, true
 	default:
+		return "", nil, false
+	}
+}
+
+// buildMethod runs one method under a wall-clock budget through the
+// unified registry (highway.Build); only the online Bi-BFS baseline is
+// special-cased, having no index.
+func buildMethod(m MethodName, g *graph.Graph, landmarks []int32, budget time.Duration, workers int) BuildResult {
+	if m == MethodBiBFS {
+		return BuildResult{
+			Method: m,
+			NewSearcher: func() workload.Oracle {
+				sc := bfs.NewScratch(g.NumVertices())
+				return workload.OracleFunc(func(s, t int32) int32 {
+					return bfs.BiBFS(g, s, t, sc)
+				})
+			},
+		}
+	}
+	name, opts, ok := registryBuild(m, landmarks, workers)
+	if !ok {
 		panic(fmt.Sprintf("bench: unknown method %q", m))
 	}
-	return res
+	ctx, cancel := context.WithTimeout(context.Background(), budget)
+	defer cancel()
+	start := time.Now()
+	ix, err := highway.Build(ctx, g, name, opts...)
+	if err != nil {
+		reason := err.Error()
+		if errors.Is(err, context.DeadlineExceeded) || ctx.Err() != nil {
+			reason = fmt.Sprintf("build budget %s exceeded", budget)
+		}
+		return BuildResult{Method: m, DNF: true, DNFReason: reason, CT: time.Since(start)}
+	}
+	st := ix.Stats()
+	return BuildResult{
+		Method:     m,
+		CT:         time.Since(start),
+		NumEntries: st.NumEntries,
+		ALS:        st.AvgLabelSize,
+		SizeBytes:  st.SizeBytes,
+		SizeBytes8: st.Bytes8,
+		BPTrees:    st.BPTrees,
+		Bounder:    ix,
+		NewSearcher: func() workload.Oracle {
+			return ix.NewSearcher()
+		},
+	}
 }
 
 // measureQueries returns the average query latency over the pairs.

@@ -16,6 +16,7 @@
 package bench
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"runtime"
@@ -76,8 +77,53 @@ func (c Config) Defaults() Config {
 // (including DNFs) are cached per (dataset, method, k) so that
 // experiments sharing a build pay for it once.
 type Runner struct {
-	cfg   Config
-	cache map[string]BuildResult
+	cfg     Config
+	cache   map[string]BuildResult
+	results []RecordedBuild
+}
+
+// RecordedBuild is one build outcome in the machine-readable report
+// (hlbench -json). DNF rows are NOT blanked: they carry the method
+// name and the reason (budget exceeded vs build error), which the
+// human-readable tables can only render as "DNF"/"-".
+type RecordedBuild struct {
+	Key           string  `json:"key"` // dataset name or sweep point
+	Method        string  `json:"method"`
+	Landmarks     int     `json:"landmarks"`
+	DNF           bool    `json:"dnf"`
+	Reason        string  `json:"reason,omitempty"`
+	BudgetSeconds float64 `json:"budget_seconds,omitempty"`
+	CTSeconds     float64 `json:"ct_seconds"`
+	Entries       int64   `json:"entries,omitempty"`
+	AvgLabelSize  float64 `json:"avg_label_size,omitempty"`
+	SizeBytes     int64   `json:"size_bytes,omitempty"`
+}
+
+// Results returns every distinct build the runner performed (cache
+// hits are recorded once), in execution order.
+func (r *Runner) Results() []RecordedBuild {
+	return append([]RecordedBuild(nil), r.results...)
+}
+
+// WriteJSON emits the machine-readable report: the effective settings
+// plus one record per distinct build, including DNFs with their
+// reasons.
+func (r *Runner) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		Landmarks     int             `json:"landmarks"`
+		Shrink        int             `json:"shrink"`
+		BudgetSeconds float64         `json:"budget_seconds"`
+		Seed          int64           `json:"seed"`
+		Builds        []RecordedBuild `json:"builds"`
+	}{
+		Landmarks:     r.cfg.Landmarks,
+		Shrink:        r.cfg.Shrink,
+		BudgetSeconds: r.cfg.BuildBudget.Seconds(),
+		Seed:          r.cfg.Seed,
+		Builds:        r.results,
+	})
 }
 
 // NewRunner validates the config and returns a Runner.
@@ -193,6 +239,21 @@ func (r *Runner) build(m MethodName, key string, g *graph.Graph, lm []int32) Bui
 	}
 	res := buildMethod(m, g, lm, r.cfg.BuildBudget, workers)
 	r.cache[ck] = res
+	rec := RecordedBuild{
+		Key:          key,
+		Method:       string(m),
+		Landmarks:    len(lm),
+		DNF:          res.DNF,
+		Reason:       res.DNFReason,
+		CTSeconds:    res.CT.Seconds(),
+		Entries:      res.NumEntries,
+		AvgLabelSize: res.ALS,
+		SizeBytes:    res.SizeBytes,
+	}
+	if res.DNF {
+		rec.BudgetSeconds = r.cfg.BuildBudget.Seconds()
+	}
+	r.results = append(r.results, rec)
 	return res
 }
 

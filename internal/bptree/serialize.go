@@ -1,0 +1,71 @@
+package bptree
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Binary encoding of bit-parallel trees, shared by the PLL and FD
+// serializers: per tree, the root as a little-endian uint32 followed by
+// the three per-vertex arrays (Dist as int32, Sm1 and S0 as uint64),
+// each of length n.
+
+// EncodedLen returns the exact byte length of nTrees encoded trees over
+// n vertices.
+func EncodedLen(nTrees, n int) int { return nTrees * (4 + 20*n) }
+
+// AppendTrees appends the encoding of trees (all over n vertices) to dst.
+func AppendTrees(dst []byte, trees []*Tree, n int) []byte {
+	for _, t := range trees {
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(t.Root))
+		for _, d := range t.Dist {
+			dst = binary.LittleEndian.AppendUint32(dst, uint32(d))
+		}
+		for _, m := range t.Sm1 {
+			dst = binary.LittleEndian.AppendUint64(dst, m)
+		}
+		for _, m := range t.S0 {
+			dst = binary.LittleEndian.AppendUint64(dst, m)
+		}
+	}
+	return dst
+}
+
+// DecodeTrees decodes nTrees trees over n vertices from a payload
+// written by AppendTrees, validating roots and distances.
+func DecodeTrees(payload []byte, nTrees, n int) ([]*Tree, error) {
+	if len(payload) != EncodedLen(nTrees, n) {
+		return nil, fmt.Errorf("bptree: payload length %d, want %d for %d trees over n=%d",
+			len(payload), EncodedLen(nTrees, n), nTrees, n)
+	}
+	trees := make([]*Tree, nTrees)
+	p := 0
+	u32 := func() uint32 { v := binary.LittleEndian.Uint32(payload[p:]); p += 4; return v }
+	u64 := func() uint64 { v := binary.LittleEndian.Uint64(payload[p:]); p += 8; return v }
+	for i := range trees {
+		t := &Tree{
+			Root: int32(u32()),
+			Dist: make([]int32, n),
+			Sm1:  make([]uint64, n),
+			S0:   make([]uint64, n),
+		}
+		if t.Root < 0 || int(t.Root) >= n {
+			return nil, fmt.Errorf("bptree: tree %d root %d out of range [0,%d)", i, t.Root, n)
+		}
+		for v := range t.Dist {
+			d := int32(u32())
+			if d < -1 {
+				return nil, fmt.Errorf("bptree: tree %d distance %d invalid", i, d)
+			}
+			t.Dist[v] = d
+		}
+		for v := range t.Sm1 {
+			t.Sm1[v] = u64()
+		}
+		for v := range t.S0 {
+			t.S0[v] = u64()
+		}
+		trees[i] = t
+	}
+	return trees, nil
+}

@@ -28,7 +28,7 @@ func TestConcurrentDistance(t *testing.T) {
 	n := int32(g.NumVertices())
 	type q struct{ s, t, want int32 }
 	qs := make([]q, queries)
-	base := ix.NewSearcher()
+	base := ix.Searcher()
 	for i := range qs {
 		s := int32(i*37) % n
 		tt := int32(i*101+13) % n
@@ -46,7 +46,7 @@ func TestConcurrentDistance(t *testing.T) {
 			// Searcher — the two ways the serving layer issues queries.
 			var sr *Searcher
 			if gi%2 == 1 {
-				sr = ix.NewSearcher()
+				sr = ix.Searcher()
 			}
 			for r := 0; r < 4; r++ {
 				for _, query := range qs {

@@ -27,7 +27,13 @@ import (
 	"sync"
 
 	"highway/internal/graph"
+	"highway/internal/method"
 )
+
+// The highway cover labelling implements the method-agnostic index
+// contract (the root package's DistanceIndex) shared by all five
+// labellings; see internal/method.
+var _ method.DistanceIndex = (*Index)(nil)
 
 // Infinity is the distance reported between disconnected vertices.
 const Infinity int32 = -1
@@ -264,17 +270,9 @@ func FromParts(g *graph.Graph, landmarks []int32, highway []int32, ranks, dists 
 	return ix, nil
 }
 
-// Stats summarizes the index for logs and the bench harness.
-type Stats struct {
-	NumVertices  int
-	NumEdges     int64
-	NumLandmarks int
-	NumEntries   int64
-	AvgLabelSize float64
-	MaxLabelSize int
-	Bytes32      int64
-	Bytes8       int64
-}
+// Stats is the method-agnostic index summary (see internal/method);
+// the alias keeps every pre-registry call site compiling.
+type Stats = method.Stats
 
 // Stats returns summary statistics of the index.
 func (ix *Index) Stats() Stats {
@@ -285,18 +283,15 @@ func (ix *Index) Stats() Stats {
 		}
 	}
 	return Stats{
+		Method:       method.TagHL,
 		NumVertices:  ix.g.NumVertices(),
 		NumEdges:     ix.g.NumEdges(),
 		NumLandmarks: len(ix.landmarks),
 		NumEntries:   ix.NumEntries(),
 		AvgLabelSize: ix.AvgLabelSize(),
 		MaxLabelSize: maxLS,
+		SizeBytes:    ix.SizeBytes32(),
 		Bytes32:      ix.SizeBytes32(),
 		Bytes8:       ix.SizeBytes8(),
 	}
-}
-
-func (s Stats) String() string {
-	return fmt.Sprintf("n=%d m=%d k=%d entries=%d als=%.2f maxls=%d hl=%dB hl8=%dB",
-		s.NumVertices, s.NumEdges, s.NumLandmarks, s.NumEntries, s.AvgLabelSize, s.MaxLabelSize, s.Bytes32, s.Bytes8)
 }

@@ -36,7 +36,7 @@ func TestPathSmall(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sr := ix.NewSearcher()
+	sr := ix.Searcher()
 	// Example 4.3's pair: vertices 2 and 11 (ids 1 and 10), distance 3.
 	p := sr.Path(1, 10)
 	validatePath(t, g, p, 1, 10, 3)
@@ -55,7 +55,7 @@ func TestPathRandom(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sr := ix.NewSearcher()
+	sr := ix.Searcher()
 	for trial := 0; trial < 150; trial++ {
 		s := int32(rng.Intn(500))
 		u := int32(rng.Intn(500))

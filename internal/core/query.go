@@ -3,6 +3,7 @@ package core
 import (
 	"highway/internal/bfs"
 	"highway/internal/graph"
+	"highway/internal/method"
 )
 
 // Searcher answers distance queries against an Index. It owns the scratch
@@ -19,8 +20,16 @@ type Searcher struct {
 	common []bool
 }
 
-// NewSearcher returns a Searcher bound to the index.
-func (ix *Index) NewSearcher() *Searcher {
+// NewSearcher returns a Searcher bound to the index, typed as the
+// method-agnostic interface (the DistanceIndex contract). Callers that
+// need the concrete *Searcher — e.g. for Path — use Searcher():
+//
+//	sr := ix.Searcher()
+//	p := sr.Path(s, t)
+func (ix *Index) NewSearcher() method.Searcher { return ix.Searcher() }
+
+// Searcher returns a concrete *Searcher bound to the index.
+func (ix *Index) Searcher() *Searcher {
 	return &Searcher{ix: ix, sc: bfs.NewScratch(ix.g.NumVertices())}
 }
 
@@ -28,7 +37,7 @@ func (ix *Index) NewSearcher() *Searcher {
 func (ix *Index) pooled() *Searcher {
 	sr, _ := ix.pool.Get().(*Searcher)
 	if sr == nil {
-		sr = ix.NewSearcher()
+		sr = ix.Searcher()
 	}
 	return sr
 }

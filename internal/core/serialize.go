@@ -11,6 +11,7 @@ import (
 
 	"highway/internal/bfs"
 	"highway/internal/graph"
+	"highway/internal/method"
 )
 
 // Format identifies an on-disk index layout version.
@@ -608,6 +609,20 @@ func readV2(br *bufio.Reader, g *graph.Graph) (*Index, error) {
 			}
 		}
 		rows[i] = r
+	}
+	// A method-tag section (always the first row and payload when
+	// present; see internal/method) marks a container written by one of
+	// the other labelling methods. Surface which one instead of failing
+	// on missing core sections.
+	if rows[0].id == method.SectTag {
+		if rows[0].length > 64 {
+			return nil, fmt.Errorf("core: implausible method tag length %d", rows[0].length)
+		}
+		tag := make([]byte, rows[0].length)
+		if _, err := io.ReadFull(br, tag); err != nil {
+			return nil, fmt.Errorf("core: reading method tag: %w", err)
+		}
+		return nil, fmt.Errorf("core: index file is method %q, not %q: load it through the method registry (highway.LoadIndexAny)", tag, method.TagHL)
 	}
 	for id := range expectLen {
 		if !seen[id] {

@@ -47,6 +47,14 @@ import (
 	"highway/internal/bfs"
 	"highway/internal/core"
 	"highway/internal/graph"
+	"highway/internal/method"
+)
+
+// The dynamic labelling implements the method-agnostic index contract
+// (and the Inserter mutation surface); see internal/method.
+var (
+	_ method.DistanceIndex = (*Index)(nil)
+	_ method.Inserter      = (*Index)(nil)
 )
 
 // Infinity is the distance reported between disconnected vertices.
@@ -214,6 +222,78 @@ func (ix *Index) Freeze() (*graph.Graph, *core.Index, error) {
 		return nil, nil, fmt.Errorf("dynhl: freeze labels: %w", err)
 	}
 	return g, frozen, nil
+}
+
+// Searcher carries per-goroutine bidirectional-search scratch for
+// queries against the dynamic index. Searchers read the index's
+// mutable labelling: they are only safe to use while no insertion is
+// in flight (the serving layer freezes immutable snapshots instead of
+// querying the dynamic index concurrently).
+type Searcher struct {
+	ix *Index
+	sc *bfs.Scratch
+}
+
+// NewSearcher returns a query searcher bound to the index.
+func (ix *Index) NewSearcher() method.Searcher {
+	return &Searcher{ix: ix, sc: bfs.NewScratch(ix.n)}
+}
+
+// Distance returns the exact current distance between s and t (the
+// searcher-scratch form of Index.Distance).
+func (sr *Searcher) Distance(s, t int32) int32 {
+	ix := sr.ix
+	if s == t {
+		return 0
+	}
+	ub := ix.UpperBound(s, t)
+	if ix.isLandmark[s] || ix.isLandmark[t] {
+		return ub
+	}
+	bound := ub
+	if bound == Infinity {
+		bound = bfs.NoBound
+	}
+	d := bfs.BoundedBiBFS(ix, s, t, bound, ix.isLandmark, sr.sc)
+	if d == bfs.Unreachable {
+		return ub
+	}
+	return d
+}
+
+// UpperBound returns the label+highway bound (see Index.UpperBound).
+func (sr *Searcher) UpperBound(s, t int32) int32 { return sr.ix.UpperBound(s, t) }
+
+// Stats summarizes the current state of the labelling (method-agnostic
+// form). The accounting matches the static highway labelling's
+// uncompressed measure.
+func (ix *Index) Stats() method.Stats {
+	var edges int64
+	maxLS := 0
+	for _, nbs := range ix.adj {
+		edges += int64(len(nbs))
+	}
+	for _, l := range ix.labels {
+		if len(l) > maxLS {
+			maxLS = len(l)
+		}
+	}
+	entries := ix.NumEntries()
+	k := len(ix.landmarks)
+	als := 0.0
+	if nonLM := ix.n - k; nonLM > 0 {
+		als = float64(entries) / float64(nonLM)
+	}
+	return method.Stats{
+		Method:       "dynhl",
+		NumVertices:  ix.n,
+		NumEdges:     edges / 2,
+		NumLandmarks: k,
+		NumEntries:   entries,
+		AvgLabelSize: als,
+		MaxLabelSize: maxLS,
+		SizeBytes:    entries*5 + int64(k*k)*4,
+	}
 }
 
 // NumVertices returns n.

@@ -23,6 +23,14 @@ import (
 	"highway/internal/bfs"
 	"highway/internal/bptree"
 	"highway/internal/graph"
+	"highway/internal/method"
+)
+
+// FD implements the method-agnostic index contract (and the optional
+// Inserter mutation surface); see internal/method.
+var (
+	_ method.DistanceIndex = (*Index)(nil)
+	_ method.Inserter      = (*Index)(nil)
 )
 
 // Infinity is the distance reported between disconnected vertices.
@@ -98,10 +106,16 @@ type Searcher struct {
 	sc *bfs.Scratch
 }
 
-// NewSearcher returns a query searcher bound to the index.
-func (ix *Index) NewSearcher() *Searcher {
+// NewSearcher returns a query searcher bound to the index, typed as the
+// method-agnostic interface.
+func (ix *Index) NewSearcher() method.Searcher { return ix.newSearcher() }
+
+func (ix *Index) newSearcher() *Searcher {
 	return &Searcher{ix: ix, sc: bfs.NewScratch(ix.g.NumVertices())}
 }
+
+// UpperBound returns the landmark-detour bound (see Index.UpperBound).
+func (sr *Searcher) UpperBound(s, t int32) int32 { return sr.ix.UpperBound(s, t) }
 
 // UpperBound returns the best landmark detour min_r d(r,s) + d(r,t),
 // refined by the bit-parallel trees when present (each tree can shave 1
@@ -185,7 +199,24 @@ func (sr *Searcher) Distance(s, t int32) int32 {
 
 // Distance is the allocation-per-call convenience form.
 func (ix *Index) Distance(s, t int32) int32 {
-	return ix.NewSearcher().Distance(s, t)
+	return ix.newSearcher().Distance(s, t)
+}
+
+// Stats summarizes the index (method-agnostic form). FD labels have
+// fixed size k for every non-landmark vertex.
+func (ix *Index) Stats() method.Stats {
+	k := len(ix.landmarks)
+	return method.Stats{
+		Method:       "fd",
+		NumVertices:  ix.g.NumVertices(),
+		NumEdges:     ix.g.NumEdges(),
+		NumLandmarks: k,
+		NumEntries:   ix.NumEntries(),
+		AvgLabelSize: ix.AvgLabelSize(),
+		MaxLabelSize: k,
+		SizeBytes:    ix.SizeBytes(),
+		BPTrees:      len(ix.bp),
+	}
 }
 
 // InsertEdge adds the undirected edge {u,v} and repairs every landmark's

@@ -28,7 +28,12 @@ import (
 	"sort"
 
 	"highway/internal/graph"
+	"highway/internal/method"
 )
+
+// IS-Label implements the method-agnostic index contract; see
+// internal/method.
+var _ method.DistanceIndex = (*Index)(nil)
 
 // Infinity is the distance reported between disconnected vertices.
 const Infinity int32 = -1
@@ -289,8 +294,11 @@ type Searcher struct {
 	heap   pairHeap
 }
 
-// NewSearcher returns a query searcher bound to the index.
-func (ix *Index) NewSearcher() *Searcher {
+// NewSearcher returns a query searcher bound to the index, typed as the
+// method-agnostic interface.
+func (ix *Index) NewSearcher() method.Searcher { return ix.newSearcher() }
+
+func (ix *Index) newSearcher() *Searcher {
 	n := ix.g.NumVertices()
 	return &Searcher{
 		ix:     ix,
@@ -298,6 +306,66 @@ func (ix *Index) NewSearcher() *Searcher {
 		distEp: make([]uint32, n),
 		target: make([]int32, n),
 		targEp: make([]uint32, n),
+	}
+}
+
+// UpperBound returns the best distance certified by the labels alone:
+// part (i) of the query (the sorted merge over common label targets)
+// without the core Dijkstra. It is an admissible bound — every label
+// entry is an exact up-chain distance — and Infinity when the labels
+// share no target.
+func (ix *Index) UpperBound(s, t int32) int32 {
+	if s == t {
+		return 0
+	}
+	best := int32(math.MaxInt32)
+	i, iEnd := ix.labelOff[s], ix.labelOff[s+1]
+	j, jEnd := ix.labelOff[t], ix.labelOff[t+1]
+	for i < iEnd && j < jEnd {
+		a, b := ix.labelTo[i], ix.labelTo[j]
+		switch {
+		case a == b:
+			if d := ix.labelDist[i] + ix.labelDist[j]; d < best {
+				best = d
+			}
+			i++
+			j++
+		case a < b:
+			i++
+		default:
+			j++
+		}
+	}
+	if best == math.MaxInt32 {
+		return Infinity
+	}
+	return best
+}
+
+// UpperBound is the searcher form of Index.UpperBound (no scratch
+// needed; the merge runs over the immutable label arrays).
+func (sr *Searcher) UpperBound(s, t int32) int32 { return sr.ix.UpperBound(s, t) }
+
+// Stats summarizes the index (method-agnostic form). NumLandmarks
+// reports the core size (the surviving top-level vertices), the closest
+// IS-Label analogue of a landmark set.
+func (ix *Index) Stats() method.Stats {
+	n := ix.g.NumVertices()
+	maxLS := 0
+	for v := 0; v < n; v++ {
+		if ls := int(ix.labelOff[v+1] - ix.labelOff[v]); ls > maxLS {
+			maxLS = ls
+		}
+	}
+	return method.Stats{
+		Method:       "isl",
+		NumVertices:  n,
+		NumEdges:     ix.g.NumEdges(),
+		NumLandmarks: ix.numCore,
+		NumEntries:   ix.NumEntries(),
+		AvgLabelSize: ix.AvgLabelSize(),
+		MaxLabelSize: maxLS,
+		SizeBytes:    ix.SizeBytes(),
 	}
 }
 
@@ -400,7 +468,7 @@ func (sr *Searcher) Distance(s, t int32) int32 {
 
 // Distance is the convenience form allocating a fresh searcher.
 func (ix *Index) Distance(s, t int32) int32 {
-	return ix.NewSearcher().Distance(s, t)
+	return ix.newSearcher().Distance(s, t)
 }
 
 // pair is a binary-heap element.

@@ -1,0 +1,177 @@
+package isl
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"highway/internal/graph"
+	"highway/internal/method"
+)
+
+// On-disk layout: the tagged "HWLIDX02" container of internal/method
+// with tag "isl". Header: N = vertex count, K = hierarchy levels,
+// Aux1 = label entries, Aux2 = directed core edges. Sections:
+//
+//	33 level     [N]uint32        removal round per vertex (== K for core)
+//	34 labelOff  [N+1]uint64      label CSR offsets
+//	35 labelTo   [Aux1]uint32     label targets (vertex ids)
+//	36 labelDist [Aux1]uint32     up-chain distances
+//	37 coreOff   [N+1]uint64      weighted core graph CSR offsets
+//	38 coreNbr   [Aux2]uint32     core neighbors
+//	39 coreW     [Aux2]uint32     core edge weights
+const (
+	sectLevel     uint32 = 33
+	sectLabelOff  uint32 = 34
+	sectLabelTo   uint32 = 35
+	sectLabelDist uint32 = 36
+	sectCoreOff   uint32 = 37
+	sectCoreNbr   uint32 = 38
+	sectCoreW     uint32 = 39
+)
+
+const tag = "isl"
+
+// Write serializes the index (without the graph) in the tagged v2
+// container format.
+func (ix *Index) Write(w io.Writer) error {
+	n := ix.g.NumVertices()
+	entries := len(ix.labelTo)
+	coreEdges := len(ix.coreNbr)
+	sections := []method.Section{
+		{ID: sectLevel, Payload: method.AppendI32s(make([]byte, 0, n*4), ix.level)},
+		{ID: sectLabelOff, Payload: method.AppendI64s(make([]byte, 0, (n+1)*8), ix.labelOff)},
+		{ID: sectLabelTo, Payload: method.AppendI32s(make([]byte, 0, entries*4), ix.labelTo)},
+		{ID: sectLabelDist, Payload: method.AppendI32s(make([]byte, 0, entries*4), ix.labelDist)},
+		{ID: sectCoreOff, Payload: method.AppendI64s(make([]byte, 0, (n+1)*8), ix.coreOff)},
+		{ID: sectCoreNbr, Payload: method.AppendI32s(make([]byte, 0, coreEdges*4), ix.coreNbr)},
+		{ID: sectCoreW, Payload: method.AppendI32s(make([]byte, 0, coreEdges*4), ix.coreW)},
+	}
+	h := method.Header{
+		Method: tag,
+		N:      uint64(n),
+		K:      uint32(ix.levels),
+		Aux1:   uint64(entries),
+		Aux2:   uint64(coreEdges),
+	}
+	return method.WriteContainer(w, h, sections)
+}
+
+// Save writes the index to path (see Write).
+func (ix *Index) Save(path string) error {
+	return method.SaveFile(path, ix.Write)
+}
+
+// Read deserializes an index written by Write and attaches it to g,
+// which must be the graph the index was built on.
+func Read(r io.Reader, g *graph.Graph) (*Index, error) {
+	n := g.NumVertices()
+	h, sections, err := method.ReadContainer(r, tag, func(h method.Header) (map[uint32]uint64, error) {
+		if h.N != uint64(n) {
+			return nil, fmt.Errorf("isl: index built for n=%d, graph has n=%d", h.N, n)
+		}
+		if h.K == 0 {
+			return nil, fmt.Errorf("isl: index claims 0 levels")
+		}
+		// A label targets distinct (higher-level) vertices, so size(L)
+		// is bounded by n entries per vertex.
+		if h.Aux1 > h.N*h.N {
+			return nil, fmt.Errorf("isl: implausible entry count %d", h.Aux1)
+		}
+		if h.Aux2 > h.N*h.N {
+			return nil, fmt.Errorf("isl: implausible core edge count %d", h.Aux2)
+		}
+		return map[uint32]uint64{
+			sectLevel:     h.N * 4,
+			sectLabelOff:  (h.N + 1) * 8,
+			sectLabelTo:   h.Aux1 * 4,
+			sectLabelDist: h.Aux1 * 4,
+			sectCoreOff:   (h.N + 1) * 8,
+			sectCoreNbr:   h.Aux2 * 4,
+			sectCoreW:     h.Aux2 * 4,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, id := range []uint32{sectLevel, sectLabelOff, sectLabelTo, sectLabelDist, sectCoreOff, sectCoreNbr, sectCoreW} {
+		if sections[id] == nil {
+			return nil, fmt.Errorf("isl: required section %d missing", id)
+		}
+	}
+	entries := int64(h.Aux1)
+	coreEdges := int64(h.Aux2)
+	ix := &Index{
+		g:         g,
+		levels:    int(h.K),
+		level:     make([]int32, n),
+		labelOff:  make([]int64, n+1),
+		labelTo:   make([]int32, entries),
+		labelDist: make([]int32, entries),
+		coreOff:   make([]int64, n+1),
+		coreNbr:   make([]int32, coreEdges),
+		coreW:     make([]int32, coreEdges),
+	}
+	if err := method.DecodeI32s(sections[sectLevel], ix.level); err != nil {
+		return nil, err
+	}
+	for v, l := range ix.level {
+		if l < 0 || int(l) > ix.levels {
+			return nil, fmt.Errorf("isl: vertex %d level %d out of range [0,%d]", v, l, ix.levels)
+		}
+		if int(l) == ix.levels {
+			ix.numCore++
+		}
+	}
+	if err := method.DecodeI64s(sections[sectLabelOff], ix.labelOff); err != nil {
+		return nil, err
+	}
+	if err := method.ValidateOffsets(ix.labelOff, entries); err != nil {
+		return nil, err
+	}
+	if err := method.DecodeI32s(sections[sectLabelTo], ix.labelTo); err != nil {
+		return nil, err
+	}
+	if err := method.DecodeI32s(sections[sectLabelDist], ix.labelDist); err != nil {
+		return nil, err
+	}
+	for p, to := range ix.labelTo {
+		if to < 0 || int(to) >= n {
+			return nil, fmt.Errorf("isl: label target %d out of range [0,%d)", to, n)
+		}
+		if ix.labelDist[p] < 0 {
+			return nil, fmt.Errorf("isl: negative label distance %d", ix.labelDist[p])
+		}
+	}
+	if err := method.DecodeI64s(sections[sectCoreOff], ix.coreOff); err != nil {
+		return nil, err
+	}
+	if err := method.ValidateOffsets(ix.coreOff, coreEdges); err != nil {
+		return nil, err
+	}
+	if err := method.DecodeI32s(sections[sectCoreNbr], ix.coreNbr); err != nil {
+		return nil, err
+	}
+	if err := method.DecodeI32s(sections[sectCoreW], ix.coreW); err != nil {
+		return nil, err
+	}
+	for p, u := range ix.coreNbr {
+		if u < 0 || int(u) >= n {
+			return nil, fmt.Errorf("isl: core neighbor %d out of range [0,%d)", u, n)
+		}
+		if ix.coreW[p] < 0 {
+			return nil, fmt.Errorf("isl: negative core weight %d", ix.coreW[p])
+		}
+	}
+	return ix, nil
+}
+
+// Load reads an index file written by Save and attaches it to g.
+func Load(path string, g *graph.Graph) (*Index, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f, g)
+}

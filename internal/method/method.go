@@ -1,0 +1,116 @@
+// Package method defines the method-agnostic public surface every
+// distance labelling in this repository implements: the DistanceIndex
+// interface (exact queries, label upper bounds, per-goroutine
+// searchers, summary statistics, persistence), the Searcher interface
+// its NewSearcher returns, and the generic Stats record.
+//
+// The five labellings — the paper's highway cover labelling
+// (internal/core), its dynamic extension (internal/dynhl) and the three
+// baselines it evaluates against (internal/pll, internal/fd,
+// internal/isl) — all satisfy DistanceIndex, which is what lets the
+// serving subsystem (internal/serve), the differential-test harness
+// (internal/oracle), the benchmark runner (internal/bench) and the
+// CLIs treat "a distance oracle" as one pluggable thing selected by
+// name through the registry in the root highway package.
+//
+// This package sits below every labelling package in the dependency
+// graph (it imports none of them), so each can assert conformance with
+// a compile-time check:
+//
+//	var _ method.DistanceIndex = (*Index)(nil)
+package method
+
+import "fmt"
+
+// Infinity is the distance every method reports for disconnected
+// vertex pairs (== core.Infinity == bfs.Unreachable).
+const Infinity int32 = -1
+
+// Searcher answers queries against one immutable index state using
+// private scratch. A Searcher is not safe for concurrent use; create
+// one per querying goroutine with DistanceIndex.NewSearcher.
+type Searcher interface {
+	// Distance returns the exact hop distance between s and t, or
+	// Infinity if they are disconnected.
+	Distance(s, t int32) int32
+	// UpperBound returns a label-derived upper bound on the distance
+	// (Infinity when the labels certify nothing). Methods whose labels
+	// already answer queries exactly return the exact distance.
+	UpperBound(s, t int32) int32
+}
+
+// DistanceIndex is the one interface every labelling method exposes:
+// an exact distance oracle over a fixed vertex set that can summarize
+// and persist itself. Implementations are safe for concurrent readers
+// unless their package documents otherwise (internal/dynhl is mutable;
+// serialize queries with updates).
+type DistanceIndex interface {
+	// Distance returns the exact hop distance between s and t, or
+	// Infinity if disconnected. This is the pooled/allocating
+	// convenience; hot query loops should use NewSearcher.
+	Distance(s, t int32) int32
+	// UpperBound returns the method's label-derived upper bound
+	// (see Searcher.UpperBound).
+	UpperBound(s, t int32) int32
+	// NewSearcher returns a fresh per-goroutine query searcher.
+	NewSearcher() Searcher
+	// Stats summarizes the index (method name, sizes, entry counts).
+	Stats() Stats
+	// Save writes the index to path in the tagged v2 container format,
+	// loadable by the registry's LoadIndexAny and the method's own
+	// loader. The graph is not embedded (except where a method's
+	// documentation says otherwise): an index is only meaningful
+	// together with the graph it was built on.
+	Save(path string) error
+}
+
+// Stats summarizes an index for logs, the bench harness and the
+// serving /stats endpoint. Method-specific measures that do not apply
+// are zero: only the highway cover labelling fills Bytes32/Bytes8
+// (the paper's two HL accountings), only the bit-parallel builds fill
+// BPTrees.
+type Stats struct {
+	// Method is the registry name of the method that built the index
+	// ("hl", "pll", "fd", "isl", "dynhl"); empty on indexes predating
+	// the registry.
+	Method string
+
+	NumVertices  int
+	NumEdges     int64
+	NumLandmarks int   // landmark/root count; 0 where the concept does not apply
+	NumEntries   int64 // size(L) = Σ_v |L(v)|, the paper's labelling size
+	AvgLabelSize float64
+	MaxLabelSize int
+
+	// SizeBytes is the labelling size under the paper's per-method
+	// accounting (what Tables 2-3 report).
+	SizeBytes int64
+	// BPTrees counts bit-parallel trees (PLL's "+50", FD's "+64").
+	BPTrees int
+
+	// Bytes32 and Bytes8 are the highway cover labelling's two
+	// accountings (Table 3's "HL" and "HL(8)"); zero for other methods.
+	Bytes32 int64
+	Bytes8  int64
+}
+
+// String renders the stats in the log format the CLIs print. The
+// leading fields are format-stable (hlbuild/hlserve output is scripted
+// against); the hl=/hl8= accountings appear only where they apply.
+func (s Stats) String() string {
+	out := fmt.Sprintf("n=%d m=%d k=%d entries=%d als=%.2f maxls=%d",
+		s.NumVertices, s.NumEdges, s.NumLandmarks, s.NumEntries, s.AvgLabelSize, s.MaxLabelSize)
+	if s.Bytes32 > 0 || s.Bytes8 > 0 {
+		out += fmt.Sprintf(" hl=%dB hl8=%dB", s.Bytes32, s.Bytes8)
+	} else if s.SizeBytes > 0 {
+		out += fmt.Sprintf(" size=%dB", s.SizeBytes)
+	}
+	return out
+}
+
+// Inserter is the optional mutation surface: methods that support
+// exact online edge insertion (internal/dynhl, internal/fd) implement
+// it in addition to DistanceIndex.
+type Inserter interface {
+	InsertEdge(u, v int32) error
+}

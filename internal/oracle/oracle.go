@@ -19,6 +19,7 @@ import (
 	"highway/internal/bfs"
 	"highway/internal/gen"
 	"highway/internal/graph"
+	"highway/internal/method"
 )
 
 // Oracle is the implementation under test: an exact distance oracle over
@@ -155,6 +156,76 @@ func CheckCases(t *testing.T, build func(t *testing.T, g *graph.Graph) Oracle) {
 				t.Skip("builder declined this case")
 			}
 			CheckAllPairs(t, c.Graph, o)
+		})
+	}
+}
+
+// DiffIndex checks a DistanceIndex against BFS ground truth on the
+// given pairs, through every query surface of the interface contract:
+//
+//   - Index.Distance and a NewSearcher searcher must both match BFS;
+//   - UpperBound (index and searcher forms) must be admissible: never
+//     below the true distance, Infinity only when the pair is
+//     disconnected (a disconnected pair has no finite bound to report);
+//   - Stats must agree with the graph on the vertex count.
+//
+// This is the method-agnostic differential check every registered
+// method is held to (the root package's method tests run it over the
+// corner-case suite), so a new method gets the full suite by
+// implementing the interface.
+func DiffIndex(g *graph.Graph, ix method.DistanceIndex, pairs [][2]int32) error {
+	if st := ix.Stats(); st.NumVertices != g.NumVertices() {
+		return fmt.Errorf("oracle: Stats().NumVertices = %d, graph has %d", st.NumVertices, g.NumVertices())
+	}
+	sr := ix.NewSearcher()
+	var truth []int32
+	truthSrc := int32(-1)
+	for _, p := range pairs {
+		s, t := p[0], p[1]
+		want := int32(0)
+		if s != t {
+			if truthSrc != s {
+				truth = bfs.DistancesReuse(g, s, truth)
+				truthSrc = s
+			}
+			want = truth[t]
+		}
+		if got := ix.Distance(s, t); got != want {
+			return fmt.Errorf("oracle: Distance(%d,%d) = %d, BFS says %d", s, t, got, want)
+		}
+		if got := sr.Distance(s, t); got != want {
+			return fmt.Errorf("oracle: Searcher.Distance(%d,%d) = %d, BFS says %d", s, t, got, want)
+		}
+		for name, ub := range map[string]int32{
+			"UpperBound":          ix.UpperBound(s, t),
+			"Searcher.UpperBound": sr.UpperBound(s, t),
+		} {
+			if want < 0 {
+				if ub >= 0 {
+					return fmt.Errorf("oracle: %s(%d,%d) = %d for a disconnected pair", name, s, t, ub)
+				}
+			} else if ub >= 0 && ub < want {
+				return fmt.Errorf("oracle: %s(%d,%d) = %d below the true distance %d", name, s, t, ub, want)
+			}
+		}
+	}
+	return nil
+}
+
+// CheckIndexCases runs the corner-case suite against a DistanceIndex
+// builder: build is called once per case and the returned index is
+// verified on all pairs with DiffIndex. Returning nil skips the case.
+func CheckIndexCases(t *testing.T, build func(t *testing.T, g *graph.Graph) method.DistanceIndex) {
+	t.Helper()
+	for _, c := range CornerCases() {
+		t.Run(c.Name, func(t *testing.T) {
+			ix := build(t, c.Graph)
+			if ix == nil {
+				t.Skip("builder declined this case")
+			}
+			if err := DiffIndex(c.Graph, ix, AllPairs(c.Graph.NumVertices())); err != nil {
+				t.Fatal(err)
+			}
 		})
 	}
 }

@@ -25,7 +25,11 @@ import (
 
 	"highway/internal/bptree"
 	"highway/internal/graph"
+	"highway/internal/method"
 )
+
+// PLL implements the method-agnostic index contract; see internal/method.
+var _ method.DistanceIndex = (*Index)(nil)
 
 // Infinity is the distance reported between disconnected vertices.
 const Infinity int32 = -1
@@ -214,6 +218,49 @@ func (ix *Index) Distance(s, t int32) int32 {
 		return Infinity
 	}
 	return best
+}
+
+// UpperBound returns the best 2-hop distance through the labels — for
+// PLL that IS the query (Distance), exact on full covers, hence always
+// an admissible bound.
+func (ix *Index) UpperBound(s, t int32) int32 { return ix.Distance(s, t) }
+
+// Searcher adapts the index to the per-goroutine searcher contract.
+// PLL queries are allocation-free merges over immutable arrays, so the
+// searcher carries no scratch and any number may run concurrently.
+type Searcher struct {
+	ix *Index
+}
+
+// Distance returns the 2-hop-cover distance (see Index.Distance).
+func (sr *Searcher) Distance(s, t int32) int32 { return sr.ix.Distance(s, t) }
+
+// UpperBound returns the 2-hop bound (== Distance for PLL).
+func (sr *Searcher) UpperBound(s, t int32) int32 { return sr.ix.Distance(s, t) }
+
+// NewSearcher returns a query searcher bound to the index.
+func (ix *Index) NewSearcher() method.Searcher { return &Searcher{ix: ix} }
+
+// Stats summarizes the index (method-agnostic form).
+func (ix *Index) Stats() method.Stats {
+	n := ix.g.NumVertices()
+	maxLS := 0
+	for v := 0; v < n; v++ {
+		if ls := ix.LabelSize(int32(v)); ls > maxLS {
+			maxLS = ls
+		}
+	}
+	return method.Stats{
+		Method:       "pll",
+		NumVertices:  n,
+		NumEdges:     ix.g.NumEdges(),
+		NumLandmarks: len(ix.order),
+		NumEntries:   ix.NumEntries(),
+		AvgLabelSize: ix.AvgLabelSize(),
+		MaxLabelSize: maxLS,
+		SizeBytes:    ix.SizeBytes(),
+		BPTrees:      len(ix.bp),
+	}
 }
 
 // Full reports whether the index is a complete 2-hop cover (every vertex

@@ -1,0 +1,166 @@
+package pll
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"highway/internal/bptree"
+	"highway/internal/graph"
+	"highway/internal/method"
+)
+
+// On-disk layout: the tagged "HWLIDX02" container of internal/method
+// with tag "pll". Header: N = vertex count, K = root count, Aux1 =
+// label entries, Aux2 = bit-parallel tree count. Sections:
+//
+//	33 order     [K]uint32        BFS roots in labelling order
+//	34 labelOff  [N+1]uint64      CSR offsets
+//	35 labelRank [entries]uint32  hub ranks (int32; PLL hubs span V)
+//	36 labelDist [entries]uint32  exact distances (int32)
+//	37 bp        Aux2 trees       bptree encoding (absent when Aux2=0)
+const (
+	sectOrder     uint32 = 33
+	sectLabelOff  uint32 = 34
+	sectLabelRank uint32 = 35
+	sectLabelDist uint32 = 36
+	sectBP        uint32 = 37
+)
+
+const tag = "pll"
+
+// Write serializes the index (without the graph) in the tagged v2
+// container format.
+func (ix *Index) Write(w io.Writer) error {
+	n := ix.g.NumVertices()
+	entries := ix.NumEntries()
+	sections := []method.Section{
+		{ID: sectOrder, Payload: method.AppendI32s(make([]byte, 0, len(ix.order)*4), ix.order)},
+		{ID: sectLabelOff, Payload: method.AppendI64s(make([]byte, 0, (n+1)*8), ix.labelOff)},
+		{ID: sectLabelRank, Payload: method.AppendI32s(make([]byte, 0, entries*4), ix.labelRank)},
+		{ID: sectLabelDist, Payload: method.AppendI32s(make([]byte, 0, entries*4), ix.labelDist)},
+	}
+	if len(ix.bp) > 0 {
+		sections = append(sections, method.Section{
+			ID:      sectBP,
+			Payload: bptree.AppendTrees(make([]byte, 0, bptree.EncodedLen(len(ix.bp), n)), ix.bp, n),
+		})
+	}
+	h := method.Header{
+		Method: tag,
+		N:      uint64(n),
+		K:      uint32(len(ix.order)),
+		Aux1:   uint64(entries),
+		Aux2:   uint64(len(ix.bp)),
+	}
+	return method.WriteContainer(w, h, sections)
+}
+
+// Save writes the index to path (see Write).
+func (ix *Index) Save(path string) error {
+	return method.SaveFile(path, ix.Write)
+}
+
+// Read deserializes an index written by Write and attaches it to g,
+// which must be the graph the index was built on.
+func Read(r io.Reader, g *graph.Graph) (*Index, error) {
+	n := g.NumVertices()
+	h, sections, err := method.ReadContainer(r, tag, func(h method.Header) (map[uint32]uint64, error) {
+		if h.N != uint64(n) {
+			return nil, fmt.Errorf("pll: index built for n=%d, graph has n=%d", h.N, n)
+		}
+		if h.K == 0 || uint64(h.K) > h.N {
+			return nil, fmt.Errorf("pll: index claims %d roots for n=%d", h.K, n)
+		}
+		if h.Aux1 > h.N*uint64(h.K) {
+			return nil, fmt.Errorf("pll: implausible entry count %d", h.Aux1)
+		}
+		if h.Aux2 > h.N {
+			return nil, fmt.Errorf("pll: implausible bit-parallel tree count %d", h.Aux2)
+		}
+		return map[uint32]uint64{
+			sectOrder:     uint64(h.K) * 4,
+			sectLabelOff:  (h.N + 1) * 8,
+			sectLabelRank: h.Aux1 * 4,
+			sectLabelDist: h.Aux1 * 4,
+			sectBP:        uint64(bptree.EncodedLen(int(h.Aux2), n)),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	k := int(h.K)
+	entries := int64(h.Aux1)
+	nBP := int(h.Aux2)
+
+	for _, id := range []uint32{sectOrder, sectLabelOff, sectLabelRank, sectLabelDist} {
+		if sections[id] == nil {
+			return nil, fmt.Errorf("pll: required section %d missing", id)
+		}
+	}
+	if nBP > 0 && sections[sectBP] == nil {
+		return nil, fmt.Errorf("pll: header claims %d bit-parallel trees, section missing", nBP)
+	}
+
+	ix := &Index{
+		g:         g,
+		order:     make([]int32, k),
+		rankOf:    make([]int32, n),
+		labelOff:  make([]int64, n+1),
+		labelRank: make([]int32, entries),
+		labelDist: make([]int32, entries),
+		full:      k == n,
+	}
+	if err := method.DecodeI32s(sections[sectOrder], ix.order); err != nil {
+		return nil, err
+	}
+	for i := range ix.rankOf {
+		ix.rankOf[i] = -1
+	}
+	for rank, v := range ix.order {
+		if v < 0 || int(v) >= n {
+			return nil, fmt.Errorf("pll: root %d out of range [0,%d)", v, n)
+		}
+		if ix.rankOf[v] >= 0 {
+			return nil, fmt.Errorf("pll: duplicate root %d", v)
+		}
+		ix.rankOf[v] = int32(rank)
+	}
+	if err := method.DecodeI64s(sections[sectLabelOff], ix.labelOff); err != nil {
+		return nil, err
+	}
+	if err := method.ValidateOffsets(ix.labelOff, entries); err != nil {
+		return nil, err
+	}
+	if err := method.DecodeI32s(sections[sectLabelRank], ix.labelRank); err != nil {
+		return nil, err
+	}
+	if err := method.DecodeI32s(sections[sectLabelDist], ix.labelDist); err != nil {
+		return nil, err
+	}
+	for p, r := range ix.labelRank {
+		if r < 0 || int(r) >= k {
+			return nil, fmt.Errorf("pll: label rank %d out of range [0,%d)", r, k)
+		}
+		if d := ix.labelDist[p]; d < 0 {
+			return nil, fmt.Errorf("pll: negative label distance %d", d)
+		}
+	}
+	if nBP > 0 {
+		ix.bp, err = bptree.DecodeTrees(sections[sectBP], nBP, n)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return ix, nil
+}
+
+// Load reads an index file written by Save and attaches it to g.
+func Load(path string, g *graph.Graph) (*Index, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f, g)
+}

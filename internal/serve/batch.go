@@ -52,7 +52,7 @@ func (s *Server) RunBatch(r io.Reader, w io.Writer, workers int) (BatchStats, er
 // deterministic load tests straight from the binary.
 func (s *Server) RunLoad(w io.Writer, count int, seed int64, workers int) (BatchStats, error) {
 	return s.runPipeline(w, workers, func(emit func(workload.Pair) error) error {
-		st := workload.NewStream(s.graphNow(), seed)
+		st := workload.NewStreamN(s.n, seed)
 		for i := 0; i < count; i++ {
 			if err := emit(st.Next()); err != nil {
 				return err
@@ -94,7 +94,7 @@ func (s *Server) RunLoadMixed(w io.Writer, count int, seed int64, workers int, w
 	n := int32(s.n)
 	rng := rand.New(rand.NewSource(seed ^ 0x6c69_7665)) // distinct stream from the read workload
 	bs, err := s.runPipeline(w, workers, func(emit func(workload.Pair) error) error {
-		st := workload.NewStream(s.graphNow(), seed)
+		st := workload.NewStreamN(s.n, seed)
 		for i := 0; i < count; i++ {
 			if rng.Float64() < writeRatio {
 				a, b := rng.Int31n(n), rng.Int31n(n)

@@ -259,12 +259,14 @@ type statsResponse struct {
 }
 
 type indexStats struct {
+	Method       string  `json:"method,omitempty"`
 	NumVertices  int     `json:"n"`
 	NumEdges     int64   `json:"m"`
 	NumLandmarks int     `json:"landmarks"`
 	NumEntries   int64   `json:"entries"`
 	AvgLabelSize float64 `json:"avg_label_size"`
 	MaxLabelSize int     `json:"max_label_size"`
+	SizeBytes    int64   `json:"size_bytes,omitempty"`
 	Bytes8       int64   `json:"bytes_compressed"`
 }
 
@@ -273,12 +275,14 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) (int64, boo
 	writeJSON(w, http.StatusOK, statsResponse{
 		Live: s.LiveStats(),
 		Index: indexStats{
+			Method:       st.Method,
 			NumVertices:  st.NumVertices,
 			NumEdges:     st.NumEdges,
 			NumLandmarks: st.NumLandmarks,
 			NumEntries:   st.NumEntries,
 			AvgLabelSize: st.AvgLabelSize,
 			MaxLabelSize: st.MaxLabelSize,
+			SizeBytes:    st.SizeBytes,
 			Bytes8:       st.Bytes8,
 		},
 		UptimeSeconds: time.Since(s.started).Seconds(),

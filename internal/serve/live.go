@@ -133,7 +133,7 @@ func NewLive(ix *core.Index, cfg LiveConfig) (*Server, error) {
 	if err != nil {
 		return fail(fmt.Errorf("serve: live conversion: %w", err))
 	}
-	s := newServer(ix, cfg.Config)
+	s := newServer(ix, ix.Graph().NumVertices(), cfg.Config)
 	up := &updater{cfg: cfg, dyn: dyn, wal: cfg.WAL, lastGraph: ix.Graph(), baseEntries: ix.NumEntries()}
 	s.up = up
 	if up.wal != nil {

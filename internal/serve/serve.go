@@ -52,6 +52,7 @@ package serve
 import (
 	"context"
 	"errors"
+	"fmt"
 	"net"
 	"net/http"
 	"sync"
@@ -59,7 +60,7 @@ import (
 	"time"
 
 	"highway/internal/core"
-	"highway/internal/graph"
+	"highway/internal/method"
 )
 
 // Config tunes a Server. The zero value is ready for production use.
@@ -85,16 +86,19 @@ const DefaultMaxBatch = 100_000
 const DefaultShutdownGrace = 5 * time.Second
 
 // snapshot is one immutable published state of the server: an index and
-// the searcher pool bound to it. Searchers hold scratch state sized and
-// aimed at one specific index, so every snapshot owns its own pool and a
-// checked-out Searcher is always returned to the snapshot it came from.
+// the searcher pool bound to it. The index is any method's DistanceIndex
+// — the server never looks past the interface on the read path, which is
+// what lets hlserve -method serve every labelling through one machinery.
+// Searchers hold scratch state sized and aimed at one specific index, so
+// every snapshot owns its own pool and a checked-out Searcher is always
+// returned to the snapshot it came from.
 type snapshot struct {
-	ix        *core.Index
+	ix        method.DistanceIndex
 	epoch     uint64
 	searchers sync.Pool
 }
 
-func newSnapshot(ix *core.Index, epoch uint64) *snapshot {
+func newSnapshot(ix method.DistanceIndex, epoch uint64) *snapshot {
 	sn := &snapshot{ix: ix, epoch: epoch}
 	sn.searchers.New = func() any { return ix.NewSearcher() }
 	return sn
@@ -120,20 +124,27 @@ type Server struct {
 	started time.Time
 }
 
-// New returns a read-only Server over ix.
+// New returns a read-only Server over the highway cover index ix.
 func New(ix *core.Index, cfg Config) *Server {
-	s := newServer(ix, cfg)
-	return s
+	return newServer(ix, ix.Graph().NumVertices(), cfg)
 }
 
-func newServer(ix *core.Index, cfg Config) *Server {
+// NewIndex returns a read-only Server over any method's DistanceIndex:
+// the generic serving path behind "hlserve serve -method". Only the
+// highway cover labelling can additionally serve live updates (NewLive);
+// every other method serves frozen.
+func NewIndex(ix method.DistanceIndex, cfg Config) *Server {
+	return newServer(ix, ix.Stats().NumVertices, cfg)
+}
+
+func newServer(ix method.DistanceIndex, n int, cfg Config) *Server {
 	if cfg.MaxBatch <= 0 {
 		cfg.MaxBatch = DefaultMaxBatch
 	}
 	if cfg.ShutdownGrace <= 0 {
 		cfg.ShutdownGrace = DefaultShutdownGrace
 	}
-	s := &Server{cfg: cfg, n: ix.Graph().NumVertices(), started: time.Now()}
+	s := &Server{cfg: cfg, n: n, started: time.Now()}
 	s.snap.Store(newSnapshot(ix, 0))
 	return s
 }
@@ -141,7 +152,7 @@ func newServer(ix *core.Index, cfg Config) *Server {
 // Index returns the currently served index snapshot. On a live server a
 // later call may return a newer index; the returned index itself is
 // immutable and stays valid.
-func (s *Server) Index() *core.Index { return s.snap.Load().ix }
+func (s *Server) Index() method.DistanceIndex { return s.snap.Load().ix }
 
 // Epoch returns the current snapshot epoch: 0 at startup, incremented
 // every time a write or a background rebuild publishes a new snapshot.
@@ -149,12 +160,12 @@ func (s *Server) Epoch() uint64 { return s.snap.Load().epoch }
 
 // acquire loads the current snapshot and checks a Searcher out of its
 // pool; release returns the Searcher to the snapshot it came from.
-func (s *Server) acquire() (*snapshot, *core.Searcher) {
+func (s *Server) acquire() (*snapshot, method.Searcher) {
 	sn := s.snap.Load()
-	return sn, sn.searchers.Get().(*core.Searcher)
+	return sn, sn.searchers.Get().(method.Searcher)
 }
 
-func (s *Server) release(sn *snapshot, sr *core.Searcher) { sn.searchers.Put(sr) }
+func (s *Server) release(sn *snapshot, sr method.Searcher) { sn.searchers.Put(sr) }
 
 // Distance answers one exact distance query against the current
 // snapshot. It is the programmatic equivalent of GET /distance and safe
@@ -172,13 +183,14 @@ func (s *Server) Distance(sv, tv int32) (int32, error) {
 	return d, nil
 }
 
+// checkVertex validates a vertex id against the server's fixed vertex
+// set (inserts add edges, never vertices, so n is a constant).
 func (s *Server) checkVertex(v int32) error {
-	return s.snap.Load().ix.Graph().CheckVertex(v)
+	if v < 0 || int(v) >= s.n {
+		return fmt.Errorf("vertex %d out of range [0,%d)", v, s.n)
+	}
+	return nil
 }
-
-// graphNow returns the graph of the current snapshot (for workload
-// generation; the vertex set never changes, only the edge set grows).
-func (s *Server) graphNow() *graph.Graph { return s.snap.Load().ix.Graph() }
 
 // ListenAndServe serves the HTTP API on addr until ctx is cancelled,
 // then shuts down gracefully, waiting up to Config.ShutdownGrace for

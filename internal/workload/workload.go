@@ -33,7 +33,13 @@ type Stream struct {
 // NewStream returns a pair stream over g's vertex set. Deterministic for
 // a given seed. Panics if g has no vertices.
 func NewStream(g *graph.Graph, seed int64) *Stream {
-	n := g.NumVertices()
+	return NewStreamN(g.NumVertices(), seed)
+}
+
+// NewStreamN is NewStream over an explicit vertex count, for callers
+// that serve an index behind the method-agnostic interface and have no
+// graph at hand. Panics if n is zero.
+func NewStreamN(n int, seed int64) *Stream {
 	if n == 0 {
 		panic("workload: NewStream on empty graph")
 	}
