@@ -1,18 +1,22 @@
 // Command hlserve serves exact distance queries from a prebuilt highway
-// cover index, as a concurrent HTTP/JSON API or a high-throughput
-// stdin/stdout batch pipeline. The HTTP server is live: it accepts edge
-// insertions (POST /edges) while serving reads lock-free, optionally
-// journalling them to a write-ahead edge log and compacting the log via
-// background rebuilds (see the "Live updates" section of the README and
-// DESIGN.md).
+// cover index, as a concurrent HTTP/JSON API, a binary wire protocol
+// (PROTOCOL.md) for native clients, or a high-throughput stdin/stdout
+// batch pipeline. The server is live: it accepts edge insertions (POST
+// /edges, or Insert frames on the binary listener) while serving reads
+// lock-free, optionally journalling them to a write-ahead edge log and
+// compacting the log via background rebuilds (see the "Live updates"
+// section of the README and DESIGN.md).
 //
 // Usage:
 //
 //	hlserve serve -graph g.hwg -addr :8080       # live HTTP API until SIGINT
+//	hlserve serve -graph g.hwg -binaddr :8081    # ... plus the binary protocol
 //	hlserve serve -graph g.hwg -wal edges.wal    # ... with durable updates
 //	hlserve serve -graph g.hwg -method pll       # serve any labelling method (read-only)
 //	hlserve batch -graph g.hwg < pairs.txt       # one distance per line, input order
-//	hlserve load  -graph g.hwg -n 100000         # generated load test, prints qps
+//	hlserve load  -graph g.hwg -n 100000         # in-process load test: qps + p50/p90/p99
+//	hlserve load  -graph g.hwg -proto binary -batch 64   # ... through the wire protocol
+//	hlserve load  -graph g.hwg -parallel 1,2,4,8 -json BENCH_SERVE.json  # qps-vs-parallelism sweep
 //	hlserve load  -graph g.hwg -writeratio 0.01  # ... mixing writes into the reads
 //	hlserve genpairs -graph g.hwg -n 100000      # emit "s t" lines for batch mode
 //	hlserve help [command]
@@ -33,12 +37,16 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"os"
 	"os/signal"
+	"runtime"
+	"strconv"
 	"strings"
 	"syscall"
 
 	"highway"
+	"highway/internal/loadgen"
 	"highway/internal/serve"
 	"highway/internal/workload"
 )
@@ -48,9 +56,9 @@ var commands = []struct {
 	name, summary string
 	run           func(args []string, stdin io.Reader, stdout, stderr io.Writer) error
 }{
-	{"serve", "serve the live HTTP/JSON API (GET /distance, POST /distance/batch, POST /edges, /stats, /healthz)", runServe},
+	{"serve", "serve the live HTTP/JSON API (GET /distance, POST /distance/batch, POST /edges, /stats, /healthz) and, with -binaddr, the binary wire protocol", runServe},
 	{"batch", `answer "s t" lines from stdin, one distance per line on stdout, in input order`, runBatch},
-	{"load", "run a generated load test (read-only, or mixed read/write with -writeratio) and report throughput", runLoad},
+	{"load", "load-test a target protocol (inproc | http | binary): p50/p90/p99 latency, warmup-excluded qps, optional -parallel sweep and -json report", runLoad},
 	{"genpairs", `emit "s t" query lines from the workload generator (feed for batch)`, runGenpairs},
 }
 
@@ -124,6 +132,7 @@ func runServe(args []string, _ io.Reader, stdout, _ io.Writer) error {
 	fs := flag.NewFlagSet("hlserve serve", flag.ContinueOnError)
 	paths, load := indexFlags(fs)
 	addr := fs.String("addr", ":8080", "HTTP listen address")
+	binAddr := fs.String("binaddr", "", "binary wire protocol listen address (see PROTOCOL.md; empty = HTTP only)")
 	maxBatch := fs.Int("maxbatch", 0, "max pairs/edges per batch request (0 = default)")
 	walPath := fs.String("wal", "", "write-ahead edge log for durable updates (replayed on startup; empty = in-memory updates only)")
 	rebuildTh := fs.Int("rebuild-threshold", 0, "accepted edges triggering a background rebuild (0 = default, <0 = never)")
@@ -241,7 +250,26 @@ func runServe(args []string, _ io.Reader, stdout, _ io.Writer) error {
 		fmt.Fprintf(stdout, "hlserve: live updates enabled, %s\n", mode)
 	}
 	fmt.Fprintf(stdout, "hlserve: listening on %s (GET /distance?s=&t=, POST /distance/batch, POST /edges, GET /stats, GET /healthz)\n", *addr)
-	return srv.ListenAndServe(ctx, *addr)
+	if *binAddr == "" {
+		return srv.ListenAndServe(ctx, *addr)
+	}
+
+	// Dual-listener mode: HTTP and the binary protocol serve the same
+	// snapshots, searcher pools and metrics. Either listener failing
+	// takes the whole process down (a half-up server is worse than a
+	// down one); a signal shuts both down gracefully.
+	fmt.Fprintf(stdout, "hlserve: binary protocol listening on %s (PROTOCOL.md; native client: highway.Dial)\n", *binAddr)
+	lctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	errc := make(chan error, 2)
+	go func() { errc <- srv.ListenAndServeBinary(lctx, *binAddr) }()
+	go func() { errc <- srv.ListenAndServe(lctx, *addr) }()
+	err = <-errc
+	cancel()
+	if e2 := <-errc; err == nil {
+		err = e2
+	}
+	return err
 }
 
 func runBatch(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
@@ -265,28 +293,73 @@ func runBatch(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 
 func runLoad(args []string, _ io.Reader, stdout, _ io.Writer) error {
 	fs := flag.NewFlagSet("hlserve load", flag.ContinueOnError)
-	_, load := indexFlags(fs)
-	n := fs.Int("n", 100_000, "pairs to generate (the paper samples 100,000)")
+	paths, load := indexFlags(fs)
+	n := fs.Int("n", 100_000, "total measured pairs per run (the paper samples 100,000)")
 	seed := fs.Int64("seed", 42, "workload seed")
-	workers := fs.Int("workers", 0, "worker goroutines (0 = all cores)")
-	writeRatio := fs.Float64("writeratio", 0, "fraction of reads paired with a random edge insertion (0 = read-only load)")
+	workers := fs.Int("workers", 0, "concurrent load workers, each with its own connection and request queue (0 = all cores)")
+	writeRatio := fs.Float64("writeratio", 0, "fraction of reads paired with a random edge insertion (0 = read-only load; in-process only, needs an hl index)")
+	proto := fs.String("proto", "inproc", "target protocol: inproc (no wire protocol), http (HTTP/JSON API) or binary (PROTOCOL.md)")
+	target := fs.String("target", "", "drive an already-running server at this address (http base URL or binary host:port) instead of a self-hosted loopback listener")
+	batch := fs.Int("batch", 1, "pairs per request (1 = the single-query path)")
+	warmup := fs.Int("warmup", 0, "per-worker warmup requests, issued before the clock starts and excluded from every reported figure (0 = a tenth of the per-worker requests, <0 = none)")
+	parallel := fs.String("parallel", "", "comma-separated worker counts to sweep with a fixed total request budget, e.g. 1,2,4,8 (overrides -workers)")
+	jsonPath := fs.String("json", "", "write all runs as a JSON report to this file (the BENCH_SERVE.json schema; empty = stdout only)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	ix, err := load()
+
+	// Everything that can be rejected before touching the index is
+	// rejected here: a bad flag combination must cost an error message,
+	// not an index load (on billion-edge graphs, minutes).
+	if *writeRatio < 0 || *writeRatio > 1 {
+		return fmt.Errorf("-writeratio must be in [0,1], got %g", *writeRatio)
+	}
+	if *proto != "inproc" && *proto != "http" && *proto != "binary" {
+		return fmt.Errorf("unknown -proto %q (want inproc, http or binary)", *proto)
+	}
+	if *batch <= 0 {
+		return fmt.Errorf("-batch must be positive, got %d", *batch)
+	}
+	levels, err := parseLevels(*parallel)
+	if err != nil {
+		return err
+	}
+	_, ip, err := paths()
 	if err != nil {
 		return err
 	}
 	if *writeRatio > 0 {
+		if *proto != "inproc" {
+			return fmt.Errorf("-writeratio is an in-process measurement (got -proto %s)", *proto)
+		}
+		// Writes need the dynamic highway pipeline: sniffing the index
+		// file's method tag costs a header read, so the mismatch
+		// surfaces now rather than after loading the labelling.
+		tag, err := highway.SniffIndexMethod(ip)
+		if err != nil {
+			return err
+		}
+		if tag != "hl" {
+			return fmt.Errorf("-writeratio needs an hl index (method %q serves read-only)", tag)
+		}
+	}
+
+	ix, err := load()
+	if err != nil {
+		return err
+	}
+	if *workers <= 0 {
+		*workers = runtime.GOMAXPROCS(0)
+	}
+	if levels == nil {
+		levels = []int{*workers}
+	}
+
+	if *writeRatio > 0 {
 		// Mixed read/write mode: a live in-memory server absorbing
 		// random insertions while the read pipeline hammers it, the
-		// serving-side equivalent of the FD comparison. Writes need the
-		// dynamic highway pipeline, hence an hl index.
-		hl, ok := ix.(*highway.Index)
-		if !ok {
-			return fmt.Errorf("-writeratio needs an hl index (method %q serves read-only)", ix.Stats().Method)
-		}
-		srv, err := serve.NewLive(hl, serve.LiveConfig{})
+		// serving-side equivalent of the FD comparison.
+		srv, err := serve.NewLive(ix.(*highway.Index), serve.LiveConfig{})
 		if err != nil {
 			return err
 		}
@@ -298,12 +371,112 @@ func runLoad(args []string, _ io.Reader, stdout, _ io.Writer) error {
 		fmt.Fprintln(stdout, "hlserve:", stats)
 		return nil
 	}
-	stats, err := serve.NewIndex(ix, serve.Config{}).RunLoad(io.Discard, *n, *seed, *workers)
+
+	// Read-only mode goes through the percentile harness. The target is
+	// the in-process server, or a wire protocol — self-hosted on a
+	// loopback listener unless -target points at a running server, so a
+	// protocol-overhead comparison needs nothing but this one command.
+	srv := serve.NewIndex(ix, serve.Config{})
+	var factory loadgen.TargetFactory
+	switch *proto {
+	case "inproc":
+		factory = loadgen.InProcFactory(srv)
+	case "http":
+		base := *target
+		if base == "" {
+			ln, stop, err := selfHost(func(ctx context.Context, ln net.Listener) error { return srv.Serve(ctx, ln) })
+			if err != nil {
+				return err
+			}
+			defer stop()
+			base = "http://" + ln.Addr().String()
+		} else if !strings.Contains(base, "://") {
+			base = "http://" + base
+		}
+		factory = loadgen.HTTPFactory(base)
+	case "binary":
+		addr := *target
+		if addr == "" {
+			ln, stop, err := selfHost(srv.ServeBinary)
+			if err != nil {
+				return err
+			}
+			defer stop()
+			addr = ln.Addr().String()
+		}
+		factory = loadgen.BinaryFactory(addr)
+	}
+
+	opt := loadgen.Options{
+		Requests: *n / *batch, // total budget; Sweep splits it across workers
+		Warmup:   *warmup,
+		Batch:    *batch,
+		N:        ix.Stats().NumVertices,
+		Seed:     *seed,
+	}
+	runs, err := loadgen.Sweep(opt, levels, factory)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintln(stdout, "hlserve:", stats)
+	for i := range runs {
+		runs[i].Protocol = *proto
+		fmt.Fprintln(stdout, "hlserve:", runs[i])
+	}
+	if *jsonPath != "" {
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			return err
+		}
+		rp := loadgen.Report{
+			Command: "hlserve load " + strings.Join(args, " "),
+			Host:    fmt.Sprintf("%s/%s, %d cores, %s", runtime.GOOS, runtime.GOARCH, runtime.NumCPU(), runtime.Version()),
+			Runs:    runs,
+		}
+		if err := rp.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "hlserve: wrote %d runs to %s\n", len(runs), *jsonPath)
+	}
 	return nil
+}
+
+// parseLevels parses the -parallel flag: a comma-separated list of
+// positive worker counts, nil when empty.
+func parseLevels(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	levels := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("-parallel wants positive worker counts like 1,2,4,8; got %q", s)
+		}
+		levels = append(levels, v)
+	}
+	return levels, nil
+}
+
+// selfHost starts serveFn on a loopback listener and returns the
+// listener plus a stop func that shuts the listener down and reports
+// its exit error.
+func selfHost(serveFn func(context.Context, net.Listener) error) (net.Listener, func() error, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- serveFn(ctx, ln) }()
+	return ln, func() error {
+		cancel()
+		return <-done
+	}, nil
 }
 
 func runGenpairs(args []string, _ io.Reader, stdout, _ io.Writer) error {

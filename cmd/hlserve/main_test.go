@@ -3,8 +3,10 @@ package main
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
 	"io"
+	"os"
 	"path/filepath"
 	"strconv"
 	"strings"
@@ -80,6 +82,83 @@ func TestGenpairsAndLoad(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "500 pairs") {
 		t.Fatalf("load output %q lacks pair count", out.String())
+	}
+}
+
+// TestLoadProtocols drives the harness through every wire protocol
+// against a self-hosted loopback listener: the one-command
+// protocol-overhead comparison must work end to end.
+func TestLoadProtocols(t *testing.T) {
+	gp := writeIndexedGraph(t)
+	for _, proto := range []string{"inproc", "http", "binary"} {
+		var out bytes.Buffer
+		args := []string{"load", "-graph", gp, "-n", "200", "-workers", "2", "-batch", "4", "-proto", proto, "-warmup", "2"}
+		if err := run(args, nil, &out, io.Discard); err != nil {
+			t.Fatalf("%s: %v", proto, err)
+		}
+		got := out.String()
+		if !strings.Contains(got, "200 pairs") || !strings.Contains(got, "p99") || !strings.Contains(got, proto) {
+			t.Fatalf("%s load output %q lacks pairs/percentiles/protocol", proto, got)
+		}
+	}
+}
+
+// TestLoadSweepJSON pins the -parallel sweep and the BENCH_SERVE.json
+// report shape.
+func TestLoadSweepJSON(t *testing.T) {
+	gp := writeIndexedGraph(t)
+	jp := filepath.Join(t.TempDir(), "bench.json")
+	var out bytes.Buffer
+	args := []string{"load", "-graph", gp, "-n", "100", "-parallel", "1,2", "-json", jp}
+	if err := run(args, nil, &out, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(jp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rp struct {
+		Command string `json:"command"`
+		Runs    []struct {
+			Protocol string  `json:"protocol"`
+			Workers  int     `json:"workers"`
+			QPS      float64 `json:"qps"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(b, &rp); err != nil {
+		t.Fatal(err)
+	}
+	if len(rp.Runs) != 2 || rp.Runs[0].Workers != 1 || rp.Runs[1].Workers != 2 {
+		t.Fatalf("report runs %+v", rp.Runs)
+	}
+	for _, r := range rp.Runs {
+		if r.Protocol != "inproc" || r.QPS <= 0 {
+			t.Fatalf("bad run %+v", r)
+		}
+	}
+	if !strings.Contains(rp.Command, "-parallel 1,2") {
+		t.Fatalf("report command %q does not reproduce the invocation", rp.Command)
+	}
+}
+
+// TestLoadFlagValidation pins that bad flag combinations fail at parse
+// time, before any index is loaded (the graph path here does not even
+// exist).
+func TestLoadFlagValidation(t *testing.T) {
+	for _, tc := range []struct {
+		args []string
+		want string
+	}{
+		{[]string{"load", "-graph", "nope.hwg", "-proto", "grpc"}, "-proto"},
+		{[]string{"load", "-graph", "nope.hwg", "-writeratio", "1.5"}, "-writeratio"},
+		{[]string{"load", "-graph", "nope.hwg", "-writeratio", "0.5", "-proto", "binary"}, "in-process"},
+		{[]string{"load", "-graph", "nope.hwg", "-batch", "0"}, "-batch"},
+		{[]string{"load", "-graph", "nope.hwg", "-parallel", "1,zero"}, "-parallel"},
+	} {
+		err := run(tc.args, nil, io.Discard, io.Discard)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("args %v: err = %v, want mention of %q", tc.args, err, tc.want)
+		}
 	}
 }
 

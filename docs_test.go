@@ -2,11 +2,15 @@ package highway_test
 
 import (
 	"bufio"
+	"fmt"
 	"os"
 	"path/filepath"
 	"regexp"
+	"strconv"
 	"strings"
 	"testing"
+
+	"highway/internal/wire"
 )
 
 // TestDocRefsExist fails when a Go comment or a curated markdown doc
@@ -32,6 +36,7 @@ func TestDocRefsExist(t *testing.T) {
 	mdRef := regexp.MustCompile(`[A-Za-z0-9_\-./]*[A-Za-z0-9_\-]\.md\b`)
 	curated := map[string]bool{
 		"README.md": true, "DESIGN.md": true, "EXPERIMENTS.md": true, "ROADMAP.md": true,
+		"PROTOCOL.md": true,
 	}
 
 	var violations []string
@@ -95,6 +100,77 @@ func TestDocRefsExist(t *testing.T) {
 	}
 	for _, v := range violations {
 		t.Error(v)
+	}
+}
+
+// TestProtocolDocMatchesWire pins PROTOCOL.md to the wire package in
+// both directions: every record type and error code the implementation
+// knows must appear in the spec's tables under its canonical name and
+// value, and every type-looking table row in the spec must correspond
+// to an implemented constant. The wire format cannot drift from its
+// documentation without failing CI's docs job.
+func TestProtocolDocMatchesWire(t *testing.T) {
+	doc, err := os.ReadFile("PROTOCOL.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(doc)
+
+	// Load-bearing facts outside the tables.
+	for _, want := range []string{
+		fmt.Sprintf("`%s`", wire.Magic),
+		"CRC-32C",
+		"little-endian",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("PROTOCOL.md does not mention %s", want)
+		}
+	}
+
+	// Table rows: "| 0x01 | Distance | ..." for types,
+	// "| 1 | Malformed | ..." for error codes.
+	typeRow := regexp.MustCompile(`(?mi)^\|\s*0x([0-9a-f]{2})\s*\|\s*([A-Za-z]+)\s*\|`)
+	docTypes := map[wire.Type]string{}
+	for _, m := range typeRow.FindAllStringSubmatch(text, -1) {
+		v, err := strconv.ParseUint(m[1], 16, 8)
+		if err != nil {
+			t.Fatalf("row %q: %v", m[0], err)
+		}
+		docTypes[wire.Type(v)] = m[2]
+	}
+	for typ, name := range wire.TypeNames {
+		if got, ok := docTypes[typ]; !ok {
+			t.Errorf("record type 0x%02x (%s) is implemented but not specified in PROTOCOL.md", byte(typ), name)
+		} else if got != name {
+			t.Errorf("record type 0x%02x is %q in PROTOCOL.md but %q in internal/wire", byte(typ), got, name)
+		}
+	}
+	for typ, name := range docTypes {
+		if _, ok := wire.TypeNames[typ]; !ok {
+			t.Errorf("PROTOCOL.md specifies record type 0x%02x (%s) that internal/wire does not implement", byte(typ), name)
+		}
+	}
+
+	codeRow := regexp.MustCompile(`(?m)^\|\s*([0-9]+)\s*\|\s*([A-Za-z]+)\s*\|`)
+	docCodes := map[wire.ErrorCode]string{}
+	for _, m := range codeRow.FindAllStringSubmatch(text, -1) {
+		v, err := strconv.ParseUint(m[1], 10, 16)
+		if err != nil {
+			t.Fatalf("row %q: %v", m[0], err)
+		}
+		docCodes[wire.ErrorCode(v)] = m[2]
+	}
+	for code, name := range wire.ErrorCodeNames {
+		if got, ok := docCodes[code]; !ok {
+			t.Errorf("error code %d (%s) is implemented but not specified in PROTOCOL.md", code, name)
+		} else if got != name {
+			t.Errorf("error code %d is %q in PROTOCOL.md but %q in internal/wire", code, got, name)
+		}
+	}
+	for code, name := range docCodes {
+		if _, ok := wire.ErrorCodeNames[code]; !ok {
+			t.Errorf("PROTOCOL.md specifies error code %d (%s) that internal/wire does not implement", code, name)
+		}
 	}
 }
 

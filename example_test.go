@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -76,6 +77,44 @@ func ExampleServer_InsertEdges() {
 		before, after, res.Inserted, res.Epoch)
 	// Output:
 	// d(0,3) before=3 after=1 (inserted 1 edge at epoch 1)
+}
+
+// ExampleClient serves an index over the binary wire protocol
+// (PROTOCOL.md) on a loopback listener and queries it with the native
+// pooled client: one framed round trip per Distance call, one for the
+// whole batch. Production servers pass a real address ("hlserve serve
+// -binaddr :8081" is this same pairing from the command line).
+func ExampleClient() {
+	g, _ := highway.FromEdges(6, [][2]int32{
+		{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 0}, {1, 4},
+	})
+	landmarks, _ := highway.SelectLandmarks(g, 2, highway.ByDegree, 0)
+	ix, _ := highway.BuildIndex(g, landmarks)
+	srv := highway.NewServer(ix, highway.ServeConfig{})
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		panic(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- srv.ServeBinary(ctx, ln) }()
+
+	cl, err := highway.Dial(ctx, ln.Addr().String(), highway.ClientConfig{})
+	if err != nil {
+		panic(err)
+	}
+	d, _ := cl.Distance(ctx, 0, 3)
+	ds, _ := cl.DistanceBatch(ctx, [][2]int32{{2, 5}, {1, 4}}, nil)
+	fmt.Println(d)
+	fmt.Println(ds)
+	cl.Close()
+
+	cancel()
+	<-done
+	// Output:
+	// 3
+	// [3 1]
 }
 
 // ExampleBuild builds three different labelling methods through the

@@ -32,6 +32,17 @@
 //	// GET  /distance?s=12&t=34          -> {"s":12,"t":34,"distance":3}
 //	// POST /distance/batch {"pairs":[[1,2],[3,4]]} -> {"count":2,"distances":[2,3]}
 //
+// For traffic that cannot afford the HTTP/1 + JSON protocol tax, the
+// same Server also speaks a length-prefixed binary wire protocol
+// (Server.ServeBinary; the frame format is specified in PROTOCOL.md),
+// and Dial returns the native connection-pooled Client for it. Both
+// listeners may run at once over the same snapshots and metrics:
+//
+//	go srv.ListenAndServeBinary(ctx, ":8081")
+//	cl, _ := highway.Dial(ctx, "localhost:8081", highway.ClientConfig{})
+//	d, _ := cl.Distance(ctx, 12, 34)                  // one framed round trip
+//	ds, _ := cl.DistanceBatch(ctx, pairs, nil)        // thousands of pairs per round trip
+//
 // # Live updates
 //
 // A server built with NewLiveServer additionally accepts edge

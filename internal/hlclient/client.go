@@ -1,0 +1,343 @@
+// Package hlclient is the native Go client for the binary serving
+// protocol (internal/wire, specified in PROTOCOL.md): a
+// connection-pooled Client whose Distance call costs one framed round
+// trip instead of an HTTP/1 request, and whose DistanceBatch carries
+// thousands of pairs per round trip. It is re-exported at the module
+// root as highway.Client / highway.Dial.
+//
+// A Client is safe for concurrent use: every call checks a connection
+// out of the pool (dialing a fresh one when the pool is empty) and
+// returns it afterwards, so N goroutines fan out over up to N
+// connections while idle ones are reused. Reconnection is transparent:
+// a request that fails on a pooled connection — typically a server
+// restart having closed it — is retried once on a freshly dialed one.
+// Retrying is safe for every request type: reads are idempotent by
+// nature and edge insertion is idempotent by design (duplicate inserts
+// are accepted as no-ops; see internal/serve's WAL replay contract).
+//
+// Deadlines come from the caller's context: a context deadline is
+// applied to the dial, the write and the read of each call.
+package hlclient
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"highway/internal/serve"
+	"highway/internal/wire"
+)
+
+// Config tunes a Client. The zero value is ready for use.
+type Config struct {
+	// PoolSize caps the number of idle connections kept for reuse
+	// (DefaultPoolSize when 0). Concurrent calls beyond the pool dial
+	// extra connections, which are closed instead of pooled when they
+	// come back to a full pool.
+	PoolSize int
+	// DialTimeout bounds connection establishment plus the protocol
+	// handshake when the caller's context carries no deadline
+	// (DefaultDialTimeout when 0).
+	DialTimeout time.Duration
+}
+
+// DefaultPoolSize is the idle-connection cap used when Config.PoolSize
+// is zero.
+const DefaultPoolSize = 8
+
+// DefaultDialTimeout bounds dial+handshake when Config.DialTimeout is
+// zero and the context has no deadline.
+const DefaultDialTimeout = 10 * time.Second
+
+// ErrClientClosed is returned by every call after Close.
+var ErrClientClosed = errors.New("hlclient: client is closed")
+
+// Client is a pooled connection to one server's binary listener.
+// Create one with Dial; all methods are safe for concurrent use.
+type Client struct {
+	addr string
+	cfg  Config
+
+	mu     sync.Mutex
+	idle   []*poolConn
+	closed bool
+}
+
+// poolConn is one protocol connection plus its per-connection codec
+// state and scratch buffers (reused across the requests it serves).
+type poolConn struct {
+	c       net.Conn
+	r       *wire.Reader
+	w       *wire.Writer
+	scratch []byte
+}
+
+// Dial connects to a server's binary listener at addr (host:port),
+// performs the protocol handshake, and returns a ready Client. The
+// handshake on this first connection is the liveness check: a peer
+// that is not speaking the protocol fails here, not on the first
+// query.
+func Dial(ctx context.Context, addr string, cfg Config) (*Client, error) {
+	if cfg.PoolSize <= 0 {
+		cfg.PoolSize = DefaultPoolSize
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = DefaultDialTimeout
+	}
+	c := &Client{addr: addr, cfg: cfg}
+	pc, err := c.dial(ctx)
+	if err != nil {
+		return nil, err
+	}
+	c.put(pc)
+	return c, nil
+}
+
+// Addr returns the server address the client dials.
+func (c *Client) Addr() string { return c.addr }
+
+// dial opens and handshakes one new connection.
+func (c *Client) dial(ctx context.Context) (*poolConn, error) {
+	dctx := ctx
+	if _, ok := ctx.Deadline(); !ok {
+		var cancel context.CancelFunc
+		dctx, cancel = context.WithTimeout(ctx, c.cfg.DialTimeout)
+		defer cancel()
+	}
+	var d net.Dialer
+	conn, err := d.DialContext(dctx, "tcp", c.addr)
+	if err != nil {
+		return nil, fmt.Errorf("hlclient: dial %s: %w", c.addr, err)
+	}
+	if dl, ok := dctx.Deadline(); ok {
+		conn.SetDeadline(dl)
+	}
+	if err := wire.WriteMagic(conn); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("hlclient: handshake with %s: %w", c.addr, err)
+	}
+	if err := wire.ReadMagic(conn); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("hlclient: handshake with %s: %w", c.addr, err)
+	}
+	conn.SetDeadline(time.Time{})
+	return &poolConn{c: conn, r: wire.NewReader(conn, wire.MaxFrame), w: wire.NewWriter(conn)}, nil
+}
+
+// get checks a connection out of the pool, reporting whether it was
+// reused (a reused connection may have been closed by the server since
+// it was pooled, so a transport failure on it is retried once on a
+// fresh one).
+func (c *Client) get(ctx context.Context) (pc *poolConn, reused bool, err error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, false, ErrClientClosed
+	}
+	if n := len(c.idle); n > 0 {
+		pc = c.idle[n-1]
+		c.idle = c.idle[:n-1]
+		c.mu.Unlock()
+		return pc, true, nil
+	}
+	c.mu.Unlock()
+	pc, err = c.dial(ctx)
+	return pc, false, err
+}
+
+// put returns a healthy connection to the pool (closing it when the
+// pool is full or the client is closed).
+func (c *Client) put(pc *poolConn) {
+	c.mu.Lock()
+	if !c.closed && len(c.idle) < c.cfg.PoolSize {
+		c.idle = append(c.idle, pc)
+		c.mu.Unlock()
+		return
+	}
+	c.mu.Unlock()
+	pc.c.Close()
+}
+
+// Close releases every pooled connection. In-flight calls on
+// checked-out connections finish; subsequent calls return
+// ErrClientClosed.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	idle := c.idle
+	c.idle = nil
+	c.closed = true
+	c.mu.Unlock()
+	var err error
+	for _, pc := range idle {
+		if cerr := pc.c.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// do runs one request/response exchange: check out a connection, frame
+// the request, decode the response with decode (called while the
+// connection still owns the payload buffer — copy anything retained).
+// A transport failure on a reused connection is retried once on a
+// fresh one; a TError response is returned as *wire.RemoteError with
+// the connection kept healthy.
+func (c *Client) do(ctx context.Context, req wire.Type, build func(dst []byte) []byte,
+	want wire.Type, decode func(payload []byte) error) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	for {
+		pc, reused, err := c.get(ctx)
+		if err != nil {
+			return err
+		}
+		healthy, err := pc.roundTrip(ctx, req, build, want, decode)
+		if healthy {
+			c.put(pc)
+		} else {
+			pc.c.Close()
+		}
+		if err != nil && !healthy && reused && ctx.Err() == nil {
+			// The pooled connection had gone stale under us (server
+			// restart, idle timeout). Retrying on the next connection
+			// is safe for every request type: reads are idempotent and
+			// inserts are idempotent by the server's replay contract.
+			// Each failed retry closes one stale pooled connection, so
+			// the loop drains the pool and then dials fresh — a fresh
+			// connection's failure is returned.
+			continue
+		}
+		return err
+	}
+}
+
+// roundTrip performs the exchange on one connection, reporting whether
+// the connection is still usable afterwards.
+func (pc *poolConn) roundTrip(ctx context.Context, req wire.Type, build func(dst []byte) []byte,
+	want wire.Type, decode func(payload []byte) error) (healthy bool, err error) {
+	if dl, ok := ctx.Deadline(); ok {
+		pc.c.SetDeadline(dl)
+	} else {
+		pc.c.SetDeadline(time.Time{})
+	}
+	pc.scratch = pc.scratch[:0]
+	if build != nil {
+		pc.scratch = build(pc.scratch)
+	}
+	if err := pc.w.WriteFrame(req, pc.scratch); err != nil {
+		return false, fmt.Errorf("hlclient: write: %w", err)
+	}
+	if err := pc.w.Flush(); err != nil {
+		return false, fmt.Errorf("hlclient: write: %w", err)
+	}
+	typ, payload, err := pc.r.ReadFrame()
+	if err != nil {
+		return false, fmt.Errorf("hlclient: read: %w", err)
+	}
+	switch typ {
+	case want:
+		if decode == nil {
+			return true, nil
+		}
+		if err := decode(payload); err != nil {
+			// The frame was well-formed transport-wise but its payload
+			// was not what the response type promises: protocol
+			// violation, stop trusting the connection.
+			return false, fmt.Errorf("hlclient: %v response: %w", typ, err)
+		}
+		return true, nil
+	case wire.TError:
+		code, msg, derr := wire.DecodeError(payload)
+		if derr != nil {
+			return false, fmt.Errorf("hlclient: error response: %w", derr)
+		}
+		// An in-band error leaves the stream position intact: the
+		// connection stays pooled.
+		return true, &wire.RemoteError{Code: code, Message: msg}
+	default:
+		return false, fmt.Errorf("hlclient: server answered %v to a %v request", typ, req)
+	}
+}
+
+// Distance returns the exact distance between s and t (-1 when
+// disconnected), in one framed round trip.
+func (c *Client) Distance(ctx context.Context, s, t int32) (int32, error) {
+	var d int32
+	err := c.do(ctx,
+		wire.TDistance, func(dst []byte) []byte { return wire.AppendPair(dst, s, t) },
+		wire.TDistanceResp, func(p []byte) error {
+			var derr error
+			d, derr = wire.DecodeDistance(p)
+			return derr
+		})
+	if err != nil {
+		return -1, err
+	}
+	return d, nil
+}
+
+// DistanceBatch answers len(pairs) queries in one round trip:
+// distances[i] answers pairs[i]. The result is written into dst when it
+// has the capacity (pass the previous call's slice to make a query loop
+// allocation-free) and dst may be nil.
+func (c *Client) DistanceBatch(ctx context.Context, pairs [][2]int32, dst []int32) ([]int32, error) {
+	var out []int32
+	err := c.do(ctx,
+		wire.TBatch, func(b []byte) []byte { return wire.AppendPairs(b, pairs) },
+		wire.TBatchResp, func(p []byte) error {
+			var derr error
+			out, derr = wire.DecodeDistances(p, dst)
+			if derr == nil && len(out) != len(pairs) {
+				derr = fmt.Errorf("%d answers for %d pairs", len(out), len(pairs))
+			}
+			return derr
+		})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// InsertEdges inserts a batch of undirected edges on a live server,
+// returning the same acknowledgement as POST /edges. The whole batch is
+// accepted or rejected together.
+func (c *Client) InsertEdges(ctx context.Context, edges [][2]int32) (serve.InsertResult, error) {
+	var res serve.InsertResult
+	err := c.do(ctx,
+		wire.TInsert, func(b []byte) []byte { return wire.AppendPairs(b, edges) },
+		wire.TInsertResp, func(p []byte) error {
+			acc, ins, epoch, derr := wire.DecodeInsertResult(p)
+			res = serve.InsertResult{Accepted: acc, Inserted: ins, Epoch: epoch}
+			return derr
+		})
+	if err != nil {
+		return serve.InsertResult{}, err
+	}
+	return res, nil
+}
+
+// Stats fetches the server's stats document — the same JSON served by
+// GET /stats.
+func (c *Client) Stats(ctx context.Context) (json.RawMessage, error) {
+	var doc json.RawMessage
+	err := c.do(ctx,
+		wire.TStats, nil,
+		wire.TStatsResp, func(p []byte) error {
+			doc = append(json.RawMessage(nil), p...) // the frame buffer is reused; copy
+			return nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	return doc, nil
+}
+
+// Ping performs a liveness round trip.
+func (c *Client) Ping(ctx context.Context) error {
+	return c.do(ctx, wire.TPing, nil, wire.TPingResp, nil)
+}

@@ -1,0 +1,167 @@
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"highway/internal/core"
+	"highway/internal/gen"
+	"highway/internal/landmark"
+	"highway/internal/serve"
+)
+
+func testServer(t *testing.T) (*serve.Server, int) {
+	t.Helper()
+	g := gen.BarabasiAlbert(400, 3, 7)
+	lms, err := landmark.Select(g, landmark.Options{K: 8, Strategy: landmark.Degree})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := core.BuildParallel(g, lms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return serve.New(ix, serve.Config{ShutdownGrace: time.Second}), g.NumVertices()
+}
+
+// checkResult asserts the invariants every sane run satisfies.
+func checkResult(t *testing.T, r Result, opt Options) {
+	t.Helper()
+	if r.Requests != opt.Workers*opt.Requests {
+		t.Fatalf("requests = %d, want %d", r.Requests, opt.Workers*opt.Requests)
+	}
+	if want := int64(opt.Workers) * int64(opt.Requests) * int64(opt.Batch); r.Pairs != want {
+		t.Fatalf("pairs = %d, want %d", r.Pairs, want)
+	}
+	if r.Warmup != opt.Workers*opt.Warmup {
+		t.Fatalf("warmup = %d, want %d", r.Warmup, opt.Workers*opt.Warmup)
+	}
+	if r.QPS <= 0 || r.RPS <= 0 || r.ElapsedSec <= 0 {
+		t.Fatalf("degenerate throughput: %+v", r)
+	}
+	l := r.Latency
+	if l.P50 <= 0 || l.P50 > l.P90 || l.P90 > l.P99 || l.P99 > l.Max {
+		t.Fatalf("percentiles out of order: %+v", l)
+	}
+	if r.Mem.HeapAllocMB <= 0 {
+		t.Fatalf("memory monitor observed nothing: %+v", r.Mem)
+	}
+}
+
+func TestRunInProc(t *testing.T) {
+	srv, n := testServer(t)
+	opt := Options{Workers: 3, Requests: 200, Warmup: 20, Batch: 4, N: n, Seed: 1, MemSample: time.Millisecond}
+	r, err := Run(opt, InProcFactory(srv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Protocol = "inproc"
+	checkResult(t, r, opt)
+}
+
+func TestRunHTTP(t *testing.T) {
+	srv, n := testServer(t)
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+	for _, batch := range []int{1, 8} {
+		opt := Options{Workers: 2, Requests: 50, Warmup: 5, Batch: batch, N: n, Seed: 2, MemSample: time.Millisecond}
+		r, err := Run(opt, HTTPFactory(hs.URL))
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Protocol = "http"
+		checkResult(t, r, opt)
+	}
+}
+
+func TestRunBinary(t *testing.T) {
+	srv, n := testServer(t)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- srv.ServeBinary(ctx, ln) }()
+	defer func() {
+		cancel()
+		if err := <-done; err != nil {
+			t.Error(err)
+		}
+	}()
+	for _, batch := range []int{1, 8} {
+		opt := Options{Workers: 2, Requests: 50, Warmup: 5, Batch: batch, N: n, Seed: 3, MemSample: time.Millisecond}
+		r, err := Run(opt, BinaryFactory(ln.Addr().String()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Protocol = "binary"
+		checkResult(t, r, opt)
+	}
+}
+
+func TestSweep(t *testing.T) {
+	srv, n := testServer(t)
+	opt := Options{Requests: 48, Warmup: 5, Batch: 2, N: n, Seed: 4, MemSample: -1}
+	levels := []int{1, 2, 4}
+	runs, err := Sweep(opt, levels, InProcFactory(srv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != len(levels) {
+		t.Fatalf("%d runs for %d levels", len(runs), len(levels))
+	}
+	for i, r := range runs {
+		if r.Workers != levels[i] {
+			t.Fatalf("run %d workers = %d, want %d", i, r.Workers, levels[i])
+		}
+		// The total request budget is held constant across levels.
+		if r.Requests != 48 {
+			t.Fatalf("run %d (workers=%d) requests = %d, want 48", i, levels[i], r.Requests)
+		}
+	}
+}
+
+func TestOptionsValidation(t *testing.T) {
+	if _, err := Run(Options{}, InProcFactory(nil)); err == nil {
+		t.Fatal("Run accepted Options.N == 0")
+	}
+}
+
+func TestPercentiles(t *testing.T) {
+	// 1..100 µs in ns: exact nearest-rank percentiles are known.
+	ns := make([]int64, 100)
+	for i := range ns {
+		ns[i] = int64(i+1) * 1000
+	}
+	p := percentiles(ns)
+	if p.P50 != 50 || p.P90 != 90 || p.P99 != 99 || p.Max != 100 {
+		t.Fatalf("percentiles = %+v", p)
+	}
+	if got := percentiles(nil); got != (Percentiles{}) {
+		t.Fatalf("empty percentiles = %+v", got)
+	}
+}
+
+func TestReportJSON(t *testing.T) {
+	rp := Report{
+		Command: "hlserve load -proto binary",
+		Runs:    []Result{{Protocol: "binary", Workers: 2, Batch: 8, QPS: 1000}},
+	}
+	var buf bytes.Buffer
+	if err := rp.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Runs) != 1 || back.Runs[0].Protocol != "binary" || back.Runs[0].QPS != 1000 {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+}

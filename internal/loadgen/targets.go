@@ -1,0 +1,129 @@
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+
+	"highway/internal/hlclient"
+	"highway/internal/serve"
+)
+
+// InProcFactory drives a serve.Server directly, with no protocol in
+// between: the floor every wire protocol's overhead is measured
+// against.
+func InProcFactory(srv *serve.Server) TargetFactory {
+	return func(int) (Target, error) { return &inprocTarget{srv: srv}, nil }
+}
+
+type inprocTarget struct {
+	srv *serve.Server
+	dst []int32
+}
+
+func (t *inprocTarget) Do(pairs [][2]int32) error {
+	if len(pairs) == 1 {
+		_, err := t.srv.Distance(pairs[0][0], pairs[0][1])
+		return err
+	}
+	var err error
+	t.dst, err = t.srv.DistanceBatch(pairs, t.dst)
+	return err
+}
+
+func (t *inprocTarget) Close() error { return nil }
+
+// HTTPFactory drives the HTTP/JSON API at baseURL (e.g.
+// "http://127.0.0.1:8080"): GET /distance for single pairs, POST
+// /distance/batch otherwise. Each worker owns one keep-alive
+// connection, so the per-request cost measured is the HTTP/1 + JSON
+// protocol tax, not repeated TCP handshakes.
+func HTTPFactory(baseURL string) TargetFactory {
+	return func(int) (Target, error) {
+		tr := &http.Transport{MaxIdleConnsPerHost: 1}
+		return &httpTarget{base: baseURL, cl: &http.Client{Transport: tr}, tr: tr}, nil
+	}
+}
+
+type httpTarget struct {
+	base string
+	cl   *http.Client
+	tr   *http.Transport
+	body bytes.Buffer
+}
+
+func (t *httpTarget) Do(pairs [][2]int32) error {
+	if len(pairs) == 1 {
+		url := t.base + "/distance?s=" + strconv.Itoa(int(pairs[0][0])) +
+			"&t=" + strconv.Itoa(int(pairs[0][1]))
+		resp, err := t.cl.Get(url)
+		if err != nil {
+			return err
+		}
+		return drain(resp)
+	}
+	t.body.Reset()
+	req := struct {
+		Pairs [][2]int32 `json:"pairs"`
+	}{Pairs: pairs}
+	if err := json.NewEncoder(&t.body).Encode(req); err != nil {
+		return err
+	}
+	resp, err := t.cl.Post(t.base+"/distance/batch", "application/json", &t.body)
+	if err != nil {
+		return err
+	}
+	return drain(resp)
+}
+
+// drain consumes and closes the response body (keeping the connection
+// reusable) and rejects non-2xx statuses.
+func drain(resp *http.Response) error {
+	_, cerr := io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return fmt.Errorf("http status %s", resp.Status)
+	}
+	return cerr
+}
+
+func (t *httpTarget) Close() error {
+	t.tr.CloseIdleConnections()
+	return nil
+}
+
+// BinaryFactory drives the binary protocol listener at addr through
+// one hlclient.Client per worker (pool size 1): each worker is one
+// connection with its own request queue, and batch answers reuse one
+// buffer so the measured loop does not allocate.
+func BinaryFactory(addr string) TargetFactory {
+	return func(int) (Target, error) {
+		cl, err := hlclient.Dial(context.Background(), addr, hlclient.Config{PoolSize: 1})
+		if err != nil {
+			return nil, err
+		}
+		return &binaryTarget{cl: cl}, nil
+	}
+}
+
+type binaryTarget struct {
+	cl  *hlclient.Client
+	dst []int32
+}
+
+func (t *binaryTarget) Do(pairs [][2]int32) error {
+	ctx := context.Background()
+	if len(pairs) == 1 {
+		_, err := t.cl.Distance(ctx, pairs[0][0], pairs[0][1])
+		return err
+	}
+	var err error
+	t.dst, err = t.cl.DistanceBatch(ctx, pairs, t.dst)
+	return err
+}
+
+func (t *binaryTarget) Close() error { return t.cl.Close() }

@@ -1,0 +1,284 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"highway/internal/wire"
+)
+
+// Binary protocol listener: the same Server, snapshots and searcher
+// pools as the HTTP API, behind the length-prefixed framed protocol of
+// internal/wire (specified in PROTOCOL.md). One goroutine per
+// connection decodes request frames and answers them strictly in
+// order, so clients may pipeline thousands of requests per round trip;
+// responses are buffered and flushed only when no further request is
+// already readable, which is what collapses a pipelined burst into a
+// handful of syscalls.
+
+// Connection timeouts, mirroring the HTTP listener's bounds: a slow or
+// dead peer must not pin a goroutine forever.
+const (
+	binHandshakeTimeout = 10 * time.Second
+	binIdleTimeout      = 2 * time.Minute
+	binWriteTimeout     = 2 * time.Minute
+)
+
+// ListenAndServeBinary serves the binary wire protocol on addr until
+// ctx is cancelled, then shuts down gracefully (in-flight requests
+// finish; idle connections are released immediately). It returns nil on
+// clean shutdown.
+func (s *Server) ListenAndServeBinary(ctx context.Context, addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.ServeBinary(ctx, ln)
+}
+
+// ServeBinary is ListenAndServeBinary over an existing listener (tests
+// use 127.0.0.1:0 to avoid port races). It may run concurrently with
+// Serve on another listener: the two protocols share every snapshot,
+// searcher pool and metric, so a JSON write is visible to a binary read
+// and vice versa.
+func (s *Server) ServeBinary(ctx context.Context, ln net.Listener) error {
+	var (
+		mu    sync.Mutex
+		conns = make(map[net.Conn]struct{})
+		wg    sync.WaitGroup
+	)
+	stop := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+		case <-stop:
+		}
+		ln.Close()
+		// Poison pending reads: a connection blocked waiting for its
+		// next request fails fast, while one mid-request still gets to
+		// write its response before its next read errors out.
+		mu.Lock()
+		for c := range conns {
+			c.SetReadDeadline(time.Now())
+		}
+		mu.Unlock()
+	}()
+
+	var acceptErr error
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			if ctx.Err() == nil && !errors.Is(err, net.ErrClosed) {
+				acceptErr = err
+			}
+			break
+		}
+		mu.Lock()
+		conns[c] = struct{}{}
+		mu.Unlock()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.serveBinaryConn(c)
+			mu.Lock()
+			delete(conns, c)
+			mu.Unlock()
+		}()
+	}
+	close(stop)
+
+	drained := make(chan struct{})
+	go func() { wg.Wait(); close(drained) }()
+	select {
+	case <-drained:
+	case <-time.After(s.cfg.ShutdownGrace):
+		mu.Lock()
+		for c := range conns {
+			c.Close()
+		}
+		mu.Unlock()
+		<-drained
+	}
+	return acceptErr
+}
+
+// serveBinaryConn runs one connection's request loop: handshake, then
+// frame → dispatch → response until the peer closes, a frame is
+// corrupt, or the idle deadline passes. Framing errors drop the
+// connection (once the stream position is untrusted nothing on it can
+// be answered); application errors are answered in-band with a TError
+// frame and the connection keeps going.
+func (s *Server) serveBinaryConn(c net.Conn) {
+	defer c.Close()
+	c.SetDeadline(time.Now().Add(binHandshakeTimeout))
+	if err := wire.ReadMagic(c); err != nil {
+		return
+	}
+	if err := wire.WriteMagic(c); err != nil {
+		return
+	}
+	c.SetDeadline(time.Time{})
+
+	r := wire.NewReader(c, wire.MaxFrame)
+	w := wire.NewWriter(c)
+	// Per-connection scratch, reused across requests so the steady
+	// state allocates nothing: decoded pairs, computed distances, and
+	// the response payload under construction.
+	var (
+		pairs   [][2]int32
+		dists   []int32
+		scratch []byte
+	)
+	for {
+		c.SetReadDeadline(time.Now().Add(binIdleTimeout))
+		typ, payload, err := r.ReadFrame()
+		if err != nil {
+			return
+		}
+		c.SetWriteDeadline(time.Now().Add(binWriteTimeout))
+		start := time.Now()
+
+		var respType wire.Type
+		var answered int64
+		scratch = scratch[:0]
+		switch typ {
+		case wire.TDistance:
+			sv, tv, derr := wire.DecodePair(payload)
+			if derr != nil {
+				respType, scratch = wire.TError, wire.AppendError(scratch, wire.CodeMalformed, derr.Error())
+				break
+			}
+			d, qerr := s.Distance(sv, tv)
+			if qerr != nil {
+				respType, scratch = wire.TError, wire.AppendError(scratch, wire.CodeRange, qerr.Error())
+				break
+			}
+			respType, scratch, answered = wire.TDistanceResp, wire.AppendDistance(scratch, d), 1
+
+		case wire.TBatch:
+			var derr error
+			pairs, derr = wire.DecodePairs(payload, pairs)
+			if derr != nil {
+				respType, scratch = wire.TError, wire.AppendError(scratch, wire.CodeMalformed, derr.Error())
+				break
+			}
+			if len(pairs) > s.cfg.MaxBatch {
+				respType, scratch = wire.TError, wire.AppendError(scratch, wire.CodeTooLarge,
+					fmt.Sprintf("batch of %d pairs exceeds limit %d", len(pairs), s.cfg.MaxBatch))
+				break
+			}
+			if bad, verr := s.checkPairs(pairs); verr != nil {
+				respType, scratch = wire.TError, wire.AppendError(scratch, wire.CodeRange,
+					fmt.Sprintf("pair %d: %v", bad, verr))
+				break
+			}
+			if cap(dists) < len(pairs) {
+				dists = make([]int32, len(pairs))
+			}
+			dists = dists[:len(pairs)]
+			// One searcher for the whole batch, exactly like the HTTP
+			// batch endpoint: one consistent snapshot, amortized
+			// checkout.
+			sn, sr := s.acquire()
+			for i, p := range pairs {
+				dists[i] = sr.Distance(p[0], p[1])
+			}
+			s.release(sn, sr)
+			respType, scratch, answered = wire.TBatchResp, wire.AppendDistances(scratch, dists), int64(len(dists))
+
+		case wire.TInsert:
+			var derr error
+			pairs, derr = wire.DecodePairs(payload, pairs)
+			if derr != nil {
+				respType, scratch = wire.TError, wire.AppendError(scratch, wire.CodeMalformed, derr.Error())
+				break
+			}
+			if len(pairs) > s.cfg.MaxBatch {
+				respType, scratch = wire.TError, wire.AppendError(scratch, wire.CodeTooLarge,
+					fmt.Sprintf("batch of %d edges exceeds limit %d", len(pairs), s.cfg.MaxBatch))
+				break
+			}
+			res, ierr := s.InsertEdges(pairs)
+			switch {
+			case ierr == nil:
+				respType, scratch = wire.TInsertResp, wire.AppendInsertResult(scratch, res.Accepted, res.Inserted, res.Epoch)
+				answered = int64(res.Accepted)
+			case errors.Is(ierr, ErrReadOnly):
+				respType, scratch = wire.TError, wire.AppendError(scratch, wire.CodeReadOnly, ierr.Error())
+			case errors.Is(ierr, ErrClosed):
+				respType, scratch = wire.TError, wire.AppendError(scratch, wire.CodeClosed, ierr.Error())
+			case errors.Is(ierr, ErrEdgeRange):
+				respType, scratch = wire.TError, wire.AppendError(scratch, wire.CodeRange, ierr.Error())
+			default:
+				// WAL append or freeze failure: the batch was NOT
+				// applied.
+				respType, scratch = wire.TError, wire.AppendError(scratch, wire.CodeInternal, ierr.Error())
+			}
+
+		case wire.TStats:
+			doc, merr := json.Marshal(s.statsDoc())
+			if merr != nil {
+				respType, scratch = wire.TError, wire.AppendError(scratch, wire.CodeInternal, merr.Error())
+				break
+			}
+			respType, scratch = wire.TStatsResp, append(scratch, doc...)
+
+		case wire.TPing:
+			respType = wire.TPingResp
+
+		default:
+			respType, scratch = wire.TError, wire.AppendError(scratch, wire.CodeMalformed,
+				fmt.Sprintf("unknown record type 0x%02x", byte(typ)))
+		}
+
+		s.metrics.observe(binEndpoint(typ), answered, time.Since(start), respType == wire.TError)
+		if err := w.WriteFrame(respType, scratch); err != nil {
+			return
+		}
+		// Pipelining flush heuristic: only flush when no further
+		// request is already buffered, so a burst of N requests costs
+		// ~1 write syscall, not N.
+		if r.Buffered() == 0 {
+			if err := w.Flush(); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// checkPairs validates every endpoint of a pair batch, returning the
+// index of the first bad pair.
+func (s *Server) checkPairs(pairs [][2]int32) (int, error) {
+	for i, p := range pairs {
+		if err := s.checkVertex(p[0]); err != nil {
+			return i, err
+		}
+		if err := s.checkVertex(p[1]); err != nil {
+			return i, err
+		}
+	}
+	return -1, nil
+}
+
+// binEndpoint maps a request type to its metric slot, so binary
+// traffic shows up in /stats (and TStatsResp) beside the HTTP
+// endpoints.
+func binEndpoint(t wire.Type) int {
+	switch t {
+	case wire.TDistance:
+		return epBinDistance
+	case wire.TBatch:
+		return epBinBatch
+	case wire.TInsert:
+		return epBinEdges
+	case wire.TStats:
+		return epBinStats
+	default:
+		return epBinPing
+	}
+}

@@ -270,9 +270,11 @@ type indexStats struct {
 	Bytes8       int64   `json:"bytes_compressed"`
 }
 
-func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) (int64, bool) {
+// statsDoc builds the stats document served by GET /stats and, via the
+// binary listener, by Stats request frames — one shape, two protocols.
+func (s *Server) statsDoc() statsResponse {
 	st := s.snap.Load().ix.Stats()
-	writeJSON(w, http.StatusOK, statsResponse{
+	return statsResponse{
 		Live: s.LiveStats(),
 		Index: indexStats{
 			Method:       st.Method,
@@ -287,7 +289,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) (int64, boo
 		},
 		UptimeSeconds: time.Since(s.started).Seconds(),
 		Endpoints:     s.metrics.snapshot(time.Since(s.started)),
-	})
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) (int64, bool) {
+	writeJSON(w, http.StatusOK, s.statsDoc())
 	return 0, false
 }
 

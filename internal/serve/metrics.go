@@ -13,15 +13,25 @@ const (
 	epStats
 	epHealth
 	epEdges
+	epBinDistance
+	epBinBatch
+	epBinEdges
+	epBinStats
+	epBinPing
 	numEndpoints
 )
 
 var endpointNames = [numEndpoints]string{
-	epDistance: "distance",
-	epBatch:    "batch",
-	epStats:    "stats",
-	epHealth:   "healthz",
-	epEdges:    "edges",
+	epDistance:    "distance",
+	epBatch:       "batch",
+	epStats:       "stats",
+	epHealth:      "healthz",
+	epEdges:       "edges",
+	epBinDistance: "bin_distance",
+	epBinBatch:    "bin_batch",
+	epBinEdges:    "bin_edges",
+	epBinStats:    "bin_stats",
+	epBinPing:     "bin_ping",
 }
 
 // endpointMetrics accumulates one endpoint's counters. All fields are

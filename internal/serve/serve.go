@@ -17,6 +17,12 @@
 //     request, GET /stats for index, snapshot and per-endpoint
 //     latency/QPS counters, GET /healthz for liveness, and GET / for
 //     self-documenting help;
+//   - a binary wire protocol listener (ServeBinary, specified in
+//     PROTOCOL.md): length-prefixed checksummed frames carrying the
+//     same single/batch/insert/stats requests with pipelining, for
+//     native clients (internal/hlclient) that cannot afford the
+//     HTTP/1 + JSON protocol tax — both listeners may run at once over
+//     the same snapshots, pools and metrics;
 //   - a high-throughput stdin/stdout batch mode (RunBatch) that streams
 //     "s t" lines through a bounded worker pipeline in input order; and
 //   - graceful shutdown via context (ListenAndServe).
@@ -181,6 +187,30 @@ func (s *Server) Distance(sv, tv int32) (int32, error) {
 	d := sr.Distance(sv, tv)
 	s.release(sn, sr)
 	return d, nil
+}
+
+// DistanceBatch answers len(pairs) queries with one searcher checkout
+// against one consistent snapshot: distances[i] answers pairs[i]. It is
+// the programmatic equivalent of POST /distance/batch (and of a binary
+// Batch frame). The result is written into dst when it has the
+// capacity; dst may be nil. Safe for concurrent use.
+func (s *Server) DistanceBatch(pairs [][2]int32, dst []int32) ([]int32, error) {
+	if len(pairs) > s.cfg.MaxBatch {
+		return nil, fmt.Errorf("batch of %d pairs exceeds limit %d", len(pairs), s.cfg.MaxBatch)
+	}
+	if i, err := s.checkPairs(pairs); err != nil {
+		return nil, fmt.Errorf("pair %d: %w", i, err)
+	}
+	if cap(dst) < len(pairs) {
+		dst = make([]int32, len(pairs))
+	}
+	dst = dst[:len(pairs)]
+	sn, sr := s.acquire()
+	for i, p := range pairs {
+		dst[i] = sr.Distance(p[0], p[1])
+	}
+	s.release(sn, sr)
+	return dst, nil
 }
 
 // checkVertex validates a vertex id against the server's fixed vertex

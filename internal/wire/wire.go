@@ -1,0 +1,448 @@
+// Package wire is the binary serving protocol: the length-prefixed,
+// checksummed frame format spoken between highway.Client and a Server's
+// binary listener. It exists because a single label query costs ~1µs
+// while an HTTP/1 + JSON round trip costs three orders of magnitude
+// more — the full specification, including the compatibility rules and
+// worked byte layouts, is PROTOCOL.md at the repository root.
+//
+// The package is deliberately dependency-free (stdlib only) and sits
+// below both internal/serve (the listener) and internal/hlclient (the
+// native client) in the dependency graph, the same way internal/method
+// sits below every labelling.
+//
+// # Protocol summary
+//
+// A connection opens with an 8-byte magic exchange ("HWLRPC01", client
+// first, then server), mirroring the "HWLIDX02"/"HWLWAL01" file
+// conventions. After that, both directions carry frames:
+//
+//	uint32  length   little-endian; len(payload)+1 (the type byte)
+//	uint8   type     record type (see the T... constants)
+//	[]byte  payload  length-1 bytes
+//	uint32  crc      CRC-32C (Castagnoli) over type byte + payload
+//
+// Requests may be pipelined: a client can write any number of frames
+// before reading; the server answers strictly in request order, one
+// response frame per request frame. See PROTOCOL.md for record payloads,
+// error codes and versioning rules.
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Magic is the 8-byte connection preamble each side sends before any
+// frame (client first). The trailing digit is the protocol version:
+// incompatible revisions bump it, so a mismatched peer fails at the
+// handshake instead of misparsing frames.
+const Magic = "HWLRPC01"
+
+// Type identifies a record. Requests have the high bit clear, responses
+// have it set; a response's type is its request's type | 0x80, except
+// TError which may answer any request.
+type Type byte
+
+// Request record types (client → server).
+const (
+	// TDistance asks for one exact distance: payload is s,t (two
+	// little-endian int32, 8 bytes).
+	TDistance Type = 0x01
+	// TBatch asks for many distances in one frame: payload is a
+	// uint32 pair count followed by count (s,t) int32 pairs.
+	TBatch Type = 0x02
+	// TInsert inserts undirected edges (live servers only): payload is
+	// a uint32 edge count followed by count (a,b) int32 pairs.
+	TInsert Type = 0x03
+	// TStats asks for the server's stats document: empty payload.
+	TStats Type = 0x04
+	// TPing is a liveness probe: empty payload.
+	TPing Type = 0x05
+)
+
+// Response record types (server → client).
+const (
+	// TDistanceResp answers TDistance: payload is one int32 distance
+	// (-1 = disconnected).
+	TDistanceResp Type = 0x81
+	// TBatchResp answers TBatch: payload is a uint32 count followed by
+	// count int32 distances, in request order.
+	TBatchResp Type = 0x82
+	// TInsertResp answers TInsert: payload is uint32 accepted, uint32
+	// inserted, uint64 epoch (all little-endian).
+	TInsertResp Type = 0x83
+	// TStatsResp answers TStats: payload is the UTF-8 JSON stats
+	// document, byte-identical in shape to GET /stats.
+	TStatsResp Type = 0x84
+	// TPingResp answers TPing: empty payload.
+	TPingResp Type = 0x85
+	// TError answers any request that failed: payload is a uint16
+	// error code followed by a UTF-8 message.
+	TError Type = 0xFF
+)
+
+// TypeNames maps every record type this protocol version emits to its
+// PROTOCOL.md name. The docs test at the repository root checks the
+// table in PROTOCOL.md against this map, so the spec cannot drift from
+// the implementation.
+var TypeNames = map[Type]string{
+	TDistance:     "Distance",
+	TBatch:        "Batch",
+	TInsert:       "Insert",
+	TStats:        "Stats",
+	TPing:         "Ping",
+	TDistanceResp: "DistanceResp",
+	TBatchResp:    "BatchResp",
+	TInsertResp:   "InsertResp",
+	TStatsResp:    "StatsResp",
+	TPingResp:     "PingResp",
+	TError:        "Error",
+}
+
+func (t Type) String() string {
+	if n, ok := TypeNames[t]; ok {
+		return n
+	}
+	return fmt.Sprintf("Type(0x%02x)", byte(t))
+}
+
+// ErrorCode classifies a TError response, so clients can map failures
+// to the right behavior (retry, fix the request, give up) without
+// parsing messages.
+type ErrorCode uint16
+
+const (
+	// CodeMalformed: the request frame decoded but its payload did not
+	// (wrong length, truncated array, unknown record type).
+	CodeMalformed ErrorCode = 1
+	// CodeRange: a vertex id is outside the served graph.
+	CodeRange ErrorCode = 2
+	// CodeTooLarge: the batch exceeds the server's configured limit.
+	CodeTooLarge ErrorCode = 3
+	// CodeReadOnly: an Insert was sent to a read-only server.
+	CodeReadOnly ErrorCode = 4
+	// CodeClosed: the server's writer side is shut down.
+	CodeClosed ErrorCode = 5
+	// CodeInternal: a server-side failure (WAL append, freeze); the
+	// batch was NOT applied.
+	CodeInternal ErrorCode = 6
+)
+
+// ErrorCodeNames mirrors TypeNames for error codes; checked against
+// PROTOCOL.md by the same docs test.
+var ErrorCodeNames = map[ErrorCode]string{
+	CodeMalformed: "Malformed",
+	CodeRange:     "Range",
+	CodeTooLarge:  "TooLarge",
+	CodeReadOnly:  "ReadOnly",
+	CodeClosed:    "Closed",
+	CodeInternal:  "Internal",
+}
+
+func (c ErrorCode) String() string {
+	if n, ok := ErrorCodeNames[c]; ok {
+		return n
+	}
+	return fmt.Sprintf("ErrorCode(%d)", uint16(c))
+}
+
+// MaxFrame is the absolute frame-length cap both sides enforce: 16 MiB
+// comfortably holds the largest legal batch (DefaultMaxBatch pairs is
+// under 1 MiB) while bounding what a corrupt or hostile length prefix
+// can make a reader allocate.
+const MaxFrame = 1 << 24
+
+// frame header/trailer sizes.
+const (
+	lenSize = 4 // uint32 length prefix
+	crcSize = 4 // uint32 CRC-32C trailer
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrBadMagic is returned by ReadMagic when the peer is not speaking
+// this protocol (or speaks an incompatible version).
+var ErrBadMagic = errors.New("wire: bad protocol magic")
+
+// ErrFrameTooLarge is returned by Reader.ReadFrame when a length prefix
+// exceeds the reader's limit. The connection is unrecoverable after it:
+// framing is lost.
+var ErrFrameTooLarge = errors.New("wire: frame exceeds size limit")
+
+// ErrChecksum is returned by Reader.ReadFrame when a frame's CRC-32C
+// does not match its contents. The connection is unrecoverable after
+// it.
+var ErrChecksum = errors.New("wire: frame checksum mismatch")
+
+// WriteMagic sends the protocol preamble.
+func WriteMagic(w io.Writer) error {
+	_, err := w.Write([]byte(Magic))
+	return err
+}
+
+// ReadMagic consumes and verifies the peer's preamble.
+func ReadMagic(r io.Reader) error {
+	var m [len(Magic)]byte
+	if _, err := io.ReadFull(r, m[:]); err != nil {
+		return fmt.Errorf("wire: reading magic: %w", err)
+	}
+	if string(m[:]) != Magic {
+		return fmt.Errorf("%w: got %q, want %q", ErrBadMagic, m[:], Magic)
+	}
+	return nil
+}
+
+// Writer frames records onto a stream. Not safe for concurrent use.
+type Writer struct {
+	bw      *bufio.Writer
+	scratch []byte
+}
+
+// NewWriter returns a Writer over w. Frames are buffered; call Flush
+// when the caller has no further frames to pipeline.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{bw: bufio.NewWriterSize(w, 1<<16)}
+}
+
+// WriteFrame appends one framed record. The payload is not retained.
+func (w *Writer) WriteFrame(t Type, payload []byte) error {
+	if len(payload)+1 > MaxFrame {
+		return ErrFrameTooLarge
+	}
+	var hdr [lenSize + 1]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)+1))
+	hdr[4] = byte(t)
+	if _, err := w.bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := w.bw.Write(payload); err != nil {
+		return err
+	}
+	crc := crc32.Update(crc32.Checksum([]byte{byte(t)}, crcTable), crcTable, payload)
+	var tail [crcSize]byte
+	binary.LittleEndian.PutUint32(tail[:], crc)
+	_, err := w.bw.Write(tail[:])
+	return err
+}
+
+// Flush pushes buffered frames to the underlying stream.
+func (w *Writer) Flush() error { return w.bw.Flush() }
+
+// Reader decodes framed records from a stream. Not safe for concurrent
+// use.
+type Reader struct {
+	br  *bufio.Reader
+	max int
+	buf []byte
+}
+
+// NewReader returns a Reader over r enforcing maxFrame (MaxFrame when
+// maxFrame <= 0 or larger than MaxFrame).
+func NewReader(r io.Reader, maxFrame int) *Reader {
+	if maxFrame <= 0 || maxFrame > MaxFrame {
+		maxFrame = MaxFrame
+	}
+	return &Reader{br: bufio.NewReaderSize(r, 1<<16), max: maxFrame}
+}
+
+// Buffered reports how many unread bytes are sitting in the reader's
+// buffer. The server's pipelining flush heuristic is built on it: when
+// a response has been written and Buffered() == 0, no further request
+// is in flight on this connection, so the response buffer is flushed.
+func (r *Reader) Buffered() int { return r.br.Buffered() }
+
+// ReadFrame reads one frame, verifies its checksum and returns its type
+// and payload. The payload slice is reused by the next ReadFrame call.
+// Oversized lengths are rejected before allocation: the body is read
+// incrementally so a hostile 16 MiB length prefix on a 5-byte stream
+// costs an error, not 16 MiB.
+func (r *Reader) ReadFrame() (Type, []byte, error) {
+	var hdr [lenSize]byte
+	if _, err := io.ReadFull(r.br, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n < 1 {
+		return 0, nil, fmt.Errorf("wire: frame length %d below minimum 1", n)
+	}
+	if int64(n) > int64(r.max) {
+		return 0, nil, fmt.Errorf("%w: %d > %d", ErrFrameTooLarge, n, r.max)
+	}
+	t, err := r.br.ReadByte()
+	if err != nil {
+		return 0, nil, eofIsUnexpected(err)
+	}
+	body := int(n) - 1
+	if cap(r.buf) < body {
+		// Grow toward the need, but never allocate more than the bytes
+		// the stream actually produces: read in bounded steps.
+		r.buf = make([]byte, 0, min(body, 1<<20))
+	}
+	r.buf = r.buf[:0]
+	for len(r.buf) < body {
+		step := min(body-len(r.buf), 1<<20)
+		start := len(r.buf)
+		r.buf = append(r.buf, make([]byte, step)...)
+		if _, err := io.ReadFull(r.br, r.buf[start:]); err != nil {
+			return 0, nil, eofIsUnexpected(err)
+		}
+	}
+	var tail [crcSize]byte
+	if _, err := io.ReadFull(r.br, tail[:]); err != nil {
+		return 0, nil, eofIsUnexpected(err)
+	}
+	crc := crc32.Update(crc32.Checksum([]byte{t}, crcTable), crcTable, r.buf)
+	if binary.LittleEndian.Uint32(tail[:]) != crc {
+		return 0, nil, ErrChecksum
+	}
+	return Type(t), r.buf, nil
+}
+
+// eofIsUnexpected maps a mid-frame EOF to ErrUnexpectedEOF: only an EOF
+// on a frame boundary is a clean close.
+func eofIsUnexpected(err error) error {
+	if errors.Is(err, io.EOF) {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}
+
+// Payload encoding helpers. All integers are little-endian; all append
+// to dst and return the extended slice, so callers can reuse one scratch
+// buffer across requests.
+
+// AppendPair appends one (s,t) int32 pair (the TDistance payload).
+func AppendPair(dst []byte, s, t int32) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(s))
+	return binary.LittleEndian.AppendUint32(dst, uint32(t))
+}
+
+// DecodePair decodes a TDistance payload.
+func DecodePair(p []byte) (s, t int32, err error) {
+	if len(p) != 8 {
+		return 0, 0, fmt.Errorf("wire: pair payload is %d bytes, want 8", len(p))
+	}
+	return int32(binary.LittleEndian.Uint32(p[0:4])), int32(binary.LittleEndian.Uint32(p[4:8])), nil
+}
+
+// AppendPairs appends a counted pair array (the TBatch/TInsert payload).
+func AppendPairs(dst []byte, pairs [][2]int32) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(pairs)))
+	for _, p := range pairs {
+		dst = AppendPair(dst, p[0], p[1])
+	}
+	return dst
+}
+
+// DecodePairs decodes a counted pair array into dst (reused when large
+// enough). The count must match the payload length exactly.
+func DecodePairs(p []byte, dst [][2]int32) ([][2]int32, error) {
+	if len(p) < 4 {
+		return nil, fmt.Errorf("wire: pairs payload is %d bytes, want >= 4", len(p))
+	}
+	count := binary.LittleEndian.Uint32(p[0:4])
+	body := p[4:]
+	if int64(len(body)) != int64(count)*8 {
+		return nil, fmt.Errorf("wire: pairs payload declares %d pairs but carries %d bytes", count, len(body))
+	}
+	if cap(dst) < int(count) {
+		dst = make([][2]int32, count)
+	}
+	dst = dst[:count]
+	for i := range dst {
+		dst[i][0] = int32(binary.LittleEndian.Uint32(body[i*8:]))
+		dst[i][1] = int32(binary.LittleEndian.Uint32(body[i*8+4:]))
+	}
+	return dst, nil
+}
+
+// AppendDistances appends a counted distance array (the TBatchResp
+// payload).
+func AppendDistances(dst []byte, ds []int32) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(ds)))
+	for _, d := range ds {
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(d))
+	}
+	return dst
+}
+
+// DecodeDistances decodes a counted distance array into dst (reused
+// when large enough).
+func DecodeDistances(p []byte, dst []int32) ([]int32, error) {
+	if len(p) < 4 {
+		return nil, fmt.Errorf("wire: distances payload is %d bytes, want >= 4", len(p))
+	}
+	count := binary.LittleEndian.Uint32(p[0:4])
+	body := p[4:]
+	if int64(len(body)) != int64(count)*4 {
+		return nil, fmt.Errorf("wire: distances payload declares %d entries but carries %d bytes", count, len(body))
+	}
+	if cap(dst) < int(count) {
+		dst = make([]int32, count)
+	}
+	dst = dst[:count]
+	for i := range dst {
+		dst[i] = int32(binary.LittleEndian.Uint32(body[i*4:]))
+	}
+	return dst, nil
+}
+
+// AppendDistance appends one int32 distance (the TDistanceResp
+// payload).
+func AppendDistance(dst []byte, d int32) []byte {
+	return binary.LittleEndian.AppendUint32(dst, uint32(d))
+}
+
+// DecodeDistance decodes a TDistanceResp payload.
+func DecodeDistance(p []byte) (int32, error) {
+	if len(p) != 4 {
+		return 0, fmt.Errorf("wire: distance payload is %d bytes, want 4", len(p))
+	}
+	return int32(binary.LittleEndian.Uint32(p)), nil
+}
+
+// AppendInsertResult appends a TInsertResp payload.
+func AppendInsertResult(dst []byte, accepted, inserted int, epoch uint64) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(accepted))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(inserted))
+	return binary.LittleEndian.AppendUint64(dst, epoch)
+}
+
+// DecodeInsertResult decodes a TInsertResp payload.
+func DecodeInsertResult(p []byte) (accepted, inserted int, epoch uint64, err error) {
+	if len(p) != 16 {
+		return 0, 0, 0, fmt.Errorf("wire: insert result payload is %d bytes, want 16", len(p))
+	}
+	return int(binary.LittleEndian.Uint32(p[0:4])),
+		int(binary.LittleEndian.Uint32(p[4:8])),
+		binary.LittleEndian.Uint64(p[8:16]), nil
+}
+
+// AppendError appends a TError payload.
+func AppendError(dst []byte, code ErrorCode, msg string) []byte {
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(code))
+	return append(dst, msg...)
+}
+
+// DecodeError decodes a TError payload.
+func DecodeError(p []byte) (ErrorCode, string, error) {
+	if len(p) < 2 {
+		return 0, "", fmt.Errorf("wire: error payload is %d bytes, want >= 2", len(p))
+	}
+	return ErrorCode(binary.LittleEndian.Uint16(p[0:2])), string(p[2:]), nil
+}
+
+// RemoteError is a TError response surfaced as a Go error by the
+// client.
+type RemoteError struct {
+	Code    ErrorCode
+	Message string
+}
+
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("server error %s: %s", e.Code, e.Message)
+}

@@ -1,0 +1,281 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestMagicRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteMagic(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := ReadMagic(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if err := ReadMagic(strings.NewReader("HWLIDX02")); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("foreign magic: err = %v, want ErrBadMagic", err)
+	}
+	if err := ReadMagic(strings.NewReader("HWL")); err == nil {
+		t.Fatal("truncated magic: want error")
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	payloads := map[Type][]byte{
+		TDistance: AppendPair(nil, 7, 1234567),
+		TBatch:    AppendPairs(nil, [][2]int32{{0, 1}, {2, 3}, {-1, 1 << 30}}),
+		TPing:     nil,
+		TError:    AppendError(nil, CodeRange, "vertex 9 out of range"),
+	}
+	order := []Type{TDistance, TBatch, TPing, TError}
+	for _, typ := range order {
+		if err := w.WriteFrame(typ, payloads[typ]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	r := NewReader(bytes.NewReader(buf.Bytes()), 0)
+	for _, want := range order {
+		typ, p, err := r.ReadFrame()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if typ != want {
+			t.Fatalf("type = %v, want %v", typ, want)
+		}
+		if !bytes.Equal(p, payloads[want]) {
+			t.Fatalf("%v payload = %x, want %x", want, p, payloads[want])
+		}
+	}
+	if _, _, err := r.ReadFrame(); err != io.EOF {
+		t.Fatalf("after last frame: err = %v, want io.EOF", err)
+	}
+}
+
+func TestFrameChecksumAndTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.WriteFrame(TDistance, AppendPair(nil, 3, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+
+	// Flip one payload byte: the checksum must catch it.
+	bad := append([]byte(nil), raw...)
+	bad[6] ^= 0x40
+	if _, _, err := NewReader(bytes.NewReader(bad), 0).ReadFrame(); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("corrupt frame: err = %v, want ErrChecksum", err)
+	}
+
+	// Every possible truncation of a valid frame is a loud error (EOF
+	// only on the empty prefix — a clean close between frames).
+	for cut := 1; cut < len(raw); cut++ {
+		_, _, err := NewReader(bytes.NewReader(raw[:cut]), 0).ReadFrame()
+		if err == nil {
+			t.Fatalf("truncated frame (%d/%d bytes) decoded", cut, len(raw))
+		}
+		if cut >= 5 && !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Fatalf("truncated frame (%d/%d bytes): err = %v, want ErrUnexpectedEOF", cut, len(raw), err)
+		}
+	}
+}
+
+func TestFrameSizeLimit(t *testing.T) {
+	// A hostile length prefix must be rejected without allocating the
+	// claimed size.
+	var hdr [5]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], 1<<31)
+	hdr[4] = byte(TDistance)
+	if _, _, err := NewReader(bytes.NewReader(hdr[:]), 0).ReadFrame(); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("oversized frame: err = %v, want ErrFrameTooLarge", err)
+	}
+	// A reader-local limit below MaxFrame is enforced too.
+	binary.LittleEndian.PutUint32(hdr[0:4], 1024)
+	if _, _, err := NewReader(bytes.NewReader(hdr[:]), 64).ReadFrame(); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("over local limit: err = %v, want ErrFrameTooLarge", err)
+	}
+	// Zero-length frames cannot exist: the type byte is part of the
+	// length.
+	binary.LittleEndian.PutUint32(hdr[0:4], 0)
+	if _, _, err := NewReader(bytes.NewReader(hdr[:4]), 0).ReadFrame(); err == nil {
+		t.Fatal("zero-length frame decoded")
+	}
+	// Writer refuses to emit what readers would reject.
+	w := NewWriter(io.Discard)
+	if err := w.WriteFrame(TBatch, make([]byte, MaxFrame)); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("oversized write: err = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestPayloadCodecs(t *testing.T) {
+	pairs := [][2]int32{{0, 0}, {5, 9}, {1 << 20, -1}}
+	got, err := DecodePairs(AppendPairs(nil, pairs), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(pairs) {
+		t.Fatalf("decoded %d pairs, want %d", len(got), len(pairs))
+	}
+	for i := range pairs {
+		if got[i] != pairs[i] {
+			t.Fatalf("pair %d = %v, want %v", i, got[i], pairs[i])
+		}
+	}
+	// Count/length mismatch is an error, not a guess.
+	enc := AppendPairs(nil, pairs)
+	if _, err := DecodePairs(enc[:len(enc)-1], nil); err == nil {
+		t.Fatal("short pairs payload decoded")
+	}
+	binary.LittleEndian.PutUint32(enc[0:4], 99)
+	if _, err := DecodePairs(enc, nil); err == nil {
+		t.Fatal("overcounted pairs payload decoded")
+	}
+
+	ds := []int32{3, -1, 0, 1 << 30}
+	dsGot, err := DecodeDistances(AppendDistances(nil, ds), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ds {
+		if dsGot[i] != ds[i] {
+			t.Fatalf("distance %d = %d, want %d", i, dsGot[i], ds[i])
+		}
+	}
+
+	s, tt, err := DecodePair(AppendPair(nil, 12, 34))
+	if err != nil || s != 12 || tt != 34 {
+		t.Fatalf("DecodePair = (%d,%d,%v), want (12,34,nil)", s, tt, err)
+	}
+	d, err := DecodeDistance(AppendDistance(nil, -1))
+	if err != nil || d != -1 {
+		t.Fatalf("DecodeDistance = (%d,%v), want (-1,nil)", d, err)
+	}
+	a, ins, ep, err := DecodeInsertResult(AppendInsertResult(nil, 3, 2, 77))
+	if err != nil || a != 3 || ins != 2 || ep != 77 {
+		t.Fatalf("DecodeInsertResult = (%d,%d,%d,%v)", a, ins, ep, err)
+	}
+	code, msg, err := DecodeError(AppendError(nil, CodeTooLarge, "big"))
+	if err != nil || code != CodeTooLarge || msg != "big" {
+		t.Fatalf("DecodeError = (%v,%q,%v)", code, msg, err)
+	}
+	for _, p := range [][]byte{nil, {1}, {1, 2, 3}} {
+		if _, err := DecodeDistance(p); err == nil {
+			t.Fatalf("DecodeDistance(%x) decoded", p)
+		}
+	}
+	if _, _, _, err := DecodeInsertResult([]byte{1, 2, 3}); err == nil {
+		t.Fatal("short insert result decoded")
+	}
+	if _, _, err := DecodeError([]byte{1}); err == nil {
+		t.Fatal("short error payload decoded")
+	}
+}
+
+func TestDecodeReusesBuffers(t *testing.T) {
+	pairs := make([][2]int32, 8)
+	enc := AppendPairs(nil, [][2]int32{{1, 2}})
+	got, err := DecodePairs(enc, pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &got[0] != &pairs[0] {
+		t.Fatal("DecodePairs allocated despite a large-enough dst")
+	}
+	ds := make([]int32, 8)
+	dsEnc := AppendDistances(nil, []int32{4})
+	dsGot, err := DecodeDistances(dsEnc, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &dsGot[0] != &ds[0] {
+		t.Fatal("DecodeDistances allocated despite a large-enough dst")
+	}
+}
+
+func TestTypeAndCodeStrings(t *testing.T) {
+	if TBatch.String() != "Batch" || TError.String() != "Error" {
+		t.Fatalf("Type.String: %v %v", TBatch, TError)
+	}
+	if got := Type(0x77).String(); got != "Type(0x77)" {
+		t.Fatalf("unknown type renders %q", got)
+	}
+	if CodeReadOnly.String() != "ReadOnly" {
+		t.Fatalf("ErrorCode.String: %v", CodeReadOnly)
+	}
+	if got := ErrorCode(99).String(); got != "ErrorCode(99)" {
+		t.Fatalf("unknown code renders %q", got)
+	}
+	re := &RemoteError{Code: CodeRange, Message: "vertex 12 out of range [0,6)"}
+	if !strings.Contains(re.Error(), "Range") || !strings.Contains(re.Error(), "vertex 12") {
+		t.Fatalf("RemoteError renders %q", re.Error())
+	}
+}
+
+// FuzzReadFrame holds the frame decoder total on arbitrary bytes: no
+// panic, no allocation driven by a hostile length prefix, and anything
+// it accepts must re-encode to the same frame (decode∘encode identity
+// on the accepted set). CI runs this target in the fuzz job.
+func FuzzReadFrame(f *testing.F) {
+	var seed bytes.Buffer
+	w := NewWriter(&seed)
+	_ = w.WriteFrame(TDistance, AppendPair(nil, 1, 2))
+	_ = w.WriteFrame(TBatch, AppendPairs(nil, [][2]int32{{1, 2}, {3, 4}}))
+	_ = w.WriteFrame(TError, AppendError(nil, CodeMalformed, "x"))
+	_ = w.Flush()
+	f.Add(seed.Bytes())
+	f.Add([]byte(Magic))
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{1, 0, 0, 0, 1, 0xde, 0xad, 0xbe, 0xef})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewReader(bytes.NewReader(data), 0)
+		for {
+			typ, payload, err := r.ReadFrame()
+			if err != nil {
+				return
+			}
+			// Accepted frames must round-trip byte-identically.
+			var buf bytes.Buffer
+			w := NewWriter(&buf)
+			if err := w.WriteFrame(typ, payload); err != nil {
+				t.Fatalf("re-encoding accepted frame: %v", err)
+			}
+			if err := w.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			typ2, p2, err := NewReader(bytes.NewReader(buf.Bytes()), 0).ReadFrame()
+			if err != nil || typ2 != typ || !bytes.Equal(p2, payload) {
+				t.Fatalf("round trip diverged: (%v,%x,%v) vs (%v,%x)", typ2, p2, err, typ, payload)
+			}
+			// Payload decoders must be total on whatever the framing
+			// layer accepts.
+			switch typ {
+			case TDistance:
+				_, _, _ = DecodePair(payload)
+			case TBatch, TInsert:
+				_, _ = DecodePairs(payload, nil)
+			case TDistanceResp:
+				_, _ = DecodeDistance(payload)
+			case TBatchResp:
+				_, _ = DecodeDistances(payload, nil)
+			case TInsertResp:
+				_, _, _, _ = DecodeInsertResult(payload)
+			case TError:
+				_, _, _ = DecodeError(payload)
+			}
+		}
+	})
+}
