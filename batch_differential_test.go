@@ -1,0 +1,127 @@
+package highway_test
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"highway"
+	"highway/internal/oracle"
+)
+
+// batchTestGraph is a BA graph with a disconnected tail grafted on: a
+// small path component and an isolated vertex, so batches include
+// Infinity answers alongside regular ones.
+func batchTestGraph(t *testing.T) *highway.Graph {
+	t.Helper()
+	base := highway.BarabasiAlbert(160, 3, 7)
+	var edges [][2]int32
+	for u := int32(0); u < 160; u++ {
+		for _, v := range base.Neighbors(u) {
+			if u < v {
+				edges = append(edges, [2]int32{u, v})
+			}
+		}
+	}
+	edges = append(edges, [2]int32{160, 161}, [2]int32{161, 162}) // path component
+	g, err := highway.FromEdges(164, edges)                       // vertex 163 isolated
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// batchTestPairs draws the adversarial batch shape the executor must
+// get right: repeated sources, duplicate pairs, s==t, pairs touching
+// the disconnected tail, and a uniform remainder.
+func batchTestPairs(n int, seed int64) [][2]int32 {
+	rng := rand.New(rand.NewSource(seed))
+	var pairs [][2]int32
+	sources := []int32{3, 3, 7, int32(rng.Intn(n))} // repeated sources
+	for i := 0; i < 600; i++ {
+		pairs = append(pairs, [2]int32{sources[i%len(sources)], int32(rng.Intn(n))})
+	}
+	for i := 0; i < 30; i++ {
+		v := int32(rng.Intn(n))
+		pairs = append(pairs, [2]int32{v, v})                          // s == t
+		pairs = append(pairs, pairs[rng.Intn(len(pairs))])             // duplicates
+		pairs = append(pairs, [2]int32{int32(n - 1 - rng.Intn(4)), v}) // tail sources
+		pairs = append(pairs, [2]int32{v, int32(n - 1 - rng.Intn(4))}) // tail targets
+		pairs = append(pairs, [2]int32{int32(rng.Intn(n)), int32(rng.Intn(n))})
+	}
+	return pairs
+}
+
+// TestMethodBatchDifferential holds every registered method to the
+// batch contract: dispatching through the capability layer
+// (SearcherDistanceBatch / SearcherDistanceMany) returns exactly the
+// method's own pair-at-a-time answers — whether the method opted into
+// vectorized execution or fell back to the pair loop — and exactly the
+// BFS ground truth for the exact methods. Pairs include duplicates,
+// repeated sources, s==t, landmark endpoints (low-id vertices are the
+// degree-ranked landmarks) and disconnected pairs.
+func TestMethodBatchDifferential(t *testing.T) {
+	g := batchTestGraph(t)
+	n := g.NumVertices()
+	pairs := batchTestPairs(n, 5)
+	for _, m := range highway.Methods() {
+		t.Run(m.Name, func(t *testing.T) {
+			ix, err := highway.Build(context.Background(), g, m.Name, buildOptionsFor(m.Name)...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			caps := highway.IndexCapabilities(ix)
+			t.Logf("%s capabilities: %s", m.Name, caps)
+			sr := ix.NewSearcher()
+			batched := highway.SearcherDistanceBatch(sr, pairs, nil)
+			pairwise := ix.NewSearcher()
+			for i, p := range pairs {
+				if want := pairwise.Distance(p[0], p[1]); batched[i] != want {
+					t.Fatalf("batched[%d] (%d,%d) = %d, pairwise %d", i, p[0], p[1], batched[i], want)
+				}
+			}
+			// One-source-to-many over each distinct source.
+			bySource := map[int32][]int32{}
+			for _, p := range pairs {
+				bySource[p[0]] = append(bySource[p[0]], p[1])
+			}
+			for src, targets := range bySource {
+				many := highway.SearcherDistanceMany(sr, src, targets, nil)
+				for i, tv := range targets {
+					if want := pairwise.Distance(src, tv); many[i] != want {
+						t.Fatalf("many(%d→%d) = %d, pairwise %d", src, tv, many[i], want)
+					}
+				}
+			}
+			// Exact methods must also match BFS ground truth through the
+			// batched path. (All five registered methods are exact oracles.)
+			if err := oracle.Diff(g, oracle.Func(func(s, tt int32) int32 {
+				out := highway.SearcherDistanceBatch(sr, [][2]int32{{s, tt}}, nil)
+				return out[0]
+			}), oracle.SampledPairs(n, 200, 17)); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestIndexCapabilities pins which methods opt into vectorized batch
+// execution: the highway cover labelling and PLL do, the rest fall back
+// to the pair loop (still correct, just unamortized).
+func TestIndexCapabilities(t *testing.T) {
+	g := testGraphSmall(t)
+	want := map[string]bool{"hl": true, "pll": true}
+	for _, m := range highway.Methods() {
+		ix, err := highway.Build(context.Background(), g, m.Name, buildOptionsFor(m.Name)...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		caps := highway.IndexCapabilities(ix)
+		if caps.Batch != want[m.Name] || caps.Source != want[m.Name] {
+			t.Errorf("%s capabilities = %+v, want batch/source %v", m.Name, caps, want[m.Name])
+		}
+		if caps.Insert != m.Dynamic {
+			t.Errorf("%s capabilities.Insert = %v, Dynamic = %v", m.Name, caps.Insert, m.Dynamic)
+		}
+	}
+}

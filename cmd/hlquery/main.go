@@ -70,6 +70,10 @@ func run(args []string) error {
 	case *stats:
 		st := ix.Stats()
 		fmt.Printf("index: %s\nmethod: %s\nstats: %s\n", ip, st.Method, st)
+		// Capability discovery: which optional execution surfaces this
+		// method's searchers offer (vectorized batch, source-to-many,
+		// online insertion) — the same probe the serving layer uses.
+		fmt.Printf("capabilities: %s\n", highway.IndexCapabilities(ix))
 		if hl, ok := ix.(*highway.Index); ok {
 			// hl files exist in two formats; surface which one (hlbuild
 			// migrate rewrites between them) and the real footprint. The

@@ -1,0 +1,144 @@
+package bench
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"highway/internal/core"
+	"highway/internal/gen"
+	"highway/internal/graph"
+	"highway/internal/landmark"
+)
+
+// The batch-executor benchmarks run on the BA-100k stand-in — the same
+// graph BENCH_SERVE.json serves (hlgen -family ba -n 100000 -deg 10
+// -seed 1) — with the paper's k=20 degree landmarks. BENCH_BATCH.json
+// records the medians.
+var (
+	batchFixOnce sync.Once
+	batchFixG    *graph.Graph
+	batchFixIx   *core.Index
+)
+
+func batchFixture(b *testing.B) *core.Index {
+	b.Helper()
+	batchFixOnce.Do(func() {
+		batchFixG = gen.BarabasiAlbert(100_000, 5, 1)
+		lm, err := landmark.Select(batchFixG, landmark.Options{K: 20, Strategy: landmark.Degree})
+		if err != nil {
+			panic(err)
+		}
+		batchFixIx, err = core.BuildOpts(context.Background(), batchFixG, lm, core.Options{})
+		if err != nil {
+			panic(err)
+		}
+	})
+	return batchFixIx
+}
+
+// batchPairs draws one benchmark batch: count pairs over nsrc distinct
+// seeded sources (nsrc <= 0 means uniform — fresh source per pair) with
+// uniform targets.
+func batchPairs(n, count, nsrc int, seed int64) [][2]int32 {
+	rng := rand.New(rand.NewSource(seed))
+	pairs := make([][2]int32, count)
+	if nsrc <= 0 {
+		for i := range pairs {
+			pairs[i] = [2]int32{int32(rng.Intn(n)), int32(rng.Intn(n))}
+		}
+		return pairs
+	}
+	sources := make([]int32, nsrc)
+	for i := range sources {
+		sources[i] = int32(rng.Intn(n))
+	}
+	for i := range pairs {
+		pairs[i] = [2]int32{sources[i%nsrc], int32(rng.Intn(n))}
+	}
+	return pairs
+}
+
+// BenchmarkBatchQuery compares the vectorized batch executor
+// (Searcher.DistanceBatch) against the pair-at-a-time loop it replaces,
+// across source skews: sources=S means a 64k-pair batch drawn from S
+// distinct sources (the source-grouped shape of single-source analytics
+// and coordinator fan-in), uniform means every pair has a fresh source
+// (the adversarial shape — grouping buys nothing, the executor must not
+// lose). One op answers the whole batch; ns/pair is the figure
+// BENCH_BATCH.json tracks.
+func BenchmarkBatchQuery(b *testing.B) {
+	ix := batchFixture(b)
+	n := batchFixG.NumVertices()
+	const count = 1 << 16
+	skews := []struct {
+		name string
+		nsrc int
+	}{
+		{"sources=4", 4},
+		{"sources=64", 64},
+		{"sources=1024", 1024},
+		{"uniform", 0},
+	}
+	for _, sk := range skews {
+		pairs := batchPairs(n, count, sk.nsrc, 42)
+		b.Run(sk.name+"/batch", func(b *testing.B) {
+			sr := ix.Searcher()
+			dst := make([]int32, count)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sr.DistanceBatch(pairs, dst)
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(count), "ns/pair")
+		})
+		b.Run(sk.name+"/pairloop", func(b *testing.B) {
+			sr := ix.Searcher()
+			dst := make([]int32, count)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j, p := range pairs {
+					dst[j] = sr.Distance(p[0], p[1])
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(count), "ns/pair")
+		})
+	}
+}
+
+// BenchmarkDistanceMany measures the dedicated one-source-to-many entry
+// point (the extreme of source skew: one group, one shared traversal).
+func BenchmarkDistanceMany(b *testing.B) {
+	ix := batchFixture(b)
+	n := batchFixG.NumVertices()
+	const count = 1 << 14
+	rng := rand.New(rand.NewSource(7))
+	source := int32(rng.Intn(n))
+	for batchFixIx.IsLandmark(source) {
+		source = int32(rng.Intn(n))
+	}
+	targets := make([]int32, count)
+	for i := range targets {
+		targets[i] = int32(rng.Intn(n))
+	}
+	b.Run("many", func(b *testing.B) {
+		sr := ix.Searcher()
+		dst := make([]int32, count)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sr.DistanceMany(source, targets, dst)
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(count), "ns/pair")
+	})
+	b.Run("pairloop", func(b *testing.B) {
+		sr := ix.Searcher()
+		dst := make([]int32, count)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for j, t := range targets {
+				dst[j] = sr.Distance(source, t)
+			}
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(count), "ns/pair")
+	})
+}

@@ -1,0 +1,194 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"highway/internal/gen"
+	"highway/internal/graph"
+	"highway/internal/oracle"
+)
+
+// checkBatchMatchesPairwise asserts that DistanceBatch and DistanceMany
+// answer exactly like pair-at-a-time Distance on the given pairs, on a
+// fresh searcher and on the pooled Index conveniences.
+func checkBatchMatchesPairwise(t *testing.T, ix *Index, pairs [][2]int32) {
+	t.Helper()
+	sr := ix.Searcher()
+	batched := sr.DistanceBatch(pairs, nil)
+	pooled := ix.DistanceBatch(pairs, nil)
+	pairwise := ix.Searcher() // separate searcher: no scratch interference
+	for i, p := range pairs {
+		want := pairwise.Distance(p[0], p[1])
+		if batched[i] != want {
+			t.Fatalf("DistanceBatch[%d] (%d,%d) = %d, pairwise %d", i, p[0], p[1], batched[i], want)
+		}
+		if pooled[i] != want {
+			t.Fatalf("Index.DistanceBatch[%d] (%d,%d) = %d, pairwise %d", i, p[0], p[1], pooled[i], want)
+		}
+	}
+	// DistanceMany over each distinct source in the batch.
+	bySource := map[int32][]int32{}
+	for _, p := range pairs {
+		bySource[p[0]] = append(bySource[p[0]], p[1])
+	}
+	for src, targets := range bySource {
+		many := sr.DistanceMany(src, targets, nil)
+		for i, tv := range targets {
+			if want := pairwise.Distance(src, tv); many[i] != want {
+				t.Fatalf("DistanceMany(%d)[%d]=%d for target %d, pairwise %d", src, i, many[i], tv, want)
+			}
+		}
+	}
+}
+
+// skewedPairs draws count pairs whose sources rotate over nsrc seeded
+// vertices (the source-skewed shape the executor groups on), with
+// uniform targets — including, with a little luck, duplicates, s==t and
+// landmark endpoints.
+func skewedPairs(n, count, nsrc int, seed int64) [][2]int32 {
+	rng := rand.New(rand.NewSource(seed))
+	sources := make([]int32, nsrc)
+	for i := range sources {
+		sources[i] = int32(rng.Intn(n))
+	}
+	pairs := make([][2]int32, count)
+	for i := range pairs {
+		pairs[i] = [2]int32{sources[i%nsrc], int32(rng.Intn(n))}
+	}
+	return pairs
+}
+
+// TestBatchMatchesPairwise is the core differential property across the
+// corner-case suite: batched answers are byte-identical to
+// pair-at-a-time answers and to BFS ground truth on all ordered pairs
+// (which include s==t, landmark endpoints, repeated sources and
+// disconnected pairs by construction).
+func TestBatchMatchesPairwise(t *testing.T) {
+	for _, k := range []int{1, 2, 3} {
+		for _, c := range oracle.CornerCases() {
+			g := c.Graph
+			ix, err := Build(g, g.DegreeOrder()[:k])
+			if err != nil {
+				t.Fatalf("%s k=%d: %v", c.Name, k, err)
+			}
+			pairs := oracle.AllPairs(g.NumVertices())
+			checkBatchMatchesPairwise(t, ix, pairs)
+			// The batched path against ground truth directly.
+			dst := ix.DistanceBatch(pairs, nil)
+			if err := oracle.Diff(g, oracle.Func(func(s, t int32) int32 {
+				for i, p := range pairs {
+					if p[0] == s && p[1] == t {
+						return dst[i]
+					}
+				}
+				panic("pair not found")
+			}), pairs); err != nil {
+				t.Fatalf("%s k=%d: %v", c.Name, k, err)
+			}
+		}
+	}
+}
+
+// TestBatchDuplicatesAndRepeats hammers the dedup path: many duplicate
+// pairs and repeated sources, enough to cross the group-BFS threshold
+// even on a small graph.
+func TestBatchDuplicatesAndRepeats(t *testing.T) {
+	g := gen.BarabasiAlbert(120, 3, 7)
+	ix, err := Build(g, g.DegreeOrder()[:4])
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	var pairs [][2]int32
+	for i := 0; i < 400; i++ { // one source, duplicated targets → group BFS path
+		pairs = append(pairs, [2]int32{17, int32(rng.Intn(60))})
+	}
+	for i := 0; i < 50; i++ { // s==t and landmark endpoints sprinkled in
+		v := int32(rng.Intn(g.NumVertices()))
+		pairs = append(pairs, [2]int32{v, v})
+		pairs = append(pairs, [2]int32{ix.Landmarks()[rng.Intn(4)], v})
+		pairs = append(pairs, [2]int32{v, ix.Landmarks()[rng.Intn(4)]})
+	}
+	checkBatchMatchesPairwise(t, ix, pairs)
+}
+
+// TestBatchRandomGraphs property-checks both refinement strategies on
+// the random generator families: skewed batches (groups large enough
+// for the shared source BFS) and uniform batches (pairwise refinement).
+func TestBatchRandomGraphs(t *testing.T) {
+	for seed := int64(0); seed < 12; seed++ {
+		c := oracle.RandomCase(seed)
+		g := c.Graph
+		k := 1 + int(seed%6)
+		if k > g.NumVertices() {
+			k = g.NumVertices()
+		}
+		ix, err := Build(g, g.DegreeOrder()[:k])
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name, err)
+		}
+		n := g.NumVertices()
+		checkBatchMatchesPairwise(t, ix, skewedPairs(n, 900, 3, seed))
+		checkBatchMatchesPairwise(t, ix, oracle.SampledPairs(n, 300, seed^0x5f))
+	}
+}
+
+// TestBatchDisconnected pins the Infinity paths: missing label bounds
+// force the unbounded sparsified traversal, across components with and
+// without landmarks.
+func TestBatchDisconnected(t *testing.T) {
+	g := graph.MustFromEdges(9, [][2]int32{{0, 1}, {0, 2}, {0, 3}, {0, 4}, {5, 6}, {6, 7}})
+	ix, err := Build(g, []int32{0}) // vertex 8 isolated; B-component has no landmark
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pairs [][2]int32
+	for s := int32(0); s < 9; s++ {
+		for t := int32(0); t < 9; t++ {
+			pairs = append(pairs, [2]int32{s, t})
+		}
+	}
+	// Duplicate heavily so groups cross the BFS threshold on 9 vertices.
+	for i := 0; i < 5; i++ {
+		pairs = append(pairs, pairs[:81]...)
+	}
+	checkBatchMatchesPairwise(t, ix, pairs)
+}
+
+// TestBatchDstReuse verifies the dst contract: a caller-provided slice
+// with capacity is reused, one without is replaced.
+func TestBatchDstReuse(t *testing.T) {
+	g := gen.Path(10)
+	ix, err := Build(g, []int32{5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := [][2]int32{{0, 9}, {2, 2}, {9, 0}}
+	buf := make([]int32, 8)
+	out := ix.DistanceBatch(pairs, buf)
+	if len(out) != len(pairs) || &out[0] != &buf[0] {
+		t.Fatalf("dst with capacity was not reused (len=%d)", len(out))
+	}
+	if out2 := ix.DistanceBatch(pairs, nil); len(out2) != len(pairs) {
+		t.Fatalf("nil dst: got len %d", len(out2))
+	}
+	if got := ix.DistanceMany(0, []int32{9, 5, 0}, buf[:0]); len(got) != 3 || got[2] != 0 {
+		t.Fatalf("DistanceMany dst reuse: %v", got)
+	}
+}
+
+// TestBatchEmpty covers the zero-length edges of both entry points.
+func TestBatchEmpty(t *testing.T) {
+	g := gen.Path(4)
+	ix, err := Build(g, []int32{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := ix.DistanceBatch(nil, nil); len(out) != 0 {
+		t.Fatalf("empty batch returned %v", out)
+	}
+	if out := ix.DistanceMany(2, nil, nil); len(out) != 0 {
+		t.Fatalf("empty targets returned %v", out)
+	}
+}

@@ -18,6 +18,15 @@ type Searcher struct {
 	// common marks landmark ranks present in both endpoint labels
 	// (Lemma 5.1 shortcut).
 	common []bool
+
+	// Batch-execution scratch (see batch.go): the shared source bound
+	// vector, the sort permutation, and the sparsified single-source
+	// BFS state (sparse is kept all -1 between groups; sparseQ doubles
+	// as the visited list that restores it).
+	via     []int32
+	perm    []int32
+	sparse  []int32
+	sparseQ []int32
 }
 
 // NewSearcher returns a Searcher bound to the index, typed as the

@@ -285,6 +285,13 @@ func (c *Client) Distance(ctx context.Context, s, t int32) (int32, error) {
 // distances[i] answers pairs[i]. The result is written into dst when it
 // has the capacity (pass the previous call's slice to make a query loop
 // allocation-free) and dst may be nil.
+//
+// The server executes the batch through its vectorized batch engine:
+// pairs sharing a source are grouped and amortize the source-side label
+// work, so source-skewed batches run several times faster than the same
+// pairs issued one Distance call at a time — at identical answers.
+// Batches the server abandons mid-flight (shutdown) surface here as a
+// dropped connection, not a partial response; see PROTOCOL.md.
 func (c *Client) DistanceBatch(ctx context.Context, pairs [][2]int32, dst []int32) ([]int32, error) {
 	var out []int32
 	err := c.do(ctx,

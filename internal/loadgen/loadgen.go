@@ -279,11 +279,14 @@ func Sweep(opt Options, parallelism []int, factory TargetFactory) ([]Result, err
 }
 
 // percentiles computes exact (nearest-rank) percentiles over latency
-// records in nanoseconds, reported in microseconds.
+// records in nanoseconds, reported in microseconds. It sorts a private
+// copy: callers that retain per-worker latency records must see them
+// unpermuted after the report is built.
 func percentiles(ns []int64) Percentiles {
 	if len(ns) == 0 {
 		return Percentiles{}
 	}
+	ns = append([]int64(nil), ns...)
 	sort.Slice(ns, func(i, j int) bool { return ns[i] < ns[j] })
 	at := func(q float64) float64 {
 		i := int(q*float64(len(ns))+0.5) - 1

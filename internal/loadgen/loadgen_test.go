@@ -148,6 +148,23 @@ func TestPercentiles(t *testing.T) {
 	}
 }
 
+// TestPercentilesDoesNotPermuteInput pins the ownership fix: the report
+// sorts its own copy, so a caller that retains per-worker latency
+// records sees them in recorded order afterwards.
+func TestPercentilesDoesNotPermuteInput(t *testing.T) {
+	ns := []int64{9000, 1000, 5000, 3000, 7000}
+	want := append([]int64(nil), ns...)
+	p := percentiles(ns)
+	if p.Max != 9 {
+		t.Fatalf("percentiles = %+v", p)
+	}
+	for i := range ns {
+		if ns[i] != want[i] {
+			t.Fatalf("input permuted: %v, want %v", ns, want)
+		}
+	}
+}
+
 func TestReportJSON(t *testing.T) {
 	rp := Report{
 		Command: "hlserve load -proto binary",

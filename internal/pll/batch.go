@@ -1,0 +1,162 @@
+package pll
+
+import (
+	"math"
+	"slices"
+
+	"highway/internal/bptree"
+	"highway/internal/method"
+)
+
+// PLL opts into the vectorized batch capabilities: its 2-hop query is a
+// sorted-label merge, and when many pairs share a source the source
+// side of the merge collapses into a hub-stamp array — δ(h, source) for
+// every hub h in L(source), indexed by hub rank — after which each
+// target is a single probe pass over its own label instead of a merge.
+// This is the same load/probe/reset idiom the pruned BFS in Build uses
+// for its pruning queries. The probe inspects exactly the common-hub
+// set the merge inspects, so batched answers are identical to
+// pair-at-a-time answers (the root differential suite pins this).
+var (
+	_ method.BatchSearcher  = (*Searcher)(nil)
+	_ method.SourceSearcher = (*Searcher)(nil)
+)
+
+// DistanceMany answers one-source-to-many 2-hop queries; dst[i] answers
+// (source, targets[i]) exactly as Distance would. dst is reused when it
+// has the capacity and may be nil.
+func (sr *Searcher) DistanceMany(source int32, targets []int32, dst []int32) []int32 {
+	dst = batchDst(dst, len(targets))
+	if len(targets) == 0 {
+		return dst
+	}
+	perm := sr.permBuf(len(targets))
+	slices.SortFunc(perm, func(a, b int32) int {
+		ta, tb := targets[a], targets[b]
+		switch {
+		case ta < tb:
+			return -1
+		case ta > tb:
+			return 1
+		}
+		return 0
+	})
+	sr.runGroup(source, perm, func(i int32) int32 { return targets[i] }, dst)
+	return dst
+}
+
+// DistanceBatch answers len(pairs) independent 2-hop queries, grouping
+// pairs by source so each group shares one hub-stamp load. dst is
+// reused when it has the capacity and may be nil.
+func (sr *Searcher) DistanceBatch(pairs [][2]int32, dst []int32) []int32 {
+	dst = batchDst(dst, len(pairs))
+	if len(pairs) == 0 {
+		return dst
+	}
+	perm := sr.permBuf(len(pairs))
+	slices.SortFunc(perm, func(a, b int32) int {
+		pa, pb := pairs[a], pairs[b]
+		switch {
+		case pa[0] != pb[0]:
+			if pa[0] < pb[0] {
+				return -1
+			}
+			return 1
+		case pa[1] < pb[1]:
+			return -1
+		case pa[1] > pb[1]:
+			return 1
+		}
+		return 0
+	})
+	for lo := 0; lo < len(perm); {
+		src := pairs[perm[lo]][0]
+		hi := lo + 1
+		for hi < len(perm) && pairs[perm[hi]][0] == src {
+			hi++
+		}
+		sr.runGroup(src, perm[lo:hi], func(i int32) int32 { return pairs[i][1] }, dst)
+		lo = hi
+	}
+	return dst
+}
+
+// runGroup answers every query (source, tof(i)) for i in perm. perm is
+// sorted by target, so duplicate targets are answered once and label
+// reads walk the flat CSR sequentially.
+func (sr *Searcher) runGroup(source int32, perm []int32, tof func(int32) int32, dst []int32) {
+	ix := sr.ix
+	if len(perm) == 1 {
+		dst[perm[0]] = ix.Distance(source, tof(perm[0]))
+		return
+	}
+	hub := sr.hubBuf()
+	slo, shi := ix.labelOff[source], ix.labelOff[source+1]
+	for p := slo; p < shi; p++ {
+		hub[ix.labelRank[p]] = ix.labelDist[p]
+	}
+	prevT := int32(-1)
+	var prevD int32
+	for _, i := range perm {
+		t := tof(i)
+		switch {
+		case t == source:
+			dst[i] = 0
+			continue
+		case t == prevT:
+			dst[i] = prevD
+			continue
+		}
+		best := bptree.MinQuery(ix.bp, source, t)
+		for p := ix.labelOff[t]; p < ix.labelOff[t+1]; p++ {
+			if hd := hub[ix.labelRank[p]]; hd != math.MaxInt32 {
+				if d := hd + ix.labelDist[p]; d < best {
+					best = d
+				}
+			}
+		}
+		if best == math.MaxInt32 {
+			best = Infinity
+		}
+		dst[i] = best
+		prevT, prevD = t, best
+	}
+	// Restore the all-unloaded invariant.
+	for p := slo; p < shi; p++ {
+		hub[ix.labelRank[p]] = math.MaxInt32
+	}
+}
+
+// batchDst returns dst resized to n answers, reallocating only when the
+// capacity is short.
+func batchDst(dst []int32, n int) []int32 {
+	if cap(dst) < n {
+		return make([]int32, n)
+	}
+	return dst[:n]
+}
+
+// permBuf returns the searcher's index-permutation buffer initialized
+// to the identity over n entries.
+func (sr *Searcher) permBuf(n int) []int32 {
+	if cap(sr.perm) < n {
+		sr.perm = make([]int32, n)
+	}
+	perm := sr.perm[:n]
+	for i := range perm {
+		perm[i] = int32(i)
+	}
+	return perm
+}
+
+// hubBuf returns the searcher's hub-stamp array, lazily sized to the
+// root count and kept at MaxInt32 (unloaded) between groups.
+func (sr *Searcher) hubBuf() []int32 {
+	if cap(sr.hubDist) < len(sr.ix.order) {
+		sr.hubDist = make([]int32, len(sr.ix.order))
+		for i := range sr.hubDist {
+			sr.hubDist[i] = math.MaxInt32
+		}
+	}
+	return sr.hubDist[:len(sr.ix.order)]
+}

@@ -226,10 +226,15 @@ func (ix *Index) Distance(s, t int32) int32 {
 func (ix *Index) UpperBound(s, t int32) int32 { return ix.Distance(s, t) }
 
 // Searcher adapts the index to the per-goroutine searcher contract.
-// PLL queries are allocation-free merges over immutable arrays, so the
-// searcher carries no scratch and any number may run concurrently.
+// Single-pair queries are allocation-free merges over immutable arrays;
+// the scratch fields serve the vectorized batch path (see batch.go):
+// hubDist is the source's label stamped by hub rank (kept at MaxInt32
+// between groups), perm the batch sort permutation. Like every
+// Searcher, one per goroutine.
 type Searcher struct {
-	ix *Index
+	ix      *Index
+	hubDist []int32
+	perm    []int32
 }
 
 // Distance returns the 2-hop-cover distance (see Index.Distance).

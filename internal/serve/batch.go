@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"highway/internal/method"
 	"highway/internal/workload"
 )
 
@@ -137,12 +138,20 @@ func (s *Server) runPipeline(w io.Writer, workers int, source func(emit func(wor
 
 	for i := 0; i < workers; i++ {
 		go func() {
+			// Worker-local pair buffer: workload.Pair chunks are repacked
+			// into the [s,t] shape the batch executor takes, so chunks
+			// with repeated sources get the vectorized path.
+			var pbuf [][2]int32
 			for job := range work {
-				sn, sr := s.acquire()
-				out := make([]int32, len(job.pairs))
-				for i, p := range job.pairs {
-					out[i] = sr.Distance(p.S, p.T)
+				if cap(pbuf) < len(job.pairs) {
+					pbuf = make([][2]int32, len(job.pairs))
 				}
+				pbuf = pbuf[:len(job.pairs)]
+				for i, p := range job.pairs {
+					pbuf[i] = [2]int32{p.S, p.T}
+				}
+				sn, sr := s.acquire()
+				out := method.DistanceBatch(sr, pbuf, make([]int32, len(job.pairs)))
 				s.release(sn, sr)
 				job.done <- out
 			}

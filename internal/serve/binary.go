@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"highway/internal/method"
 	"highway/internal/wire"
 )
 
@@ -84,7 +85,7 @@ func (s *Server) ServeBinary(ctx context.Context, ln net.Listener) error {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			s.serveBinaryConn(c)
+			s.serveBinaryConn(ctx, c)
 			mu.Lock()
 			delete(conns, c)
 			mu.Unlock()
@@ -113,7 +114,13 @@ func (s *Server) ServeBinary(ctx context.Context, ln net.Listener) error {
 // connection (once the stream position is untrusted nothing on it can
 // be answered); application errors are answered in-band with a TError
 // frame and the connection keeps going.
-func (s *Server) serveBinaryConn(c net.Conn) {
+//
+// ctx is the listener context: its cancellation (server shutdown)
+// aborts an in-flight batch within ~method.CancelCheckEvery pairs and
+// drops the connection. A peer that merely disconnects mid-batch is
+// only observed at response-write time — the pipelined reader gives the
+// server no per-request signal before that (see PROTOCOL.md).
+func (s *Server) serveBinaryConn(ctx context.Context, c net.Conn) {
 	defer c.Close()
 	c.SetDeadline(time.Now().Add(binHandshakeTimeout))
 	if err := wire.ReadMagic(c); err != nil {
@@ -177,18 +184,18 @@ func (s *Server) serveBinaryConn(c net.Conn) {
 					fmt.Sprintf("pair %d: %v", bad, verr))
 				break
 			}
-			if cap(dists) < len(pairs) {
-				dists = make([]int32, len(pairs))
-			}
-			dists = dists[:len(pairs)]
 			// One searcher for the whole batch, exactly like the HTTP
 			// batch endpoint: one consistent snapshot, amortized
-			// checkout.
-			sn, sr := s.acquire()
-			for i, p := range pairs {
-				dists[i] = sr.Distance(p[0], p[1])
+			// checkout, vectorized execution when the method provides
+			// it. Shutdown cancels the remaining pairs via ctx.
+			var qerr error
+			dists, qerr = s.distanceBatchConn(ctx, pairs, dists)
+			if qerr != nil {
+				// Only ctx cancellation reaches here (size and range
+				// were validated above): the server is shutting down and
+				// the answers are incomplete, so drop the connection.
+				return
 			}
-			s.release(sn, sr)
 			respType, scratch, answered = wire.TBatchResp, wire.AppendDistances(scratch, dists), int64(len(dists))
 
 		case wire.TInsert:
@@ -249,6 +256,17 @@ func (s *Server) serveBinaryConn(c net.Conn) {
 			}
 		}
 	}
+}
+
+// distanceBatchConn answers an already-validated batch against the
+// current snapshot under the connection's context: the binary frame
+// handler has checked size and vertex ranges, so the only error is
+// cancellation.
+func (s *Server) distanceBatchConn(ctx context.Context, pairs [][2]int32, dst []int32) ([]int32, error) {
+	sn, sr := s.acquire()
+	dst, err := method.DistanceBatchContext(ctx, sr, pairs, dst)
+	s.release(sn, sr)
+	return dst, err
 }
 
 // checkPairs validates every endpoint of a pair batch, returning the

@@ -193,24 +193,31 @@ func (s *Server) Distance(sv, tv int32) (int32, error) {
 // against one consistent snapshot: distances[i] answers pairs[i]. It is
 // the programmatic equivalent of POST /distance/batch (and of a binary
 // Batch frame). The result is written into dst when it has the
-// capacity; dst may be nil. Safe for concurrent use.
+// capacity; dst may be nil. Safe for concurrent use. It is
+// DistanceBatchContext without cancellation: the batch always runs to
+// completion.
 func (s *Server) DistanceBatch(pairs [][2]int32, dst []int32) ([]int32, error) {
+	return s.DistanceBatchContext(context.Background(), pairs, dst)
+}
+
+// DistanceBatchContext is DistanceBatch with cancellation: the batch is
+// dispatched through the snapshot searcher's best execution path (the
+// vectorized batch executor when the method provides one, the pair loop
+// otherwise) in chunks of method.CancelCheckEvery pairs, and a
+// cancelled ctx abandons the remaining pairs within about one chunk.
+// On cancellation it returns ctx.Err() and the prefix of answers
+// already computed (dst truncated; answers are valid for their pairs).
+func (s *Server) DistanceBatchContext(ctx context.Context, pairs [][2]int32, dst []int32) ([]int32, error) {
 	if len(pairs) > s.cfg.MaxBatch {
 		return nil, fmt.Errorf("batch of %d pairs exceeds limit %d", len(pairs), s.cfg.MaxBatch)
 	}
 	if i, err := s.checkPairs(pairs); err != nil {
 		return nil, fmt.Errorf("pair %d: %w", i, err)
 	}
-	if cap(dst) < len(pairs) {
-		dst = make([]int32, len(pairs))
-	}
-	dst = dst[:len(pairs)]
 	sn, sr := s.acquire()
-	for i, p := range pairs {
-		dst[i] = sr.Distance(p[0], p[1])
-	}
+	dst, err := method.DistanceBatchContext(ctx, sr, pairs, dst)
 	s.release(sn, sr)
-	return dst, nil
+	return dst, err
 }
 
 // checkVertex validates a vertex id against the server's fixed vertex
