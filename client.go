@@ -15,12 +15,19 @@ import (
 // transparently across server restarts.
 type Client = hlclient.Client
 
-// ClientConfig tunes a Client (pool size, dial timeout); the zero
-// value is ready for use.
+// ClientConfig tunes a Client (pool size, dial timeout, retry policy,
+// circuit breaker); the zero value is ready for use.
 type ClientConfig = hlclient.Config
 
 // ErrClientClosed is returned by every Client call after Close.
 var ErrClientClosed = hlclient.ErrClientClosed
+
+// ErrCircuitOpen is returned without touching the network while the
+// client's circuit breaker is open: enough consecutive transport
+// failures proved the server unreachable, and calls fail fast until a
+// cooldown expires and a probe succeeds (ClientConfig.BreakerThreshold
+// to tune, negative to disable).
+var ErrCircuitOpen = hlclient.ErrCircuitOpen
 
 // Dial connects to a server's binary listener (Server.ServeBinary, or
 // "hlserve serve -binaddr") at addr and performs the protocol
@@ -53,4 +60,11 @@ const (
 	RemoteClosed = wire.CodeClosed
 	// RemoteInternal: the server failed to apply an accepted request.
 	RemoteInternal = wire.CodeInternal
+	// RemoteOverloaded: the admission gate shed the request before any
+	// work; retrying after a short backoff is always safe (the client
+	// does so itself unless retries are disabled).
+	RemoteOverloaded = wire.CodeOverloaded
+	// RemoteDegraded: the server is in degraded read-only mode (its WAL
+	// is unwritable); the insert was not applied, reads still work.
+	RemoteDegraded = wire.CodeDegraded
 )

@@ -18,6 +18,8 @@
 //	hlserve load  -graph g.hwg -proto binary -batch 64   # ... through the wire protocol
 //	hlserve load  -graph g.hwg -parallel 1,2,4,8 -json BENCH_SERVE.json  # qps-vs-parallelism sweep
 //	hlserve load  -graph g.hwg -writeratio 0.01  # ... mixing writes into the reads
+//	hlserve serve -graph g.hwg -read-budget 64   # bounded in-flight admission (shed with 429/Overloaded)
+//	hlserve load  -graph g.hwg -proto http -read-budget 2 -batch 1024 -parallel 8  # overload drill: shed accounting in the report
 //	hlserve genpairs -graph g.hwg -n 100000      # emit "s t" lines for batch mode
 //	hlserve help [command]
 //
@@ -138,6 +140,8 @@ func runServe(args []string, _ io.Reader, stdout, _ io.Writer) error {
 	rebuildTh := fs.Int("rebuild-threshold", 0, "accepted edges triggering a background rebuild (0 = default, <0 = never)")
 	rebuildGrowth := fs.Float64("rebuild-growth", 0, "label-entry growth factor triggering a rebuild (0 = default, <=1 = never)")
 	readonly := fs.Bool("readonly", false, "serve the index frozen, without the update API")
+	readBudget := fs.Int("read-budget", 0, "admission budget for in-flight read work, in cost units of 1 + pairs/1024 (0 = default, <0 = unlimited); over-budget requests are shed with 429/Overloaded")
+	writeBudget := fs.Int("write-budget", 0, "admission budget for in-flight insert work, same units as -read-budget (0 = default, <0 = unlimited)")
 	methodName := fs.String("method", "", "index method to serve: "+strings.Join(highway.MethodNames(), " | ")+" (default: auto-detect from the index file; non-dynamic methods serve read-only)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -149,7 +153,7 @@ func runServe(args []string, _ io.Reader, stdout, _ io.Writer) error {
 		return fmt.Errorf("-readonly and -wal are mutually exclusive")
 	}
 	cfg := serve.LiveConfig{
-		Config:           serve.Config{MaxBatch: *maxBatch},
+		Config:           serve.Config{MaxBatch: *maxBatch, ReadBudget: *readBudget, WriteBudget: *writeBudget},
 		RebuildThreshold: *rebuildTh,
 		RebuildGrowth:    *rebuildGrowth,
 	}
@@ -302,6 +306,7 @@ func runLoad(args []string, _ io.Reader, stdout, _ io.Writer) error {
 	target := fs.String("target", "", "drive an already-running server at this address (http base URL or binary host:port) instead of a self-hosted loopback listener")
 	batch := fs.Int("batch", 1, "pairs per request (1 = the single-query path)")
 	warmup := fs.Int("warmup", 0, "per-worker warmup requests, issued before the clock starts and excluded from every reported figure (0 = a tenth of the per-worker requests, <0 = none)")
+	readBudget := fs.Int("read-budget", -1, "admission budget of the self-hosted server, in cost units of 1 + pairs/1024 (<0 = unlimited, the load-test default); shed requests are counted and timed separately")
 	parallel := fs.String("parallel", "", "comma-separated worker counts to sweep with a fixed total request budget, e.g. 1,2,4,8 (overrides -workers)")
 	jsonPath := fs.String("json", "", "write all runs as a JSON report to this file (the BENCH_SERVE.json schema; empty = stdout only)")
 	if err := fs.Parse(args); err != nil {
@@ -376,7 +381,9 @@ func runLoad(args []string, _ io.Reader, stdout, _ io.Writer) error {
 	// the in-process server, or a wire protocol — self-hosted on a
 	// loopback listener unless -target points at a running server, so a
 	// protocol-overhead comparison needs nothing but this one command.
-	srv := serve.NewIndex(ix, serve.Config{})
+	// The default budget is unlimited: a load test wants to measure the
+	// index, not the gate — overload experiments opt in via -read-budget.
+	srv := serve.NewIndex(ix, serve.Config{ReadBudget: *readBudget})
 	var factory loadgen.TargetFactory
 	switch *proto {
 	case "inproc":

@@ -15,6 +15,15 @@
 // nature and edge insertion is idempotent by design (duplicate inserts
 // are accepted as no-ops; see internal/serve's WAL replay contract).
 //
+// On top of that sits the resilience layer (Config knobs; see
+// resilience.go): requests the server shed with wire.CodeOverloaded,
+// and transport-level failures, are retried up to MaxRetries times
+// with jittered exponential backoff; a circuit breaker trips after
+// BreakerThreshold consecutive transport failures so a down server
+// costs callers ErrCircuitOpen, not a dial timeout each; and
+// AttemptTimeout gives every attempt its own slice of the caller's
+// deadline so one hung connection cannot eat all of it.
+//
 // Deadlines come from the caller's context: a context deadline is
 // applied to the dial, the write and the read of each call.
 package hlclient
@@ -43,6 +52,38 @@ type Config struct {
 	// handshake when the caller's context carries no deadline
 	// (DefaultDialTimeout when 0).
 	DialTimeout time.Duration
+
+	// MaxRetries bounds how many times a failed request is re-sent
+	// beyond its first attempt, with jittered exponential backoff in
+	// between (DefaultMaxRetries when 0; negative disables retries).
+	// Retried failures are server sheds (wire Overloaded) and
+	// transport-level errors; every request type is idempotent, so a
+	// retry after a lost acknowledgement never duplicates state. The
+	// immediate re-send after a stale pooled connection does not count
+	// against this budget.
+	MaxRetries int
+	// RetryBaseDelay and RetryMaxDelay shape the backoff: attempt k
+	// waits roughly RetryBaseDelay·2^k (equal-jittered), capped at
+	// RetryMaxDelay (DefaultRetryBaseDelay/DefaultRetryMaxDelay when
+	// 0).
+	RetryBaseDelay time.Duration
+	RetryMaxDelay  time.Duration
+	// AttemptTimeout bounds each attempt — dial plus round trip —
+	// separately from the caller's context, so one hung attempt spends
+	// only its slice of the caller's deadline before the next tries a
+	// fresh connection (0 = no per-attempt bound; the caller's context
+	// still applies).
+	AttemptTimeout time.Duration
+
+	// BreakerThreshold opens the circuit breaker after that many
+	// consecutive transport-level failures: further calls fail fast
+	// with ErrCircuitOpen instead of dialing a server known to be down
+	// (DefaultBreakerThreshold when 0; negative disables the breaker).
+	// After BreakerCooldown (DefaultBreakerCooldown when 0) one probe
+	// request is let through; success closes the breaker, failure
+	// re-opens it.
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
 }
 
 // DefaultPoolSize is the idle-connection cap used when Config.PoolSize
@@ -61,6 +102,7 @@ var ErrClientClosed = errors.New("hlclient: client is closed")
 type Client struct {
 	addr string
 	cfg  Config
+	brk  breaker
 
 	mu     sync.Mutex
 	idle   []*poolConn
@@ -88,7 +130,30 @@ func Dial(ctx context.Context, addr string, cfg Config) (*Client, error) {
 	if cfg.DialTimeout <= 0 {
 		cfg.DialTimeout = DefaultDialTimeout
 	}
+	switch {
+	case cfg.MaxRetries == 0:
+		cfg.MaxRetries = DefaultMaxRetries
+	case cfg.MaxRetries < 0:
+		cfg.MaxRetries = 0
+	}
+	if cfg.RetryBaseDelay <= 0 {
+		cfg.RetryBaseDelay = DefaultRetryBaseDelay
+	}
+	if cfg.RetryMaxDelay <= 0 {
+		cfg.RetryMaxDelay = DefaultRetryMaxDelay
+	}
+	switch {
+	case cfg.BreakerThreshold == 0:
+		cfg.BreakerThreshold = DefaultBreakerThreshold
+	case cfg.BreakerThreshold < 0:
+		cfg.BreakerThreshold = 0 // disabled
+	}
+	if cfg.BreakerCooldown <= 0 {
+		cfg.BreakerCooldown = DefaultBreakerCooldown
+	}
 	c := &Client{addr: addr, cfg: cfg}
+	c.brk.threshold = cfg.BreakerThreshold
+	c.brk.cooldown = cfg.BreakerCooldown
 	pc, err := c.dial(ctx)
 	if err != nil {
 		return nil, err
@@ -180,16 +245,63 @@ func (c *Client) Close() error {
 	return err
 }
 
-// do runs one request/response exchange: check out a connection, frame
-// the request, decode the response with decode (called while the
-// connection still owns the payload buffer — copy anything retained).
-// A transport failure on a reused connection is retried once on a
-// fresh one; a TError response is returned as *wire.RemoteError with
-// the connection kept healthy.
+// do runs one request/response exchange with the client's full
+// resilience stack: circuit breaker check, then up to 1+MaxRetries
+// attempts with jittered exponential backoff between them. Each
+// attempt checks a connection out of the pool, frames the request and
+// decodes the response with decode (called while the connection still
+// owns the payload buffer — copy anything retained). A TError response
+// is returned as *wire.RemoteError with the connection kept healthy;
+// Overloaded is the one remote error that is retried (the server asked
+// for exactly that).
 func (c *Client) do(ctx context.Context, req wire.Type, build func(dst []byte) []byte,
 	want wire.Type, decode func(payload []byte) error) error {
 	if err := ctx.Err(); err != nil {
 		return err
+	}
+	for attempt := 0; ; attempt++ {
+		if !c.brk.allow() {
+			return fmt.Errorf("%w: %s", ErrCircuitOpen, c.addr)
+		}
+		err := c.attempt(ctx, req, build, want, decode)
+
+		// Breaker accounting: any in-band response — success or remote
+		// error — proves the server alive; a caller-cancelled context
+		// proves nothing either way; everything else is a transport
+		// failure.
+		var re *wire.RemoteError
+		switch {
+		case err == nil, errors.As(err, &re):
+			c.brk.onSuccess()
+		case ctx.Err() != nil, errors.Is(err, ErrClientClosed):
+			c.brk.onNeutral()
+		default:
+			c.brk.onFailure()
+		}
+
+		if err == nil || !retryable(err) || attempt >= c.cfg.MaxRetries || ctx.Err() != nil {
+			return err
+		}
+		if sleepCtx(ctx, backoff(attempt, c.cfg.RetryBaseDelay, c.cfg.RetryMaxDelay)) != nil {
+			return err // the caller's deadline beat the backoff; report the real failure
+		}
+	}
+}
+
+// attempt is one try of do: check out (or dial) a connection and run
+// the round trip, under the per-attempt timeout when configured. A
+// transport failure on a reused connection is re-sent immediately on
+// the next connection — the pooled connection had gone stale under us
+// (server restart, idle timeout), which is routine, not overload.
+// Each such failure closes one stale pooled connection, so the loop
+// drains the pool and then dials fresh; a fresh connection's failure
+// is returned to the retry/backoff layer above.
+func (c *Client) attempt(ctx context.Context, req wire.Type, build func(dst []byte) []byte,
+	want wire.Type, decode func(payload []byte) error) error {
+	if c.cfg.AttemptTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.cfg.AttemptTimeout)
+		defer cancel()
 	}
 	for {
 		pc, reused, err := c.get(ctx)
@@ -203,13 +315,6 @@ func (c *Client) do(ctx context.Context, req wire.Type, build func(dst []byte) [
 			pc.c.Close()
 		}
 		if err != nil && !healthy && reused && ctx.Err() == nil {
-			// The pooled connection had gone stale under us (server
-			// restart, idle timeout). Retrying on the next connection
-			// is safe for every request type: reads are idempotent and
-			// inserts are idempotent by the server's replay contract.
-			// Each failed retry closes one stale pooled connection, so
-			// the loop drains the pool and then dials fresh — a fresh
-			// connection's failure is returned.
 			continue
 		}
 		return err

@@ -15,6 +15,7 @@ package loadgen
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -27,6 +28,14 @@ import (
 
 	"highway/internal/workload"
 )
+
+// ErrShed marks a request rejected by the server's admission gate
+// (HTTP 429 / wire Overloaded) rather than failed. Targets wrap shed
+// responses in ErrShed so Run can account them separately: under
+// deliberate overload a shed is the server working as designed, not a
+// harness failure, and its latency (how fast the server says no) is a
+// measurement of its own.
+var ErrShed = errors.New("loadgen: request shed by server admission control")
 
 // Target is one load-generation endpoint: Do answers a batch of
 // distance queries (it may discard the answers — the harness times the
@@ -115,6 +124,8 @@ type Result struct {
 	Batch    int    `json:"batch"`
 	// Requests and Pairs count the measured window only; warmup
 	// requests are issued but excluded from every figure below.
+	// Requests counts every issued request; Pairs, QPS and Latency
+	// cover only the admitted (answered) ones.
 	Requests   int         `json:"requests"`
 	Pairs      int64       `json:"pairs"`
 	Warmup     int         `json:"warmup_requests_excluded"`
@@ -122,15 +133,25 @@ type Result struct {
 	RPS        float64     `json:"rps"`
 	QPS        float64     `json:"qps"`
 	Latency    Percentiles `json:"latency_us"`
-	Mem        MemProfile  `json:"mem"`
+	// Shed counts measured requests rejected by the server's admission
+	// gate (ErrShed); ShedLatency is how quickly those rejections came
+	// back — the "shed before work" property made measurable. Omitted
+	// when nothing was shed.
+	Shed        int          `json:"shed,omitempty"`
+	ShedLatency *Percentiles `json:"shed_latency_us,omitempty"`
+	Mem         MemProfile   `json:"mem"`
 }
 
 // String renders the run compactly for terminal output.
 func (r Result) String() string {
-	return fmt.Sprintf(
+	s := fmt.Sprintf(
 		"%s workers=%d batch=%d: %d pairs in %.3fs (%.0f qps, %.0f rps) p50=%.1fµs p90=%.1fµs p99=%.1fµs max=%.1fµs",
 		r.Protocol, r.Workers, r.Batch, r.Pairs, r.ElapsedSec, r.QPS, r.RPS,
 		r.Latency.P50, r.Latency.P90, r.Latency.P99, r.Latency.Max)
+	if r.Shed > 0 && r.ShedLatency != nil {
+		s += fmt.Sprintf(" shed=%d (p50=%.1fµs p99=%.1fµs)", r.Shed, r.ShedLatency.P50, r.ShedLatency.P99)
+	}
+	return s
 }
 
 // Run drives one measured load run: Workers goroutines, each with its
@@ -159,10 +180,12 @@ func Run(opt Options, factory TargetFactory) (Result, error) {
 	}()
 
 	// Per-worker latency records, preallocated so the measured loop
-	// does not allocate.
+	// does not allocate. Shed requests land in their own record: a
+	// deliberate-overload run wants both distributions, unmixed.
 	lats := make([][]int64, opt.Workers)
+	shedLats := make([][]int64, opt.Workers)
 	for w := range lats {
-		lats[w] = make([]int64, opt.Requests)
+		lats[w] = make([]int64, 0, opt.Requests)
 	}
 	errs := make([]error, opt.Workers)
 
@@ -197,7 +220,7 @@ func Run(opt Options, factory TargetFactory) (Result, error) {
 			}
 			for i := 0; i < opt.Warmup; i++ {
 				fill()
-				if err := targets[w].Do(pairs); err != nil {
+				if err := targets[w].Do(pairs); err != nil && !errors.Is(err, ErrShed) {
 					errs[w] = fmt.Errorf("warmup request %d: %w", i, err)
 					warmed.Done()
 					return
@@ -205,15 +228,20 @@ func Run(opt Options, factory TargetFactory) (Result, error) {
 			}
 			warmed.Done()
 			<-start // barrier: the measured window opens for all workers at once
-			rec := lats[w]
 			for i := 0; i < opt.Requests; i++ {
 				fill()
 				t0 := time.Now()
-				if err := targets[w].Do(pairs); err != nil {
+				err := targets[w].Do(pairs)
+				el := int64(time.Since(t0))
+				switch {
+				case err == nil:
+					lats[w] = append(lats[w], el)
+				case errors.Is(err, ErrShed):
+					shedLats[w] = append(shedLats[w], el)
+				default:
 					errs[w] = fmt.Errorf("request %d: %w", i, err)
 					return
 				}
-				rec[i] = int64(time.Since(t0))
 			}
 		}(w)
 	}
@@ -233,18 +261,27 @@ func Run(opt Options, factory TargetFactory) (Result, error) {
 	}
 
 	all := make([]int64, 0, opt.Workers*opt.Requests)
+	var shedAll []int64
 	for _, rec := range lats {
 		all = append(all, rec...)
+	}
+	for _, rec := range shedLats {
+		shedAll = append(shedAll, rec...)
 	}
 	res := Result{
 		Workers:    opt.Workers,
 		Batch:      opt.Batch,
 		Requests:   opt.Workers * opt.Requests,
-		Pairs:      int64(opt.Workers) * int64(opt.Requests) * int64(opt.Batch),
+		Pairs:      int64(len(all)) * int64(opt.Batch),
 		Warmup:     opt.Workers * opt.Warmup,
 		ElapsedSec: elapsed.Seconds(),
 		Latency:    percentiles(all),
+		Shed:       len(shedAll),
 		Mem:        mem,
+	}
+	if len(shedAll) > 0 {
+		p := percentiles(shedAll)
+		res.ShedLatency = &p
 	}
 	if sec := elapsed.Seconds(); sec > 0 {
 		res.RPS = float64(res.Requests) / sec

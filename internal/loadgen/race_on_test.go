@@ -1,0 +1,7 @@
+//go:build race
+
+package loadgen
+
+// raceEnabled gates timing assertions that the race detector's
+// instrumentation overhead (~10x on hot paths) would make meaningless.
+const raceEnabled = true

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -11,6 +12,7 @@ import (
 
 	"highway/internal/hlclient"
 	"highway/internal/serve"
+	"highway/internal/wire"
 )
 
 // InProcFactory drives a serve.Server directly, with no protocol in
@@ -81,10 +83,15 @@ func (t *httpTarget) Do(pairs [][2]int32) error {
 }
 
 // drain consumes and closes the response body (keeping the connection
-// reusable) and rejects non-2xx statuses.
+// reusable) and rejects non-2xx statuses. A 429 — the admission gate
+// shedding load — is reported as ErrShed so the harness can count it
+// instead of aborting the run.
 func drain(resp *http.Response) error {
 	_, cerr := io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
+	if resp.StatusCode == http.StatusTooManyRequests {
+		return fmt.Errorf("%w (http 429)", ErrShed)
+	}
 	if resp.StatusCode/100 != 2 {
 		return fmt.Errorf("http status %s", resp.Status)
 	}
@@ -99,10 +106,16 @@ func (t *httpTarget) Close() error {
 // BinaryFactory drives the binary protocol listener at addr through
 // one hlclient.Client per worker (pool size 1): each worker is one
 // connection with its own request queue, and batch answers reuse one
-// buffer so the measured loop does not allocate.
+// buffer so the measured loop does not allocate. The client's retry
+// layer is disabled — the harness wants to observe every shed and
+// failure raw, not the client's smoothed-over view of them.
 func BinaryFactory(addr string) TargetFactory {
 	return func(int) (Target, error) {
-		cl, err := hlclient.Dial(context.Background(), addr, hlclient.Config{PoolSize: 1})
+		cl, err := hlclient.Dial(context.Background(), addr, hlclient.Config{
+			PoolSize:         1,
+			MaxRetries:       -1,
+			BreakerThreshold: -1,
+		})
 		if err != nil {
 			return nil, err
 		}
@@ -117,12 +130,22 @@ type binaryTarget struct {
 
 func (t *binaryTarget) Do(pairs [][2]int32) error {
 	ctx := context.Background()
-	if len(pairs) == 1 {
-		_, err := t.cl.Distance(ctx, pairs[0][0], pairs[0][1])
-		return err
-	}
 	var err error
-	t.dst, err = t.cl.DistanceBatch(ctx, pairs, t.dst)
+	if len(pairs) == 1 {
+		_, err = t.cl.Distance(ctx, pairs[0][0], pairs[0][1])
+	} else {
+		t.dst, err = t.cl.DistanceBatch(ctx, pairs, t.dst)
+	}
+	return mapShed(err)
+}
+
+// mapShed translates the binary protocol's Overloaded error into the
+// harness's ErrShed, mirroring drain's treatment of HTTP 429.
+func mapShed(err error) error {
+	var re *wire.RemoteError
+	if errors.As(err, &re) && re.Code == wire.CodeOverloaded {
+		return fmt.Errorf("%w (%v)", ErrShed, err)
+	}
 	return err
 }
 

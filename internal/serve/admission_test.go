@@ -1,0 +1,224 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"highway/internal/core"
+	"highway/internal/gen"
+	"highway/internal/landmark"
+	"highway/internal/wire"
+)
+
+func admTestIndex(t *testing.T) *core.Index {
+	t.Helper()
+	g := gen.BarabasiAlbert(300, 3, 42)
+	lms, err := landmark.Select(g, landmark.Options{K: 6, Strategy: landmark.Degree})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := core.BuildParallel(g, lms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix
+}
+
+func TestGateTryAcquire(t *testing.T) {
+	g := gate{budget: 3}
+	if !g.tryAcquire(2) {
+		t.Fatal("first acquire within budget refused")
+	}
+	if g.tryAcquire(2) {
+		t.Fatal("acquire beyond budget admitted")
+	}
+	if !g.tryAcquire(1) {
+		t.Fatal("acquire filling budget exactly refused")
+	}
+	g.release(1)
+	g.release(2)
+	st := g.stats()
+	if st.Inflight != 0 || st.Admitted != 2 || st.Shed != 1 {
+		t.Fatalf("stats = %+v, want inflight 0, admitted 2, shed 1", st)
+	}
+
+	// Unlimited gate: everything is admitted, nothing is counted.
+	un := gate{budget: 0}
+	if !un.tryAcquire(1 << 40) {
+		t.Fatal("unlimited gate refused")
+	}
+}
+
+func TestResolveBudget(t *testing.T) {
+	if got := resolveBudget(0, 7); got != 7 {
+		t.Fatalf("resolveBudget(0) = %d, want default 7", got)
+	}
+	if got := resolveBudget(-1, 7); got != 0 {
+		t.Fatalf("resolveBudget(-1) = %d, want 0 (unlimited)", got)
+	}
+	if got := resolveBudget(3, 7); got != 3 {
+		t.Fatalf("resolveBudget(3) = %d, want 3", got)
+	}
+}
+
+func TestPairsCost(t *testing.T) {
+	for _, tc := range []struct{ pairs, want int64 }{
+		{-5, 1}, {0, 1}, {1, 1}, {1023, 1}, {1024, 2}, {4096, 5},
+	} {
+		if got := pairsCost(tc.pairs); got != tc.want {
+			t.Fatalf("pairsCost(%d) = %d, want %d", tc.pairs, got, tc.want)
+		}
+	}
+}
+
+// TestHTTPShedsWhenOverBudget pins the HTTP shed contract: a request
+// over the read budget is answered 429 with Retry-After before any
+// work, monitoring endpoints stay ungated, and releasing the budget
+// re-admits traffic.
+func TestHTTPShedsWhenOverBudget(t *testing.T) {
+	ix := admTestIndex(t)
+	s := New(ix, Config{ShutdownGrace: time.Second, ReadBudget: 1, WriteBudget: 1})
+	hs := httptest.NewServer(s.Handler())
+	defer hs.Close()
+
+	get := func(path string) *http.Response {
+		t.Helper()
+		resp, err := http.Get(hs.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { resp.Body.Close() })
+		return resp
+	}
+
+	// Occupy the whole read budget, as a long in-flight request would.
+	if !s.readGate.tryAcquire(1) {
+		t.Fatal("could not occupy read gate")
+	}
+	resp := get("/distance?s=0&t=5")
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("gated /distance status = %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("shed response missing Retry-After")
+	}
+	// The write gate is independent: inserts still pass admission (and
+	// then hit the read-only rejection, which proves the handler ran).
+	wresp, err := http.Post(hs.URL+"/edges", "application/json", strings.NewReader(`{"edges":[[0,1]]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wresp.Body.Close()
+	if wresp.StatusCode == http.StatusTooManyRequests {
+		t.Fatal("write path shed by an exhausted read budget")
+	}
+	// Monitoring must answer during overload — that is its whole job.
+	for _, path := range []string{"/stats", "/healthz", "/readyz", "/"} {
+		if resp := get(path); resp.StatusCode != http.StatusOK {
+			t.Fatalf("monitoring %s status = %d during overload, want 200", path, resp.StatusCode)
+		}
+	}
+
+	s.readGate.release(1)
+	if resp := get("/distance?s=0&t=5"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-release /distance status = %d, want 200", resp.StatusCode)
+	}
+
+	st := s.AdmissionStats()
+	if st.Read.Shed < 1 || st.Read.Budget != 1 {
+		t.Fatalf("read gate stats = %+v, want budget 1 and >=1 shed", st.Read)
+	}
+	// /stats surfaces the admission section.
+	var doc struct {
+		Admission AdmissionStats `json:"admission"`
+	}
+	sr := get("/stats")
+	if err := json.NewDecoder(sr.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Admission.Read.Shed < 1 {
+		t.Fatalf("/stats admission = %+v, want >=1 read shed", doc.Admission)
+	}
+}
+
+// TestBinaryShedsWhenOverBudget pins the wire shed contract: an
+// over-budget frame is answered in-band with CodeOverloaded, the
+// connection survives, and ungated frames (stats, ping) keep working.
+func TestBinaryShedsWhenOverBudget(t *testing.T) {
+	ix := admTestIndex(t)
+	srv := New(ix, Config{ShutdownGrace: time.Second, ReadBudget: 1})
+	addr, shutdown := admBinListener(t, srv)
+	defer shutdown()
+	c, r, w := binConn(t, addr)
+	defer c.Close()
+
+	roundTrip := func(typ wire.Type, payload []byte) (wire.Type, []byte) {
+		t.Helper()
+		if err := w.WriteFrame(typ, payload); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		rt, p, err := r.ReadFrame()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rt, p
+	}
+
+	if !srv.readGate.tryAcquire(1) {
+		t.Fatal("could not occupy read gate")
+	}
+	typ, p := roundTrip(wire.TDistance, wire.AppendPair(nil, 0, 5))
+	if typ != wire.TError {
+		t.Fatalf("gated Distance answered %v, want TError", typ)
+	}
+	code, _, err := wire.DecodeError(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != wire.CodeOverloaded {
+		t.Fatalf("gated Distance code = %v, want Overloaded", code)
+	}
+	// The connection is still usable, and ungated frames still answer.
+	if typ, _ := roundTrip(wire.TPing, nil); typ != wire.TPingResp {
+		t.Fatalf("ping during overload answered %v, want TPingResp", typ)
+	}
+	if typ, _ := roundTrip(wire.TStats, nil); typ != wire.TStatsResp {
+		t.Fatalf("stats during overload answered %v, want TStatsResp", typ)
+	}
+
+	srv.readGate.release(1)
+	if typ, _ := roundTrip(wire.TDistance, wire.AppendPair(nil, 0, 5)); typ != wire.TDistanceResp {
+		t.Fatalf("post-release Distance answered %v, want TDistanceResp", typ)
+	}
+	if st := srv.AdmissionStats(); st.Read.Shed < 1 {
+		t.Fatalf("read gate stats = %+v, want >=1 shed", st.Read)
+	}
+}
+
+// admBinListener starts a binary listener for an existing server.
+func admBinListener(t *testing.T, srv *Server) (addr string, shutdown func()) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- srv.ServeBinary(ctx, ln) }()
+	return ln.Addr().String(), func() {
+		cancel()
+		if err := <-done; err != nil {
+			t.Errorf("ServeBinary: %v", err)
+		}
+		srv.Close()
+	}
+}

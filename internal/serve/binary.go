@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"highway/internal/failpoint"
 	"highway/internal/method"
 	"highway/internal/wire"
 )
@@ -150,6 +151,36 @@ func (s *Server) serveBinaryConn(ctx context.Context, c net.Conn) {
 		c.SetWriteDeadline(time.Now().Add(binWriteTimeout))
 		start := time.Now()
 
+		// Admission before decode: the cost estimate needs only the
+		// payload length, so an over-budget frame is shed for the price
+		// of having read it (frames must be consumed in order — the
+		// stream cannot be skipped past an unread request).
+		var g *gate
+		switch typ {
+		case wire.TDistance, wire.TBatch:
+			g = &s.readGate
+		case wire.TInsert:
+			g = &s.writeGate
+		}
+		var cost int64
+		if g != nil {
+			cost = frameCost(len(payload))
+			if !g.tryAcquire(cost) {
+				scratch = wire.AppendError(scratch[:0], wire.CodeOverloaded,
+					"server overloaded: in-flight budget exhausted, retry with backoff")
+				s.metrics.observe(binEndpoint(typ), 0, time.Since(start), true)
+				if err := s.writeBinaryFrame(w, wire.TError, scratch); err != nil {
+					return
+				}
+				if r.Buffered() == 0 {
+					if err := w.Flush(); err != nil {
+						return
+					}
+				}
+				continue
+			}
+		}
+
 		var respType wire.Type
 		var answered int64
 		scratch = scratch[:0]
@@ -194,6 +225,7 @@ func (s *Server) serveBinaryConn(ctx context.Context, c net.Conn) {
 				// Only ctx cancellation reaches here (size and range
 				// were validated above): the server is shutting down and
 				// the answers are incomplete, so drop the connection.
+				g.release(cost)
 				return
 			}
 			respType, scratch, answered = wire.TBatchResp, wire.AppendDistances(scratch, dists), int64(len(dists))
@@ -219,11 +251,12 @@ func (s *Server) serveBinaryConn(ctx context.Context, c net.Conn) {
 				respType, scratch = wire.TError, wire.AppendError(scratch, wire.CodeReadOnly, ierr.Error())
 			case errors.Is(ierr, ErrClosed):
 				respType, scratch = wire.TError, wire.AppendError(scratch, wire.CodeClosed, ierr.Error())
+			case errors.Is(ierr, ErrDegraded):
+				respType, scratch = wire.TError, wire.AppendError(scratch, wire.CodeDegraded, ierr.Error())
 			case errors.Is(ierr, ErrEdgeRange):
 				respType, scratch = wire.TError, wire.AppendError(scratch, wire.CodeRange, ierr.Error())
 			default:
-				// WAL append or freeze failure: the batch was NOT
-				// applied.
+				// Freeze or apply failure: the batch was NOT applied.
 				respType, scratch = wire.TError, wire.AppendError(scratch, wire.CodeInternal, ierr.Error())
 			}
 
@@ -243,8 +276,11 @@ func (s *Server) serveBinaryConn(ctx context.Context, c net.Conn) {
 				fmt.Sprintf("unknown record type 0x%02x", byte(typ)))
 		}
 
+		if g != nil {
+			g.release(cost)
+		}
 		s.metrics.observe(binEndpoint(typ), answered, time.Since(start), respType == wire.TError)
-		if err := w.WriteFrame(respType, scratch); err != nil {
+		if err := s.writeBinaryFrame(w, respType, scratch); err != nil {
 			return
 		}
 		// Pipelining flush heuristic: only flush when no further
@@ -256,6 +292,16 @@ func (s *Server) serveBinaryConn(ctx context.Context, c net.Conn) {
 			}
 		}
 	}
+}
+
+// writeBinaryFrame is WriteFrame behind the serve.bin.write failpoint:
+// the chaos harness breaks response writes here to simulate a client
+// connection dying mid-response.
+func (s *Server) writeBinaryFrame(w *wire.Writer, t wire.Type, payload []byte) error {
+	if err := failpoint.Eval(FPBinWrite); err != nil {
+		return err
+	}
+	return w.WriteFrame(t, payload)
 }
 
 // distanceBatchConn answers an already-validated batch against the

@@ -1,0 +1,268 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"highway/internal/failpoint"
+)
+
+// Chaos harness: the capstone of the fault-injection work. Each
+// iteration runs a live server against a randomized failpoint schedule
+// under a mixed insert/query load, kills it (gracefully or with a
+// simulated torn tail, as a crash would leave), restarts from disk and
+// checks the two durability invariants end to end:
+//
+//   - zero acknowledged-edge loss: every batch InsertEdges acknowledged
+//     is present after restart (d(a,b)==1 for each acked edge), and the
+//     restarted index answers exactly like a from-scratch reference
+//     built on base + the acked history — nothing lost, nothing
+//     smuggled in from un-acked failed writes;
+//   - byte-identical replay: with compaction out of the picture the WAL
+//     ends up byte-for-byte equal to magic + one record per acked edge
+//     in ack order (failed appends and crash garbage leave no trace),
+//     and in every configuration a second restart leaves the log
+//     byte-identical (recovery is read-only on an intact log).
+//
+// Every iteration is seeded, so a failure reproduces with -run
+// 'TestChaos.*/iter042'.
+
+// chaosPoints is the failpoint schedule space: each iteration arms a
+// random subset with small fail-N-times error budgets (plus occasional
+// fsync delays), so faults are transient and the server must come back
+// through the degraded-mode probe / rebuild-retry machinery on its own.
+var chaosPoints = []string{
+	FPWALSync, FPWALAppend, FPWALAppendShort,
+	FPRebuild, FPSnapshotWrite, FPWALCompact,
+}
+
+func armChaos(t *testing.T, rng *rand.Rand) {
+	t.Helper()
+	for _, name := range chaosPoints {
+		switch roll := rng.Intn(4); {
+		case roll == 0:
+			spec := fmt.Sprintf("%d*error(chaos: injected %s failure)", 1+rng.Intn(3), name)
+			if err := failpoint.Set(name, spec); err != nil {
+				t.Fatal(err)
+			}
+		case roll == 1 && name == FPWALSync:
+			// A slow disk, not a broken one.
+			if err := failpoint.Set(name, fmt.Sprintf("%d*delay(1ms)", 1+rng.Intn(3))); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+// tornTail simulates the disk state a crash mid-append leaves behind:
+// garbage after the last acknowledged record. Fewer bytes than one
+// record guarantees the tail is torn (no accidental valid record), so
+// the check that recovery erases it is deterministic.
+func tornTail(t *testing.T, walPath string, rng *rand.Rand) {
+	t.Helper()
+	f, err := os.OpenFile(walPath, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	junk := make([]byte, 1+rng.Intn(walRecordSize-1))
+	rng.Read(junk)
+	if _, err := f.Write(junk); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func randBatch(rng *rand.Rand, n int32, k int) [][2]int32 {
+	batch := make([][2]int32, k)
+	for i := range batch {
+		a, b := rng.Int31n(n), rng.Int31n(n)
+		for b == a {
+			b = rng.Int31n(n)
+		}
+		batch[i] = [2]int32{a, b}
+	}
+	return batch
+}
+
+// expectedWALBytes is the byte-exact log an acked history must leave
+// behind when no compaction ran: magic, then one record per edge in
+// acknowledgement order.
+func expectedWALBytes(acked [][2]int32) []byte {
+	buf := make([]byte, 0, len(walMagic)+len(acked)*walRecordSize)
+	buf = append(buf, walMagic...)
+	for _, e := range acked {
+		var rec [walRecordSize]byte
+		binary.LittleEndian.PutUint32(rec[0:4], uint32(e[0]))
+		binary.LittleEndian.PutUint32(rec[4:8], uint32(e[1]))
+		binary.LittleEndian.PutUint32(rec[8:12], walSum(e[0], e[1]))
+		buf = append(buf, rec[:]...)
+	}
+	return buf
+}
+
+func TestChaosCrashRestartDurability(t *testing.T) {
+	iters := 100
+	if testing.Short() {
+		iters = 10
+	}
+	g, _, ix := liveBase(t, 240, 6)
+	graphPath, indexPath, _ := saveBase(t, g, ix)
+	dir := t.TempDir()
+	n := int32(g.NumVertices())
+	t.Cleanup(failpoint.Reset)
+
+	for it := 0; it < iters; it++ {
+		it := it
+		t.Run(fmt.Sprintf("iter%03d", it), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(0x9E3779B9*int64(it) + 12345))
+			walPath := filepath.Join(dir, fmt.Sprintf("chaos-%03d.wal", it))
+
+			// A quarter of the iterations run with an aggressive rebuild
+			// threshold so compaction and snapshot persistence are in the
+			// blast radius too; the rest disable rebuilds entirely, which
+			// is what makes the byte-exact WAL prediction valid for them.
+			rebuildOn := rng.Intn(4) == 0
+			cfg := LiveConfig{
+				DegradedProbeInterval: 2 * time.Millisecond,
+				RebuildRetryBase:      2 * time.Millisecond,
+				RebuildRetryMax:       8 * time.Millisecond,
+				RebuildWorkers:        1,
+			}
+			if rebuildOn {
+				cfg.RebuildThreshold = 8 + rng.Intn(16)
+			} else {
+				cfg.RebuildThreshold = -1
+				cfg.RebuildGrowth = 1 // disabled
+			}
+
+			// acked accumulates every batch the server acknowledged,
+			// across all kill/restart cycles: the history the restarted
+			// server must reproduce exactly.
+			var acked [][2]int32
+			cycles := 1 + rng.Intn(2)
+			for c := 0; c < cycles; c++ {
+				srv, err := LoadLive(graphPath, indexPath, walPath, cfg)
+				if err != nil {
+					t.Fatalf("cycle %d: restart failed: %v", c, err)
+				}
+				armChaos(t, rng)
+				rounds := 4 + rng.Intn(5)
+				for r := 0; r < rounds; r++ {
+					batch := randBatch(rng, n, 1+rng.Intn(3))
+					res, err := srv.InsertEdges(batch)
+					switch {
+					case err == nil:
+						if res.Accepted != len(batch) {
+							t.Fatalf("cycle %d round %d: accepted %d of %d with nil error",
+								c, r, res.Accepted, len(batch))
+						}
+						acked = append(acked, batch...)
+					case errors.Is(err, ErrDegraded):
+						// Rejected whole, durably nothing: the batch must
+						// not reappear after restart. Nothing to record.
+					default:
+						t.Fatalf("cycle %d round %d: insert failed outside the degraded taxonomy: %v", c, r, err)
+					}
+					// Reads must stay up through every fault mode.
+					for q := 0; q < 3; q++ {
+						if _, err := srv.Distance(rng.Int31n(n), rng.Int31n(n)); err != nil {
+							t.Fatalf("cycle %d round %d: read failed during chaos: %v", c, r, err)
+						}
+					}
+					if rng.Intn(3) == 0 {
+						// Let the recovery probe / rebuild retry fire.
+						time.Sleep(time.Duration(1+rng.Intn(4)) * time.Millisecond)
+					}
+				}
+				failpoint.Reset()
+				if err := srv.Close(); err != nil {
+					t.Fatalf("cycle %d: close: %v", c, err)
+				}
+				if rng.Intn(2) == 0 {
+					tornTail(t, walPath, rng)
+				}
+			}
+
+			// Final restart: clean (no failpoints), read-only — so the log
+			// bytes we compare below are exactly what recovery left.
+			srv, err := LoadLive(graphPath, indexPath, walPath, cfg)
+			if err != nil {
+				t.Fatalf("final restart failed: %v", err)
+			}
+			for _, e := range acked {
+				d, err := srv.Distance(e[0], e[1])
+				if err != nil {
+					t.Fatal(err)
+				}
+				if d != 1 {
+					srv.Close()
+					t.Fatalf("acked edge {%d,%d} lost after restart: d=%d", e[0], e[1], d)
+				}
+			}
+			// Full-metric equality against a from-scratch reference: base
+			// index + acked history, no WAL, no faults. Catches smuggled
+			// un-acked edges, which the d==1 loop above cannot.
+			ref, err := NewLive(ix, LiveConfig{RebuildThreshold: -1, RebuildGrowth: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := ref.InsertEdges(acked); err != nil {
+				t.Fatal(err)
+			}
+			for q := 0; q < 30; q++ {
+				a, b := rng.Int31n(n), rng.Int31n(n)
+				got, err := srv.Distance(a, b)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, err := ref.Distance(a, b)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got != want {
+					t.Errorf("d(%d,%d) = %d after restart, reference says %d", a, b, got, want)
+				}
+			}
+			ref.Close()
+			if err := srv.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			logBytes, err := os.ReadFile(walPath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !rebuildOn {
+				if want := expectedWALBytes(acked); !bytes.Equal(logBytes, want) {
+					t.Fatalf("WAL is not byte-identical to the acked history: %d bytes on disk, want %d (%d acked edges)",
+						len(logBytes), len(want), len(acked))
+				}
+			}
+			// Replay determinism in every configuration: restarting an
+			// intact log must not rewrite it.
+			srv2, err := LoadLive(graphPath, indexPath, walPath, cfg)
+			if err != nil {
+				t.Fatalf("second clean restart failed: %v", err)
+			}
+			if err := srv2.Close(); err != nil {
+				t.Fatal(err)
+			}
+			again, err := os.ReadFile(walPath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(logBytes, again) {
+				t.Fatalf("restart of an intact log changed it: %d bytes -> %d bytes", len(logBytes), len(again))
+			}
+		})
+	}
+}

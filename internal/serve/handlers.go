@@ -16,7 +16,8 @@ import (
 //	GET    /distance?s=&t=   one exact distance
 //	POST   /distance/batch   {"pairs":[[s,t],...]} -> {"distances":[...]}
 //	GET    /stats            index + live-serving stats, per-endpoint counters
-//	GET    /healthz          liveness probe
+//	GET    /healthz          liveness probe (process up)
+//	GET    /readyz           readiness probe (503 while degraded)
 //
 // Live servers (NewLive/LoadLive) additionally expose the mutation API:
 //
@@ -25,12 +26,16 @@ import (
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /{$}", s.handleHelp)
-	mux.HandleFunc("GET /distance", s.timed(epDistance, s.handleDistance))
-	mux.HandleFunc("POST /distance/batch", s.timed(epBatch, s.handleBatch))
+	// Query and mutation endpoints sit behind the admission gates;
+	// monitoring endpoints (/stats, /healthz, /readyz, /) never do — an
+	// overloaded server must still be observable and drainable.
+	mux.HandleFunc("GET /distance", s.timed(epDistance, s.gated(&s.readGate, s.handleDistance)))
+	mux.HandleFunc("POST /distance/batch", s.timed(epBatch, s.gated(&s.readGate, s.handleBatch)))
 	mux.HandleFunc("GET /stats", s.timed(epStats, s.handleStats))
 	mux.HandleFunc("GET /healthz", s.timed(epHealth, s.handleHealth))
+	mux.HandleFunc("GET /readyz", s.timed(epReady, s.handleReady))
 	if s.up != nil {
-		mux.HandleFunc("POST /edges", s.timed(epEdges, s.handleInsertEdges))
+		mux.HandleFunc("POST /edges", s.timed(epEdges, s.gated(&s.writeGate, s.handleInsertEdges)))
 		mux.HandleFunc("DELETE /edges", s.timed(epEdges, s.handleDeleteEdges))
 	}
 	return mux
@@ -70,7 +75,8 @@ func (s *Server) handleHelp(w http.ResponseWriter, r *http.Request) {
 		"GET /distance?s=&t=":  "one exact distance; -1 = disconnected",
 		"POST /distance/batch": `{"pairs":[[s,t],...]} -> {"distances":[...]}; max ` + strconv.Itoa(s.cfg.MaxBatch) + " pairs",
 		"GET /stats":           "index + live-serving stats, per-endpoint latency/QPS counters",
-		"GET /healthz":         "liveness probe",
+		"GET /healthz":         "liveness probe (process up)",
+		"GET /readyz":          "readiness probe: 503 while the server is degraded (load balancers drain on this, not /healthz)",
 	}
 	if s.up != nil {
 		endpoints["POST /edges"] = `{"edge":[a,b]} or {"edges":[[a,b],...]} -> {"accepted":n,"inserted":m,"epoch":e}`
@@ -248,11 +254,18 @@ func (s *Server) handleInsertEdges(w http.ResponseWriter, r *http.Request) (int6
 	case errors.Is(err, ErrClosed):
 		writeError(w, http.StatusServiceUnavailable, "%v", err)
 		return 0, true
+	case errors.Is(err, ErrDegraded):
+		// Durability is gone, not the server: reads still work, the
+		// recovery probe may re-arm writes, so tell the client when to
+		// come back rather than just failing.
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return 0, true
 	case errors.Is(err, ErrEdgeRange):
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return 0, true
 	default:
-		// WAL append or freeze failure: the batch was NOT applied.
+		// Freeze or apply failure: the batch was NOT applied.
 		writeError(w, http.StatusInternalServerError, "%v", err)
 		return 0, true
 	}
@@ -273,6 +286,7 @@ func (s *Server) handleDeleteEdges(w http.ResponseWriter, r *http.Request) (int6
 type statsResponse struct {
 	Index         indexStats               `json:"index"`
 	Live          *LiveStats               `json:"live,omitempty"`
+	Admission     AdmissionStats           `json:"admission"`
 	UptimeSeconds float64                  `json:"uptime_seconds"`
 	Endpoints     map[string]EndpointStats `json:"endpoints"`
 }
@@ -294,7 +308,8 @@ type indexStats struct {
 func (s *Server) statsDoc() statsResponse {
 	st := s.snap.Load().ix.Stats()
 	return statsResponse{
-		Live: s.LiveStats(),
+		Live:      s.LiveStats(),
+		Admission: s.AdmissionStats(),
 		Index: indexStats{
 			Method:       st.Method,
 			NumVertices:  st.NumVertices,
@@ -318,5 +333,28 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) (int64, boo
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) (int64, bool) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	return 0, false
+}
+
+// handleReady is the readiness (as opposed to liveness) probe: a load
+// balancer should stop routing *writes* here while the server is
+// degraded, without the process being restarted — /healthz stays 200,
+// /readyz flips to 503. It also guards the window before the first
+// snapshot is published, for symmetry with servers that may one day
+// load asynchronously.
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) (int64, bool) {
+	if s.snap.Load() == nil {
+		writeError(w, http.StatusServiceUnavailable, "loading initial snapshot")
+		return 0, true
+	}
+	if s.Degraded() {
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{
+			"status": "degraded",
+			"detail": "WAL unwritable: writes rejected, reads served from the last snapshot",
+		})
+		return 0, true
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
 	return 0, false
 }

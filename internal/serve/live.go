@@ -14,6 +14,7 @@ import (
 
 	"highway/internal/core"
 	"highway/internal/dynhl"
+	"highway/internal/failpoint"
 	"highway/internal/graph"
 )
 
@@ -43,6 +44,18 @@ type LiveConfig struct {
 	// RebuildWorkers is the worker count for the background
 	// direction-optimizing build (0 = GOMAXPROCS).
 	RebuildWorkers int
+
+	// DegradedProbeInterval is how often a degraded server probes the
+	// WAL (an fsync of the open log) to decide whether writes can be
+	// re-enabled. 0 means DefaultDegradedProbeInterval.
+	DegradedProbeInterval time.Duration
+
+	// RebuildRetryBase and RebuildRetryMax bound the exponential backoff
+	// between retries of a failed background rebuild: the first retry
+	// fires after Base, each consecutive failure doubles the wait, capped
+	// at Max. Zeros mean DefaultRebuildRetryBase/DefaultRebuildRetryMax.
+	RebuildRetryBase time.Duration
+	RebuildRetryMax  time.Duration
 }
 
 // DefaultRebuildThreshold is the accepted-edge count that triggers a
@@ -52,6 +65,16 @@ const DefaultRebuildThreshold = 8192
 // DefaultRebuildGrowth is the label-entry growth factor that triggers a
 // background rebuild when LiveConfig.RebuildGrowth is zero.
 const DefaultRebuildGrowth = 1.5
+
+// DefaultDegradedProbeInterval is how often a degraded server re-probes
+// its WAL when LiveConfig.DegradedProbeInterval is zero.
+const DefaultDegradedProbeInterval = 250 * time.Millisecond
+
+// Default rebuild-retry backoff bounds (LiveConfig.RebuildRetryBase/Max).
+const (
+	DefaultRebuildRetryBase = time.Second
+	DefaultRebuildRetryMax  = time.Minute
+)
 
 // ErrReadOnly is returned by InsertEdges on a server built with New.
 var ErrReadOnly = errors.New("serve: read-only server (built without NewLive)")
@@ -63,6 +86,13 @@ var ErrClosed = errors.New("serve: server is closed")
 // outside the graph: a client fault (HTTP 400), distinguishable with
 // errors.Is from server-side failures (HTTP 500).
 var ErrEdgeRange = errors.New("serve: edge endpoint out of range")
+
+// ErrDegraded is wrapped by InsertEdges while the server is in degraded
+// read-only mode: a WAL append or fsync failed, so writes cannot be made
+// durable and are rejected until the recovery probe finds the log
+// writable again. Reads are unaffected. Maps to HTTP 503 + Retry-After
+// and wire.CodeDegraded.
+var ErrDegraded = errors.New("serve: degraded read-only mode (WAL unwritable)")
 
 // InsertResult reports one accepted update batch.
 type InsertResult struct {
@@ -106,14 +136,32 @@ type updater struct {
 	delta      [][2]int32
 	rebuilding bool
 	closed     bool
-	wg         sync.WaitGroup // in-flight rebuild goroutine
+	wg         sync.WaitGroup // in-flight rebuild + recovery-probe goroutines
+	// closeCh is closed by Close; the recovery probe and the rebuild
+	// retry timer select on it so shutdown never waits out a backoff.
+	closeCh chan struct{}
+
+	// Degraded read-only mode (mu-guarded; degradedFlag mirrors
+	// `degraded` for lock-free /readyz checks). probing is true while the
+	// recovery-probe goroutine is alive.
+	degraded       bool
+	degradedReason string
+	probing        bool
+
+	// Rebuild retry state: consecutive failures drive a capped
+	// exponential backoff; retryTimer is the pending retry (nil if none).
+	rebuildFails int
+	retryTimer   *time.Timer
 
 	// Monitoring counters (read lock-free by /stats).
-	epoch         atomic.Uint64
-	rebuilds      atomic.Int64
-	rebuildErrs   atomic.Int64
-	lastRebuildNs atomic.Int64
-	acceptedTotal atomic.Int64
+	epoch          atomic.Uint64
+	rebuilds       atomic.Int64
+	rebuildErrs    atomic.Int64
+	lastRebuildNs  atomic.Int64
+	acceptedTotal  atomic.Int64
+	degradedFlag   atomic.Bool
+	writesRejected atomic.Int64
+	recoveries     atomic.Int64
 }
 
 // NewLive returns an updatable Server seeded from ix. If cfg.WAL is set,
@@ -134,7 +182,8 @@ func NewLive(ix *core.Index, cfg LiveConfig) (*Server, error) {
 		return fail(fmt.Errorf("serve: live conversion: %w", err))
 	}
 	s := newServer(ix, ix.Graph().NumVertices(), cfg.Config)
-	up := &updater{cfg: cfg, dyn: dyn, wal: cfg.WAL, lastGraph: ix.Graph(), baseEntries: ix.NumEntries()}
+	up := &updater{cfg: cfg, dyn: dyn, wal: cfg.WAL, lastGraph: ix.Graph(),
+		baseEntries: ix.NumEntries(), closeCh: make(chan struct{})}
 	s.up = up
 	if up.wal != nil {
 		if rec := up.wal.Recovered(); len(rec) > 0 {
@@ -192,8 +241,12 @@ const snapMagic = "HWLSNAP1"
 
 // writeSnapshot persists graph+index as one file, fsynced before an
 // atomic rename into place — only after this returns may the WAL be
-// compacted, or a power failure could lose acknowledged edges.
-func writeSnapshot(path string, g *graph.Graph, ix *core.Index) error {
+// compacted, or a power failure could lose acknowledged edges. The WAL
+// (may be nil) only receives the directory-fsync error count.
+func writeSnapshot(path string, g *graph.Graph, ix *core.Index, w *WAL) error {
+	if err := failpoint.Eval(FPSnapshotWrite); err != nil {
+		return fmt.Errorf("serve: snapshot: %w", err)
+	}
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
 	if err != nil {
@@ -223,7 +276,9 @@ func writeSnapshot(path string, g *graph.Graph, ix *core.Index) error {
 		os.Remove(tmp)
 		return fmt.Errorf("serve: snapshot: %w", err)
 	}
-	syncDir(filepath.Dir(path))
+	if derr := syncDir(filepath.Dir(path)); derr != nil && w != nil {
+		w.dirSyncErrs.Add(1)
+	}
 	return nil
 }
 
@@ -273,6 +328,10 @@ func (s *Server) InsertEdges(edges [][2]int32) (InsertResult, error) {
 	if up.closed {
 		return InsertResult{}, ErrClosed
 	}
+	if up.degraded {
+		up.writesRejected.Add(1)
+		return InsertResult{}, fmt.Errorf("%w: %s", ErrDegraded, up.degradedReason)
+	}
 	if len(edges) == 0 {
 		return InsertResult{Epoch: up.epoch.Load()}, nil
 	}
@@ -280,7 +339,14 @@ func (s *Server) InsertEdges(edges [][2]int32) (InsertResult, error) {
 	// crash-recovery path cannot reconstruct is mutated.
 	if up.wal != nil {
 		if err := up.wal.Append(edges); err != nil {
-			return InsertResult{}, err
+			// The WAL cleaned its own tail up (or failed stop); the server
+			// transitions to degraded read-only mode rather than serving
+			// per-request 500s from a log that is unlikely to heal before
+			// the next request. This request itself carries the degraded
+			// taxonomy too, so clients see one consistent signal.
+			up.enterDegradedLocked(err)
+			up.writesRejected.Add(1)
+			return InsertResult{}, fmt.Errorf("%w: %w", ErrDegraded, err)
 		}
 	}
 	inserted, err := up.dyn.Apply(edges)
@@ -304,6 +370,79 @@ func (s *Server) InsertEdges(edges [][2]int32) (InsertResult, error) {
 	}
 	s.maybeRebuild(fresh.NumEntries())
 	return InsertResult{Accepted: len(edges), Inserted: inserted, Epoch: epoch}, nil
+}
+
+// enterDegradedLocked (mu held) flips the server into degraded
+// read-only mode and starts the recovery probe if one is not already
+// running. Reads are untouched — the last published snapshot keeps
+// serving — while every write is rejected with ErrDegraded until the
+// probe finds the WAL writable again.
+func (up *updater) enterDegradedLocked(cause error) {
+	if up.degraded {
+		return
+	}
+	up.degraded = true
+	up.degradedReason = cause.Error()
+	up.degradedFlag.Store(true)
+	if up.probing || up.closed {
+		return
+	}
+	up.probing = true
+	up.wg.Add(1)
+	go up.recoveryProbe()
+}
+
+// probeInterval resolves the configured recovery-probe cadence.
+func (up *updater) probeInterval() time.Duration {
+	if up.cfg.DegradedProbeInterval > 0 {
+		return up.cfg.DegradedProbeInterval
+	}
+	return DefaultDegradedProbeInterval
+}
+
+// recoveryProbe periodically fsyncs the WAL while the server is
+// degraded; the first success re-arms writes and ends the probe. The
+// probe also ends on Close or if something else already cleared the
+// degraded state.
+func (up *updater) recoveryProbe() {
+	defer up.wg.Done()
+	ticker := time.NewTicker(up.probeInterval())
+	defer ticker.Stop()
+	for {
+		select {
+		case <-up.closeCh:
+			up.mu.Lock()
+			up.probing = false
+			up.mu.Unlock()
+			return
+		case <-ticker.C:
+		}
+		up.mu.Lock()
+		if up.closed || !up.degraded {
+			up.probing = false
+			up.mu.Unlock()
+			return
+		}
+		// Degraded mode is only entered on a WAL failure, so wal != nil.
+		if err := up.wal.Probe(); err != nil {
+			up.degradedReason = err.Error()
+			up.mu.Unlock()
+			continue
+		}
+		up.degraded = false
+		up.degradedReason = ""
+		up.degradedFlag.Store(false)
+		up.recoveries.Add(1)
+		up.probing = false
+		up.mu.Unlock()
+		return
+	}
+}
+
+// Degraded reports whether the server is in degraded read-only mode
+// (lock-free; /readyz polls this).
+func (s *Server) Degraded() bool {
+	return s.up != nil && s.up.degradedFlag.Load()
 }
 
 // rebuildThreshold resolves the configured accepted-edge trigger.
@@ -336,6 +475,12 @@ func (s *Server) maybeRebuild(entries int64) {
 	if up.rebuilding || up.closed {
 		return
 	}
+	if up.retryTimer != nil {
+		// A failed rebuild is waiting out its backoff; letting the count
+		// trigger re-fire on every write would turn the backoff into a
+		// retry storm.
+		return
+	}
 	due := false
 	if th := up.rebuildThreshold(); th > 0 && up.sinceRebuild >= th {
 		due = true
@@ -355,6 +500,48 @@ func (s *Server) maybeRebuild(entries int64) {
 	go s.rebuild(g, lms)
 }
 
+// scheduleRebuildRetryLocked (mu held) arms a one-shot timer that
+// restarts the background rebuild after a capped exponential backoff:
+// base·2^(fails-1), clamped to the configured max. The failed rebuild
+// keeps serving its old snapshot in the meantime — a rebuild failure is
+// an availability event for *freshness*, never for reads.
+func (s *Server) scheduleRebuildRetryLocked() {
+	up := s.up
+	up.rebuildFails++
+	if up.closed || up.retryTimer != nil {
+		return
+	}
+	base := up.cfg.RebuildRetryBase
+	if base <= 0 {
+		base = DefaultRebuildRetryBase
+	}
+	maxWait := up.cfg.RebuildRetryMax
+	if maxWait <= 0 {
+		maxWait = DefaultRebuildRetryMax
+	}
+	wait := base
+	for i := 1; i < up.rebuildFails && wait < maxWait; i++ {
+		wait *= 2
+	}
+	if wait > maxWait {
+		wait = maxWait
+	}
+	up.retryTimer = time.AfterFunc(wait, func() {
+		up.mu.Lock()
+		defer up.mu.Unlock()
+		up.retryTimer = nil
+		if up.closed || up.rebuilding {
+			return
+		}
+		up.rebuilding = true
+		up.delta = up.delta[:0]
+		g := up.lastGraph
+		lms := append([]int32(nil), up.dyn.Landmarks()...)
+		up.wg.Add(1)
+		go s.rebuild(g, lms)
+	})
+}
+
 // rebuild runs the full direction-optimizing parallel builder over a
 // frozen graph, then swaps the fresh index in. Writes keep landing on
 // the old state while it runs; the batches accepted in the meantime
@@ -365,8 +552,12 @@ func (s *Server) rebuild(g *graph.Graph, landmarks []int32) {
 	up := s.up
 	defer up.wg.Done()
 	start := time.Now()
-	ix, err := core.BuildOpts(context.Background(), g, landmarks,
-		core.Options{Workers: up.cfg.RebuildWorkers})
+	err := failpoint.Eval(FPRebuild)
+	var ix *core.Index
+	if err == nil {
+		ix, err = core.BuildOpts(context.Background(), g, landmarks,
+			core.Options{Workers: up.cfg.RebuildWorkers})
+	}
 	var dyn *dynhl.Index
 	if err == nil {
 		dyn, err = dynhl.FromCore(ix)
@@ -380,7 +571,7 @@ func (s *Server) rebuild(g *graph.Graph, landmarks []int32) {
 	// is idempotent.
 	persisted := false
 	if err == nil && up.wal != nil {
-		if perr := writeSnapshot(up.wal.SnapshotPath(), g, ix); perr == nil {
+		if perr := writeSnapshot(up.wal.SnapshotPath(), g, ix, up.wal); perr == nil {
 			persisted = true
 		} else {
 			up.rebuildErrs.Add(1)
@@ -394,10 +585,11 @@ func (s *Server) rebuild(g *graph.Graph, landmarks []int32) {
 		return
 	}
 	if err != nil {
-		// The old state keeps serving; the failure is surfaced in
-		// /stats and the triggers will fire again.
+		// The old state keeps serving; the failure is surfaced in /stats
+		// and the retry timer brings the rebuild back with backoff.
 		up.rebuildErrs.Add(1)
 		up.delta = nil
+		s.scheduleRebuildRetryLocked()
 		return
 	}
 	delta := up.delta
@@ -406,11 +598,13 @@ func (s *Server) rebuild(g *graph.Graph, landmarks []int32) {
 	if len(delta) > 0 {
 		if _, err := dyn.Apply(delta); err != nil {
 			up.rebuildErrs.Add(1)
+			s.scheduleRebuildRetryLocked()
 			return
 		}
 		freshGraph, fresh, err = dyn.Freeze()
 		if err != nil {
 			up.rebuildErrs.Add(1)
+			s.scheduleRebuildRetryLocked()
 			return
 		}
 	}
@@ -432,6 +626,14 @@ func (s *Server) rebuild(g *graph.Graph, landmarks []int32) {
 	}
 	up.rebuilds.Add(1)
 	up.lastRebuildNs.Store(int64(time.Since(start)))
+	if up.wal != nil && !persisted {
+		// The index was published but the snapshot persist failed, so the
+		// log could not be compacted and will grow without bound; retry
+		// the whole rebuild (with backoff) until a snapshot lands.
+		s.scheduleRebuildRetryLocked()
+		return
+	}
+	up.rebuildFails = 0
 }
 
 // Rebuilding reports whether a background rebuild is in flight.
@@ -459,6 +661,11 @@ func (s *Server) Close() error {
 		return nil
 	}
 	up.closed = true
+	if up.retryTimer != nil {
+		up.retryTimer.Stop()
+		up.retryTimer = nil
+	}
+	close(up.closeCh)
 	up.mu.Unlock()
 	up.wg.Wait()
 	if up.wal != nil {
@@ -479,6 +686,22 @@ type LiveStats struct {
 	RebuildErrors     int64   `json:"rebuild_errors"`
 	Rebuilding        bool    `json:"rebuilding"`
 	LastRebuildMs     float64 `json:"last_rebuild_ms"`
+
+	// Degraded read-only mode: true while the WAL is unwritable. Writes
+	// are rejected (counted in WritesRejected) and Recoveries counts
+	// degraded→live transitions.
+	Degraded       bool   `json:"degraded"`
+	DegradedReason string `json:"degraded_reason,omitempty"`
+	WritesRejected int64  `json:"writes_rejected"`
+	Recoveries     int64  `json:"recoveries"`
+
+	// RebuildFails counts consecutive background-rebuild failures (reset
+	// on success); while non-zero a capped-exponential-backoff retry is
+	// pending or running.
+	RebuildFails int `json:"rebuild_fails_consecutive"`
+
+	// WAL is the log's own counters (nil when running without one).
+	WAL *WALStats `json:"wal,omitempty"`
 }
 
 // LiveStats returns the live-serving counters, or nil on a read-only
@@ -498,9 +721,16 @@ func (s *Server) LiveStats() *LiveStats {
 		RebuildErrors:     up.rebuildErrs.Load(),
 		Rebuilding:        up.rebuilding,
 		LastRebuildMs:     float64(up.lastRebuildNs.Load()) / 1e6,
+		Degraded:          up.degraded,
+		DegradedReason:    up.degradedReason,
+		WritesRejected:    up.writesRejected.Load(),
+		Recoveries:        up.recoveries.Load(),
+		RebuildFails:      up.rebuildFails,
 	}
 	if up.wal != nil {
 		st.WALLen = up.wal.Len()
+		ws := up.wal.Stats()
+		st.WAL = &ws
 	}
 	up.mu.Unlock()
 	return st

@@ -500,7 +500,7 @@ func TestLiveStressRebuildAndRestart(t *testing.T) {
 func TestSnapshotRoundTrip(t *testing.T) {
 	g, _, ix := liveBase(t, 300, 6)
 	path := filepath.Join(t.TempDir(), "state.snap")
-	if err := writeSnapshot(path, g, ix); err != nil {
+	if err := writeSnapshot(path, g, ix, nil); err != nil {
 		t.Fatal(err)
 	}
 	g2, ix2, err := loadSnapshot(path)

@@ -12,6 +12,7 @@ const (
 	epBatch
 	epStats
 	epHealth
+	epReady
 	epEdges
 	epBinDistance
 	epBinBatch
@@ -26,6 +27,7 @@ var endpointNames = [numEndpoints]string{
 	epBatch:       "batch",
 	epStats:       "stats",
 	epHealth:      "healthz",
+	epReady:       "readyz",
 	epEdges:       "edges",
 	epBinDistance: "bin_distance",
 	epBinBatch:    "bin_batch",

@@ -66,6 +66,7 @@ import (
 	"time"
 
 	"highway/internal/core"
+	"highway/internal/failpoint"
 	"highway/internal/method"
 )
 
@@ -80,6 +81,15 @@ type Config struct {
 	// requests after its context is cancelled (DefaultShutdownGrace
 	// when 0).
 	ShutdownGrace time.Duration
+
+	// ReadBudget and WriteBudget bound concurrent in-flight work per
+	// request class, in admission cost units (1 + pairs/1024 per
+	// request, so big batches weigh proportionally more). Requests over
+	// budget are shed before any work with HTTP 429 / wire Overloaded.
+	// 0 means DefaultReadBudget/DefaultWriteBudget; negative disables
+	// the gate (unlimited).
+	ReadBudget  int
+	WriteBudget int
 }
 
 // DefaultMaxBatch is the largest batch request accepted when
@@ -126,6 +136,12 @@ type Server struct {
 	// servers (New).
 	up *updater
 
+	// Admission gates: bounded in-flight budgets per request class,
+	// shared by both listeners (HTTP and binary traffic drain one pool
+	// of capacity, because they drain one pool of CPU).
+	readGate  gate
+	writeGate gate
+
 	metrics metricSet
 	started time.Time
 }
@@ -151,6 +167,8 @@ func newServer(ix method.DistanceIndex, n int, cfg Config) *Server {
 		cfg.ShutdownGrace = DefaultShutdownGrace
 	}
 	s := &Server{cfg: cfg, n: n, started: time.Now()}
+	s.readGate.budget = resolveBudget(cfg.ReadBudget, DefaultReadBudget)
+	s.writeGate.budget = resolveBudget(cfg.WriteBudget, DefaultWriteBudget)
 	s.snap.Store(newSnapshot(ix, 0))
 	return s
 }
@@ -166,7 +184,12 @@ func (s *Server) Epoch() uint64 { return s.snap.Load().epoch }
 
 // acquire loads the current snapshot and checks a Searcher out of its
 // pool; release returns the Searcher to the snapshot it came from.
+// The serve.query failpoint fires here — once per request, on every
+// query path of every protocol — so tests can dilate query time
+// without touching the index (only delay actions make sense at this
+// site; an error action's error is discarded).
 func (s *Server) acquire() (*snapshot, method.Searcher) {
+	_ = failpoint.Eval(FPQuery)
 	sn := s.snap.Load()
 	return sn, sn.searchers.Get().(method.Searcher)
 }

@@ -7,6 +7,9 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sync/atomic"
+
+	"highway/internal/failpoint"
 )
 
 // WAL is a write-ahead edge log: the durability substrate of a live
@@ -32,6 +35,41 @@ type WAL struct {
 	records   int
 	recovered [][2]int32
 	buf       []byte
+
+	// off is the durable end of the log: the byte offset just past the
+	// last acknowledged record. A failed append or fsync truncates the
+	// file back to off, so the on-disk tail and the acknowledged history
+	// can never desync (a restart must not replay edges whose Append
+	// returned an error).
+	off int64
+
+	// Error counters, readable without the owner's lock (Stats).
+	appendErrs  atomic.Int64
+	syncErrs    atomic.Int64
+	dirSyncErrs atomic.Int64
+}
+
+// WALStats is the log's observability section (surfaced under
+// /stats as live.wal). The error counters are cumulative since open;
+// dir_sync_errors counts best-effort directory fsync failures after
+// compaction renames — a durability downgrade operators should see,
+// not a request failure.
+type WALStats struct {
+	Len           int   `json:"len"`
+	AppendErrors  int64 `json:"append_errors"`
+	SyncErrors    int64 `json:"sync_errors"`
+	DirSyncErrors int64 `json:"dir_sync_errors"`
+}
+
+// Stats returns the log's current counters. Len is only meaningful
+// under the owner's serialization, the error counters are atomic.
+func (w *WAL) Stats() WALStats {
+	return WALStats{
+		Len:           w.records,
+		AppendErrors:  w.appendErrs.Load(),
+		SyncErrors:    w.syncErrs.Load(),
+		DirSyncErrors: w.dirSyncErrs.Load(),
+	}
 }
 
 const (
@@ -77,6 +115,7 @@ func (w *WAL) recover() error {
 		if _, err := w.f.Write([]byte(walMagic)); err != nil {
 			return fmt.Errorf("wal: init: %w", err)
 		}
+		w.off = int64(len(walMagic))
 		return w.f.Sync()
 	}
 	var magic [len(walMagic)]byte
@@ -107,6 +146,7 @@ func (w *WAL) recover() error {
 	if _, err := w.f.Seek(good, io.SeekStart); err != nil {
 		return fmt.Errorf("wal: seek: %w", err)
 	}
+	w.off = good
 	return nil
 }
 
@@ -130,6 +170,11 @@ func (w *WAL) SnapshotPath() string { return w.path + ".snap" }
 // Append logs a batch of edges with a single fsync (group commit: the
 // whole batch becomes durable together, amortizing the sync over the
 // batch). The edges are durable when Append returns nil.
+//
+// On any failure — write error, short write, fsync error — the file is
+// truncated back to the last acknowledged record before the error is
+// returned, so a restart never replays edges the caller was told were
+// not accepted. If even the truncation fails the WAL fails stop.
 func (w *WAL) Append(edges [][2]int32) error {
 	if w.f == nil {
 		return fmt.Errorf("wal: log handle lost (failed compaction reopen or closed)")
@@ -145,13 +190,87 @@ func (w *WAL) Append(edges [][2]int32) error {
 		binary.LittleEndian.PutUint32(rec[8:12], walSum(e[0], e[1]))
 		w.buf = append(w.buf, rec[:]...)
 	}
-	if _, err := w.f.Write(w.buf); err != nil {
+	if err := failpoint.Eval(FPWALAppend); err != nil {
+		w.appendErrs.Add(1)
 		return fmt.Errorf("wal: append: %w", err)
+	}
+	var werr error
+	if failpoint.Enabled(FPWALAppendShort) {
+		if err := failpoint.Eval(FPWALAppendShort); err != nil {
+			// Simulated torn write: part of the batch reaches the file
+			// before the "device" fails, exactly like a crash or a full
+			// disk mid-write. The repair below must erase it.
+			w.f.Write(w.buf[:len(w.buf)/2])
+			werr = fmt.Errorf("wal: append: %w", err)
+		}
+	}
+	if werr == nil {
+		if _, err := w.f.Write(w.buf); err != nil {
+			werr = fmt.Errorf("wal: append: %w", err)
+		}
+	}
+	if werr != nil {
+		w.appendErrs.Add(1)
+		if rerr := w.repairTail(); rerr != nil {
+			werr = fmt.Errorf("%w (tail repair also failed, log disabled: %v)", werr, rerr)
+		}
+		return werr
+	}
+	serr := failpoint.Eval(FPWALSync)
+	if serr == nil {
+		serr = w.f.Sync()
+	}
+	if serr != nil {
+		w.syncErrs.Add(1)
+		// The batch is not acknowledged, so its bytes must not survive:
+		// leaving them would make a restart replay writes the client was
+		// told failed. (If the failed fsync means the truncate is not
+		// durable either, the bytes were never going to survive a crash
+		// anyway — the repair keeps the healthy-kernel case honest.)
+		err := fmt.Errorf("wal: fsync: %w", serr)
+		if rerr := w.repairTail(); rerr != nil {
+			err = fmt.Errorf("%w (tail repair also failed, log disabled: %v)", err, rerr)
+		}
+		return err
+	}
+	w.off += int64(len(w.buf))
+	w.records += len(edges)
+	return nil
+}
+
+// repairTail truncates the file back to the durable offset after a
+// failed append, restoring the invariant that the on-disk log ends at
+// the last acknowledged record. If the repair itself fails the handle
+// is dropped (fail stop): every later Append errors rather than
+// appending after an undefined tail.
+func (w *WAL) repairTail() error {
+	if err := w.f.Truncate(w.off); err != nil {
+		w.f.Close()
+		w.f = nil
+		return err
+	}
+	if _, err := w.f.Seek(w.off, io.SeekStart); err != nil {
+		w.f.Close()
+		w.f = nil
+		return err
+	}
+	return nil
+}
+
+// Probe checks that the log can still reach stable storage (an fsync of
+// the current file, through the same failpoint as Append's sync). The
+// degraded-mode recovery loop calls this to decide when to re-enable
+// writes.
+func (w *WAL) Probe() error {
+	if w.f == nil {
+		return fmt.Errorf("wal: log handle lost (failed compaction reopen or closed)")
+	}
+	if err := failpoint.Eval(FPWALSync); err != nil {
+		return fmt.Errorf("wal: fsync: %w", err)
 	}
 	if err := w.f.Sync(); err != nil {
 		return fmt.Errorf("wal: fsync: %w", err)
 	}
-	w.records += len(edges)
 	return nil
 }
 
@@ -169,12 +288,15 @@ func (w *WAL) CompactTo(edges [][2]int32) error {
 	if w.f == nil {
 		return fmt.Errorf("wal: log handle lost (failed compaction reopen or closed)")
 	}
+	if err := failpoint.Eval(FPWALCompact); err != nil {
+		return fmt.Errorf("wal: compact: %w", err)
+	}
 	tmp := w.path + ".tmp"
 	f, err := os.Create(tmp)
 	if err != nil {
 		return fmt.Errorf("wal: compact: %w", err)
 	}
-	nw := &WAL{path: tmp, f: f}
+	nw := &WAL{path: tmp, f: f, off: int64(len(walMagic))}
 	if _, err := f.Write([]byte(walMagic)); err == nil {
 		err = nw.Append(edges)
 	}
@@ -196,7 +318,9 @@ func (w *WAL) CompactTo(edges [][2]int32) error {
 		os.Remove(tmp)
 		return fmt.Errorf("wal: compact: %w", err)
 	}
-	syncDir(filepath.Dir(w.path))
+	if err := syncDir(filepath.Dir(w.path)); err != nil {
+		w.dirSyncErrs.Add(1)
+	}
 	// The path now names the new log; the old handle points at an
 	// unlinked inode and must not receive further appends.
 	w.f.Close()
@@ -205,11 +329,13 @@ func (w *WAL) CompactTo(edges [][2]int32) error {
 	if err != nil {
 		return fmt.Errorf("wal: reopen after compact: %w", err)
 	}
-	if _, err := nf.Seek(0, io.SeekEnd); err != nil {
+	end, err := nf.Seek(0, io.SeekEnd)
+	if err != nil {
 		nf.Close()
 		return fmt.Errorf("wal: reopen after compact: %w", err)
 	}
 	w.f = nf
+	w.off = end
 	w.records = len(edges)
 	return nil
 }
@@ -227,12 +353,18 @@ func (w *WAL) Close() error {
 	return err
 }
 
-// syncDir fsyncs a directory so a just-renamed file is durable. Best
-// effort: some filesystems reject directory fsync, and the rename
-// itself is already atomic.
-func syncDir(dir string) {
-	if d, err := os.Open(dir); err == nil {
-		d.Sync()
-		d.Close()
+// syncDir fsyncs a directory so a just-renamed file is durable. Still
+// best effort — some filesystems reject directory fsync and the rename
+// itself is atomic — but the error is returned so callers can count
+// the durability downgrade instead of losing it.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
 	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }

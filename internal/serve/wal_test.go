@@ -1,9 +1,12 @@
 package serve
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
 	"testing"
+
+	"highway/internal/failpoint"
 )
 
 func tempWALPath(t *testing.T) string {
@@ -184,6 +187,165 @@ func TestWALCompactTo(t *testing.T) {
 	for i := range want {
 		if w2.Recovered()[i] != want[i] {
 			t.Fatalf("recovered %v, want %v", w2.Recovered(), want)
+		}
+	}
+}
+
+// TestWALTornTailEveryOffset crashes "mid-append" at every byte offset
+// of the final record: whatever prefix of the record survives, recovery
+// must keep exactly the preceding records, erase the torn bytes from
+// disk, and leave the log appendable.
+func TestWALTornTailEveryOffset(t *testing.T) {
+	edges := [][2]int32{{1, 2}, {3, 4}, {5, 6}}
+	full := int64(len(walMagic) + len(edges)*walRecordSize)
+	for cut := 0; cut < walRecordSize; cut++ {
+		path := tempWALPath(t)
+		w, err := OpenWAL(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Append(edges); err != nil {
+			t.Fatal(err)
+		}
+		w.Close()
+		if err := os.Truncate(path, full-int64(walRecordSize)+int64(cut)); err != nil {
+			t.Fatal(err)
+		}
+
+		w2, err := OpenWAL(path)
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		if w2.Len() != len(edges)-1 {
+			t.Fatalf("cut %d: recovered %d records, want %d", cut, w2.Len(), len(edges)-1)
+		}
+		for i, e := range edges[:len(edges)-1] {
+			if w2.Recovered()[i] != e {
+				t.Fatalf("cut %d: record %d = %v, want %v", cut, i, w2.Recovered()[i], e)
+			}
+		}
+		if st, err := os.Stat(path); err != nil || st.Size() != full-int64(walRecordSize) {
+			t.Fatalf("cut %d: torn bytes not erased (size %d, err %v)", cut, st.Size(), err)
+		}
+		if err := w2.Append([][2]int32{{7, 8}}); err != nil {
+			t.Fatalf("cut %d: append after repair: %v", cut, err)
+		}
+		w2.Close()
+		w3, err := OpenWAL(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w3.Len() != len(edges) || w3.Recovered()[len(edges)-1] != [2]int32{7, 8} {
+			t.Fatalf("cut %d: after repair+append: %v", cut, w3.Recovered())
+		}
+		w3.Close()
+	}
+}
+
+// TestWALAppendShortWriteRepairsTail reproduces a torn batch write with
+// the wal.append.short failpoint: part of the batch reaches the file,
+// the append fails, and the tail repair must erase the partial bytes so
+// the on-disk log still ends at the last acknowledged record.
+func TestWALAppendShortWriteRepairsTail(t *testing.T) {
+	defer failpoint.Reset()
+	path := tempWALPath(t)
+	w, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if err := w.Append([][2]int32{{1, 2}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := failpoint.Set(FPWALAppendShort, "error(disk full)"); err != nil {
+		t.Fatal(err)
+	}
+	err = w.Append([][2]int32{{3, 4}, {5, 6}})
+	if !errors.Is(err, failpoint.ErrInjected) {
+		t.Fatalf("want injected append failure, got %v", err)
+	}
+	if w.Len() != 1 {
+		t.Fatalf("Len after failed append = %d, want 1", w.Len())
+	}
+	want := int64(len(walMagic) + walRecordSize)
+	if st, serr := os.Stat(path); serr != nil || st.Size() != want {
+		t.Fatalf("partial bytes not erased: size %d, want %d (err %v)", st.Size(), want, serr)
+	}
+	if got := w.Stats().AppendErrors; got != 1 {
+		t.Fatalf("AppendErrors = %d, want 1", got)
+	}
+	// Disarmed, the log keeps working and replays exactly the
+	// acknowledged records.
+	failpoint.Clear(FPWALAppendShort)
+	if err := w.Append([][2]int32{{7, 8}}); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	w2, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	wantRec := [][2]int32{{1, 2}, {7, 8}}
+	if len(w2.Recovered()) != len(wantRec) {
+		t.Fatalf("recovered %v, want %v", w2.Recovered(), wantRec)
+	}
+	for i, e := range wantRec {
+		if w2.Recovered()[i] != e {
+			t.Fatalf("recovered %v, want %v", w2.Recovered(), wantRec)
+		}
+	}
+}
+
+// TestWALSyncFailureUnpersistsBatch pins the fsync-failure contract: the
+// rejected batch's bytes must not survive on disk (a restart would
+// replay writes the client was told failed), and Probe must track the
+// failpoint's state.
+func TestWALSyncFailureUnpersistsBatch(t *testing.T) {
+	defer failpoint.Reset()
+	path := tempWALPath(t)
+	w, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if err := w.Append([][2]int32{{1, 2}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := failpoint.Set(FPWALSync, "error(io error)"); err != nil {
+		t.Fatal(err)
+	}
+	err = w.Append([][2]int32{{3, 4}})
+	if !errors.Is(err, failpoint.ErrInjected) {
+		t.Fatalf("want injected fsync failure, got %v", err)
+	}
+	want := int64(len(walMagic) + walRecordSize)
+	if st, serr := os.Stat(path); serr != nil || st.Size() != want {
+		t.Fatalf("unacknowledged batch survived: size %d, want %d (err %v)", st.Size(), want, serr)
+	}
+	if got := w.Stats().SyncErrors; got != 1 {
+		t.Fatalf("SyncErrors = %d, want 1", got)
+	}
+	if err := w.Probe(); !errors.Is(err, failpoint.ErrInjected) {
+		t.Fatalf("Probe under armed wal.sync: %v", err)
+	}
+	failpoint.Clear(FPWALSync)
+	if err := w.Probe(); err != nil {
+		t.Fatalf("Probe after disarm: %v", err)
+	}
+	if err := w.Append([][2]int32{{5, 6}}); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	w2, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	wantRec := [][2]int32{{1, 2}, {5, 6}}
+	for i, e := range wantRec {
+		if w2.Recovered()[i] != e {
+			t.Fatalf("recovered %v, want %v", w2.Recovered(), wantRec)
 		}
 	}
 }

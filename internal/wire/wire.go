@@ -130,17 +130,27 @@ const (
 	// CodeInternal: a server-side failure (WAL append, freeze); the
 	// batch was NOT applied.
 	CodeInternal ErrorCode = 6
+	// CodeOverloaded: the server shed the request at admission (its
+	// in-flight budget is full). Nothing was executed; retrying after a
+	// short backoff is always safe.
+	CodeOverloaded ErrorCode = 7
+	// CodeDegraded: the server is in degraded read-only mode (its WAL is
+	// unwritable); the insert was rejected and NOT applied. Reads still
+	// work; writes may be retried after the server recovers.
+	CodeDegraded ErrorCode = 8
 )
 
 // ErrorCodeNames mirrors TypeNames for error codes; checked against
 // PROTOCOL.md by the same docs test.
 var ErrorCodeNames = map[ErrorCode]string{
-	CodeMalformed: "Malformed",
-	CodeRange:     "Range",
-	CodeTooLarge:  "TooLarge",
-	CodeReadOnly:  "ReadOnly",
-	CodeClosed:    "Closed",
-	CodeInternal:  "Internal",
+	CodeMalformed:  "Malformed",
+	CodeRange:      "Range",
+	CodeTooLarge:   "TooLarge",
+	CodeReadOnly:   "ReadOnly",
+	CodeClosed:     "Closed",
+	CodeInternal:   "Internal",
+	CodeOverloaded: "Overloaded",
+	CodeDegraded:   "Degraded",
 }
 
 func (c ErrorCode) String() string {
