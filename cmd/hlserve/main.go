@@ -18,6 +18,7 @@
 //	hlserve load  -graph g.hwg -proto binary -batch 64   # ... through the wire protocol
 //	hlserve load  -graph g.hwg -parallel 1,2,4,8 -json BENCH_SERVE.json  # qps-vs-parallelism sweep
 //	hlserve load  -graph g.hwg -writeratio 0.01  # ... mixing writes into the reads
+//	hlserve load  -graph g.hwg -deleteratio 0.1  # trace-style churn: edge inserts + deletes mixed into the measured load, any -proto
 //	hlserve serve -graph g.hwg -read-budget 64   # bounded in-flight admission (shed with 429/Overloaded)
 //	hlserve load  -graph g.hwg -proto http -read-budget 2 -batch 1024 -parallel 8  # overload drill: shed accounting in the report
 //	hlserve genpairs -graph g.hwg -n 100000      # emit "s t" lines for batch mode
@@ -302,6 +303,9 @@ func runLoad(args []string, _ io.Reader, stdout, _ io.Writer) error {
 	seed := fs.Int64("seed", 42, "workload seed")
 	workers := fs.Int("workers", 0, "concurrent load workers, each with its own connection and request queue (0 = all cores)")
 	writeRatio := fs.Float64("writeratio", 0, "fraction of reads paired with a random edge insertion (0 = read-only load; in-process only, needs an hl index)")
+	churn := fs.Float64("churn", 0, "fraction of requests preceded by one edge mutation through the target protocol (0 = read-only unless -deleteratio is set, which defaults this to 0.1; needs an hl index)")
+	deleteRatio := fs.Float64("deleteratio", 0, "fraction of churn mutations that delete a live edge instead of inserting (implies -churn 0.1 when churn is unset)")
+	skew := fs.Float64("skew", 0, "Zipf skew for churn insertion endpoints, >1 to enable (low vertex ids = hubs); uniform otherwise")
 	proto := fs.String("proto", "inproc", "target protocol: inproc (no wire protocol), http (HTTP/JSON API) or binary (PROTOCOL.md)")
 	target := fs.String("target", "", "drive an already-running server at this address (http base URL or binary host:port) instead of a self-hosted loopback listener")
 	batch := fs.Int("batch", 1, "pairs per request (1 = the single-query path)")
@@ -318,6 +322,18 @@ func runLoad(args []string, _ io.Reader, stdout, _ io.Writer) error {
 	// not an index load (on billion-edge graphs, minutes).
 	if *writeRatio < 0 || *writeRatio > 1 {
 		return fmt.Errorf("-writeratio must be in [0,1], got %g", *writeRatio)
+	}
+	if *churn < 0 || *churn > 1 {
+		return fmt.Errorf("-churn must be in [0,1], got %g", *churn)
+	}
+	if *deleteRatio < 0 || *deleteRatio > 1 {
+		return fmt.Errorf("-deleteratio must be in [0,1], got %g", *deleteRatio)
+	}
+	if *deleteRatio > 0 && *churn == 0 {
+		*churn = 0.1 // -deleteratio alone means "churn, a tenth of the requests"
+	}
+	if *churn > 0 && *writeRatio > 0 {
+		return fmt.Errorf("-churn/-deleteratio and -writeratio are mutually exclusive (churn supersedes the in-process write mix)")
 	}
 	if *proto != "inproc" && *proto != "http" && *proto != "binary" {
 		return fmt.Errorf("unknown -proto %q (want inproc, http or binary)", *proto)
@@ -346,6 +362,17 @@ func runLoad(args []string, _ io.Reader, stdout, _ io.Writer) error {
 		}
 		if tag != "hl" {
 			return fmt.Errorf("-writeratio needs an hl index (method %q serves read-only)", tag)
+		}
+	}
+	if *churn > 0 {
+		// Churn mutates through the target protocol, so the self-hosted
+		// server must be live — which only the highway labelling can be.
+		tag, err := highway.SniffIndexMethod(ip)
+		if err != nil {
+			return err
+		}
+		if tag != "hl" {
+			return fmt.Errorf("-churn/-deleteratio needs an hl index (method %q serves read-only)", tag)
 		}
 	}
 
@@ -377,13 +404,26 @@ func runLoad(args []string, _ io.Reader, stdout, _ io.Writer) error {
 		return nil
 	}
 
-	// Read-only mode goes through the percentile harness. The target is
+	// Everything else goes through the percentile harness. The target is
 	// the in-process server, or a wire protocol — self-hosted on a
 	// loopback listener unless -target points at a running server, so a
 	// protocol-overhead comparison needs nothing but this one command.
 	// The default budget is unlimited: a load test wants to measure the
 	// index, not the gate — overload experiments opt in via -read-budget.
-	srv := serve.NewIndex(ix, serve.Config{ReadBudget: *readBudget})
+	// A churn run self-hosts a live server so the mutation endpoints
+	// exist on every protocol.
+	var srv *serve.Server
+	if *churn > 0 {
+		srv, err = serve.NewLive(ix.(*highway.Index), serve.LiveConfig{
+			Config: serve.Config{ReadBudget: *readBudget},
+		})
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+	} else {
+		srv = serve.NewIndex(ix, serve.Config{ReadBudget: *readBudget})
+	}
 	var factory loadgen.TargetFactory
 	switch *proto {
 	case "inproc":
@@ -415,11 +455,14 @@ func runLoad(args []string, _ io.Reader, stdout, _ io.Writer) error {
 	}
 
 	opt := loadgen.Options{
-		Requests: *n / *batch, // total budget; Sweep splits it across workers
-		Warmup:   *warmup,
-		Batch:    *batch,
-		N:        ix.Stats().NumVertices,
-		Seed:     *seed,
+		Requests:    *n / *batch, // total budget; Sweep splits it across workers
+		Warmup:      *warmup,
+		Batch:       *batch,
+		N:           ix.Stats().NumVertices,
+		Seed:        *seed,
+		Churn:       *churn,
+		DeleteRatio: *deleteRatio,
+		Skew:        *skew,
 	}
 	runs, err := loadgen.Sweep(opt, levels, factory)
 	if err != nil {

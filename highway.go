@@ -46,19 +46,21 @@
 // # Live updates
 //
 // A server built with NewLiveServer additionally accepts edge
-// insertions while serving: reads stay lock-free against an atomically
-// swapped immutable snapshot, writes go through the dynamic labelling
-// (selective landmark rebuild) and publish a fresh snapshot per batch.
-// An optional write-ahead edge log (OpenWAL) makes acknowledged writes
-// crash-durable, and a staleness threshold triggers background full
-// rebuilds that hot-swap in and compact the log. See DESIGN.md for the
-// architecture and lifecycle.
+// insertions and deletions while serving: reads stay lock-free against
+// an atomically swapped immutable snapshot, writes go through the
+// dynamic labelling (selective landmark repair, with a full-rebuild
+// fallback for deletion batches that dirty too many landmarks) and
+// publish a fresh snapshot per batch. An optional write-ahead edge log
+// (OpenWAL) makes acknowledged writes crash-durable — deletions are
+// logged in the same file as one's-complement records — and a staleness
+// threshold triggers background full rebuilds that hot-swap in and
+// compact the log. See DESIGN.md for the architecture and lifecycle.
 //
 //	wal, _ := highway.OpenWAL("edges.wal")
 //	srv, _ := highway.NewLiveServer(ix, highway.LiveConfig{WAL: wal})
-//	// POST /edges {"edge":[12,34]}       -> {"accepted":1,"inserted":1,"epoch":1}
-//	// POST /edges {"edges":[[1,2],[3,4]]}
-//	// DELETE /edges                      -> 405 (the labelling is insert-only)
+//	// POST   /edges {"edge":[12,34]}       -> {"accepted":1,"inserted":1,"epoch":1}
+//	// POST   /edges {"edges":[[1,2],[3,4]]}
+//	// DELETE /edges {"edge":[12,34]}       -> {"accepted":1,"deleted":1,"epoch":2}
 //
 // # Methods
 //
@@ -330,7 +332,8 @@ func Serve(ctx context.Context, ix *Index, addr string) error {
 type LiveConfig = serve.LiveConfig
 
 // WAL is a write-ahead edge log: it makes acknowledged edge insertions
-// durable (one fsync per accepted batch) and is replayed on startup.
+// and deletions durable (one fsync per accepted batch) and is replayed
+// on startup.
 type WAL = serve.WAL
 
 // InsertResult reports one accepted update batch: edges accepted (and
@@ -338,15 +341,21 @@ type WAL = serve.WAL
 // visible at.
 type InsertResult = serve.InsertResult
 
+// DeleteResult reports one accepted deletion batch: edges accepted (and
+// logged), edges actually removed, and the snapshot epoch the batch
+// became visible at.
+type DeleteResult = serve.DeleteResult
+
 // OpenWAL opens (creating if absent) a write-ahead edge log, truncating
 // any torn tail left by a crash. Pass it to NewLiveServer via
 // LiveConfig.WAL; the server takes ownership and closes it.
 func OpenWAL(path string) (*WAL, error) { return serve.OpenWAL(path) }
 
 // NewLiveServer returns an updatable Server seeded from ix: reads are
-// answered lock-free from an immutable snapshot, InsertEdges (and POST
-// /edges) mutations publish fresh snapshots, and accumulated drift
-// triggers a background rebuild with the direction-optimizing builder.
+// answered lock-free from an immutable snapshot, InsertEdges and
+// DeleteEdges (POST and DELETE /edges) mutations publish fresh
+// snapshots, and accumulated drift triggers a background rebuild with
+// the direction-optimizing builder.
 // If cfg.WAL is set, previously logged edges are replayed before the
 // server starts answering. Call Server.Close on shutdown.
 func NewLiveServer(ix *Index, cfg LiveConfig) (*Server, error) { return serve.NewLive(ix, cfg) }

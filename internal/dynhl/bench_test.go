@@ -1,0 +1,153 @@
+package dynhl
+
+// BenchmarkDeleteMaint locates the selective-repair vs full-rebuild
+// crossover that RepairFraction gates (medians published in
+// BENCH_CHURN.json, discussed in EXPERIMENTS.md): each sub-benchmark
+// deletes one edge whose removal dirties exactly d of the k landmarks,
+// with the scheduler pinned to one strategy — "repair" re-runs a pruned
+// BFS per dirty landmark, "rebuild" replaces all labels with one
+// parallel from-scratch build. Edges are pre-bucketed by their exact
+// dirty count (the unified d(r,a) ≠ d(r,b) test), so ns/op is the
+// maintenance cost at a known dirty fraction; the restore between
+// iterations (re-inserting the edge) runs with the timer stopped.
+//
+// BenchmarkChurnBatch is the operational companion: random 8-op
+// mixed batches at a 30% delete ratio under the default scheduler,
+// the shape `hlserve load -deleteratio` produces.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"highway/internal/gen"
+)
+
+// bucketEdgesByDirty scans every live edge and groups it by how many
+// landmarks its deletion would dirty.
+func bucketEdgesByDirty(ix *Index) map[int][][2]int32 {
+	k := len(ix.landmarks)
+	buckets := make(map[int][][2]int32)
+	for a := int32(0); int(a) < ix.n; a++ {
+		for _, b := range ix.Neighbors(a) {
+			if b < a {
+				continue
+			}
+			d := 0
+			for r := 0; r < k; r++ {
+				if ix.distFromLandmark(r, a) != ix.distFromLandmark(r, b) {
+					d++
+				}
+			}
+			buckets[d] = append(buckets[d], [2]int32{a, b})
+		}
+	}
+	return buckets
+}
+
+func BenchmarkDeleteMaint(b *testing.B) {
+	const n, k = 20000, 16
+	g := gen.BarabasiAlbert(n, 5, 1)
+	landmarks := g.DegreeOrder()[:k]
+	base, err := Build(g, landmarks)
+	if err != nil {
+		b.Fatal(err)
+	}
+	buckets := bucketEdgesByDirty(base)
+	for _, d := range []int{1, 2, 4, 8, 12, 16} {
+		if len(buckets[d]) == 0 {
+			b.Fatalf("no edges dirty exactly %d landmarks", d)
+		}
+		for _, mode := range []struct {
+			name string
+			frac float64 // pinned RepairFraction: <0 never rebuilds, ~0 always does
+		}{{"repair", -1}, {"rebuild", 1e-9}} {
+			b.Run(fmt.Sprintf("dirty=%d/%s", d, mode.name), func(b *testing.B) {
+				dyn, err := Build(g, landmarks)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rng := rand.New(rand.NewSource(42))
+				pool := buckets[d]
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					e := pool[rng.Intn(len(pool))]
+					dyn.SetRepairFraction(mode.frac)
+					b.StartTimer()
+					res, err := dyn.ApplyOps(DeleteOps([][2]int32{e}))
+					b.StopTimer()
+					if err != nil {
+						b.Fatal(err)
+					}
+					if res.Dirty != d {
+						b.Fatalf("edge %v dirtied %d landmarks, bucketed as %d", e, res.Dirty, d)
+					}
+					// Restore under selective repair (exact for
+					// insertions) so the next iteration starts from the
+					// same graph without a timed rebuild.
+					dyn.SetRepairFraction(-1)
+					if _, err := dyn.ApplyOps(InsertOps([][2]int32{e})); err != nil {
+						b.Fatal(err)
+					}
+					b.StartTimer()
+				}
+			})
+		}
+	}
+}
+
+// randomLiveEdges draws bs distinct live edges from the current
+// adjacency, endpoint-first so hubs are no likelier per edge than the
+// degree distribution already makes them.
+func randomLiveEdges(rng *rand.Rand, ix *Index, bs int) [][2]int32 {
+	seen := make(map[[2]int32]bool, bs)
+	edges := make([][2]int32, 0, bs)
+	for len(edges) < bs {
+		a := int32(rng.Intn(ix.n))
+		nb := ix.Neighbors(a)
+		if len(nb) == 0 {
+			continue
+		}
+		c := nb[rng.Intn(len(nb))]
+		key := [2]int32{a, c}
+		if key[0] > key[1] {
+			key[0], key[1] = key[1], key[0]
+		}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		edges = append(edges, [2]int32{a, c})
+	}
+	return edges
+}
+
+func BenchmarkChurnBatch(b *testing.B) {
+	const n, k, batch = 20000, 16, 8
+	g := gen.BarabasiAlbert(n, 5, 1)
+	dyn, err := Build(g, g.DegreeOrder()[:k])
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		dels := randomLiveEdges(rng, dyn, batch*3/10)
+		var ins [][2]int32
+		for len(ins) < batch-len(dels) {
+			e := [2]int32{int32(rng.Intn(n)), int32(rng.Intn(n))}
+			if e[0] != e[1] && !dyn.hasEdge(e[0], e[1]) {
+				ins = append(ins, e)
+			}
+		}
+		ops := append(DeleteOps(dels), InsertOps(ins)...)
+		b.StartTimer()
+		if _, err := dyn.ApplyOps(ops); err != nil {
+			b.Fatal(err)
+		}
+	}
+	st := dyn.Maint()
+	b.ReportMetric(float64(st.LandmarksRebuilt)/float64(b.N), "rebuiltLM/op")
+}

@@ -1,43 +1,41 @@
-// Package dynhl extends the highway cover labelling to growing graphs
-// (edge insertions), the direction the paper's authors pursued in
-// follow-up work on fully dynamic labelling.
+// Package dynhl extends the highway cover labelling to fully dynamic
+// graphs — edge insertions and deletions — the direction the paper's
+// authors pursued in follow-up work on dynamic labelling.
 //
 // The implementation uses *selective landmark rebuild*, which is exact and
-// preserves both minimality and order independence:
+// preserves both minimality and order independence. For an undirected
+// edge {a,b}, landmark r's pruned-BFS outcome can change if and only if
+// d(r,a) ≠ d(r,b) — and the test is the same for both mutation kinds:
 //
-// Inserting an undirected edge {a,b} creates a new shortest path from
-// landmark r if and only if |d(r,a) - d(r,b)| ≥ 1 — when the two
-// endpoints' distances differ by zero, every path through the new edge is
-// strictly longer than an existing one, so neither the distances from r,
-// nor the set of shortest paths from r, nor (therefore) r's pruned BFS
-// outcome can change. Each insertion therefore:
+//   - Insertion: when the endpoint distances are equal, every path through
+//     the new edge is strictly longer than an existing one, so neither the
+//     distances from r nor the set of shortest paths from r can change.
+//   - Deletion: an existing edge with d(r,a) = d(r,b) lies on no shortest
+//     path from r (on a shortest path the endpoint distances differ by
+//     exactly one), so removing it leaves r's shortest-path DAG intact.
+//
+// Each mutation batch (Apply, ApplyOps) therefore:
 //
 //  1. queries d(r,a) and d(r,b) for every landmark (landmark-endpoint
-//     queries are answered exactly by labels + highway alone);
-//  2. marks the landmarks with |d(r,a)-d(r,b)| ≥ 1 (or with either
-//     endpoint newly reachable) as dirty;
-//  3. re-runs Algorithm 1's pruned BFS for the dirty landmarks only,
-//     splicing their fresh label rows and highway rows into the index.
+//     queries are answered exactly by labels + highway alone), before the
+//     adjacency is touched;
+//  2. marks the landmarks with d(r,a) ≠ d(r,b) — including either
+//     endpoint changing reachability — as dirty, sharing one dirty set
+//     across the whole batch;
+//  3. repairs the dirty landmarks only, re-running Algorithm 1's pruned
+//     BFS per landmark and splicing the fresh label and highway rows into
+//     the index — or, when deletions dirty more than RepairFraction of
+//     the landmarks, falls back to one full rebuild through the parallel
+//     direction-optimizing builder (internal/bfs engine), which amortizes
+//     better than many sequential sweeps.
 //
 // Because Algorithm 1 is independent per landmark (Lemma 3.11), rebuilding
 // a subset of landmarks yields exactly the index a full rebuild would
-// produce — this invariant is property-tested against from-scratch builds.
-// Batched insertions (InsertEdges, Apply) share one rebuild pass across
-// the batch.
-//
-// # Deletions
-//
-// The index is insert-only: there is no DeleteEdge, deliberately
-// mirroring the documented scope of internal/fd (whose deletions need
-// per-tree parent counts and are orthogonal to the paper's comparison).
-// An edge removal can turn "no new shortest path" into "a shortest path
-// disappeared", which the |d(r,a)−d(r,b)| dirtiness test cannot detect
-// without per-landmark parent bookkeeping; handling it exactly would
-// re-run the pruned BFS for *every* landmark reaching the edge, i.e. a
-// near-full rebuild. Callers that need deletions should rebuild the
-// index on the edited graph (cheap, per the paper's construction
-// numbers); the serving layer (internal/serve) surfaces this contract as
-// a 405 on DELETE /edges rather than pretending to support it.
+// produce — this invariant is property-tested against from-scratch builds
+// for insertions, deletions and mixed churn (see internal/oracle's churn
+// differential harness). Idempotence — inserting a present edge or
+// deleting an absent one is an acked no-op — is what makes write-ahead
+// log replay (internal/serve) safe against any earlier-or-equal state.
 package dynhl
 
 import (
@@ -75,8 +73,39 @@ type Index struct {
 	labels [][]entry
 	rows   [][]int32
 
+	// repairFraction is the dirty-landmark fraction above which a batch
+	// with deletions abandons per-landmark repair for one full rebuild
+	// (0 means DefaultRepairFraction; negative disables the fallback).
+	repairFraction float64
+	maint          MaintStats
+
 	sc *searchState
 }
+
+// DefaultRepairFraction is the dirty-landmark fraction above which
+// ApplyOps switches from selective per-landmark repair to a full rebuild
+// through the parallel builder. Sequential pruned-BFS sweeps win while
+// few landmarks are affected; once most of the highway is dirty the
+// batched, direction-optimizing from-scratch build is cheaper (the
+// measured crossover is recorded in BENCH_CHURN.json).
+const DefaultRepairFraction = 0.5
+
+// SetRepairFraction overrides the repair/rebuild crossover: batches that
+// dirty more than frac of the landmarks trigger a full rebuild. Zero
+// restores DefaultRepairFraction; a negative value disables the fallback
+// so every batch repairs selectively.
+func (ix *Index) SetRepairFraction(frac float64) { ix.repairFraction = frac }
+
+// MaintStats counts the maintenance work ApplyOps has performed since
+// the index was built or converted.
+type MaintStats struct {
+	SelectiveRepairs int64 // batches repaired landmark by landmark
+	FullRebuilds     int64 // batches that crossed RepairFraction and rebuilt everything
+	LandmarksRebuilt int64 // pruned-BFS reruns, across both strategies
+}
+
+// Maint returns the cumulative maintenance counters.
+func (ix *Index) Maint() MaintStats { return ix.maint }
 
 type entry struct {
 	rank int32
@@ -327,57 +356,204 @@ func (ix *Index) InsertEdges(edges [][2]int32) error {
 	return err
 }
 
+// DeleteEdge removes {a,b} and repairs the labelling exactly. Absent
+// edges and self-loops are no-ops.
+func (ix *Index) DeleteEdge(a, b int32) error {
+	return ix.DeleteEdges([][2]int32{{a, b}})
+}
+
+// DeleteEdges applies a batch of deletions with a single repair pass.
+func (ix *Index) DeleteEdges(edges [][2]int32) error {
+	_, err := ix.ApplyOps(DeleteOps(edges))
+	return err
+}
+
 // Apply is InsertEdges reporting how many of the edges were actually
 // new. Self-loops and already-present edges are skipped (and not
 // counted), which makes replaying a write-ahead log against any
 // earlier-or-equal state idempotent — the property the serving layer's
 // crash recovery builds on.
 func (ix *Index) Apply(edges [][2]int32) (int, error) {
+	res, err := ix.ApplyOps(InsertOps(edges))
+	return res.Inserted, err
+}
+
+// Op is one edge mutation in a mixed batch: insert the undirected edge
+// {A,B}, or delete it when Del is set.
+type Op struct {
+	A, B int32
+	Del  bool
+}
+
+// InsertOps wraps an edge list as a uniform insert-op batch.
+func InsertOps(edges [][2]int32) []Op {
+	ops := make([]Op, len(edges))
+	for i, e := range edges {
+		ops[i] = Op{A: e[0], B: e[1]}
+	}
+	return ops
+}
+
+// DeleteOps wraps an edge list as a uniform delete-op batch.
+func DeleteOps(edges [][2]int32) []Op {
+	ops := make([]Op, len(edges))
+	for i, e := range edges {
+		ops[i] = Op{A: e[0], B: e[1], Del: true}
+	}
+	return ops
+}
+
+// OpResult reports what a mixed batch actually did.
+type OpResult struct {
+	Inserted int  // edges added (absent before the op)
+	Deleted  int  // edges removed (present before the op)
+	Dirty    int  // landmarks invalidated by the batch
+	Rebuilt  bool // the batch crossed RepairFraction and rebuilt in full
+}
+
+// ApplyOps applies a mixed batch of insertions and deletions with a
+// single repair pass: dirty landmarks are collected across the whole
+// batch, then either repaired one pruned BFS at a time or — when
+// deletions dirty more than the RepairFraction threshold — replaced
+// wholesale by one parallel from-scratch build. Self-loops, already
+// present insertions and already absent deletions are skipped and not
+// counted, so replaying a mixed write-ahead log against any
+// earlier-or-equal state is idempotent.
+func (ix *Index) ApplyOps(ops []Op) (OpResult, error) {
+	var res OpResult
 	// Validate the whole batch before touching any state: a mid-batch
 	// failure after mutating the adjacency would leave labels stale.
-	for _, e := range edges {
-		if a, b := e[0], e[1]; a < 0 || b < 0 || int(a) >= ix.n || int(b) >= ix.n {
-			return 0, fmt.Errorf("dynhl: edge {%d,%d} out of range [0,%d)", a, b, ix.n)
+	for _, op := range ops {
+		if a, b := op.A, op.B; a < 0 || b < 0 || int(a) >= ix.n || int(b) >= ix.n {
+			return res, fmt.Errorf("dynhl: edge {%d,%d} out of range [0,%d)", a, b, ix.n)
 		}
 	}
 	dirty := make([]bool, len(ix.landmarks))
-	inserted := 0
-	for _, e := range edges {
-		a, b := e[0], e[1]
-		if a == b || ix.hasEdge(a, b) {
+	for _, op := range ops {
+		a, b := op.A, op.B
+		// An op takes effect iff presence matches its kind: inserts need
+		// the edge absent, deletes need it present.
+		if a == b || ix.hasEdge(a, b) == !op.Del {
 			continue
 		}
 		// Mark dirty landmarks BEFORE mutating adjacency, using exact
-		// landmark-endpoint distances from the current index.
+		// landmark-endpoint distances from the current labelling. The
+		// test is the same for both kinds (see the package comment): r's
+		// shortest-path DAG changes iff d(r,a) ≠ d(r,b) — which also
+		// covers an endpoint changing reachability, since Infinity never
+		// equals a finite distance.
 		for r := range ix.landmarks {
-			if dirty[r] {
-				continue
-			}
-			da := ix.distFromLandmark(r, a)
-			db := ix.distFromLandmark(r, b)
-			switch {
-			case da < 0 && db < 0:
-				// Landmark reaches neither endpoint: the new edge cannot
-				// create any path from it.
-			case da < 0 || db < 0:
-				dirty[r] = true // one side newly reachable
-			case da != db:
-				dirty[r] = true // |da-db| ≥ 1: new shortest paths appear
+			if !dirty[r] && ix.distFromLandmark(r, a) != ix.distFromLandmark(r, b) {
+				dirty[r] = true
 			}
 		}
-		ix.adj[a] = append(ix.adj[a], b)
-		ix.adj[b] = append(ix.adj[b], a)
-		inserted++
+		if op.Del {
+			ix.removeEdge(a, b)
+			res.Deleted++
+		} else {
+			ix.adj[a] = append(ix.adj[a], b)
+			ix.adj[b] = append(ix.adj[b], a)
+			res.Inserted++
+		}
 	}
-	if inserted == 0 {
-		return 0, nil
+	for _, d := range dirty {
+		if d {
+			res.Dirty++
+		}
+	}
+	if res.Dirty == 0 {
+		return res, nil
+	}
+	k := len(ix.landmarks)
+	frac := ix.repairFraction
+	if frac == 0 {
+		frac = DefaultRepairFraction
+	}
+	if res.Deleted > 0 && frac >= 0 && float64(res.Dirty) > frac*float64(k) {
+		if err := ix.rebuildAll(); err != nil {
+			return res, err
+		}
+		res.Rebuilt = true
+		ix.maint.FullRebuilds++
+		ix.maint.LandmarksRebuilt += int64(k)
+		return res, nil
 	}
 	for r, d := range dirty {
 		if d {
 			ix.rebuildLandmark(r)
 		}
 	}
-	return inserted, nil
+	ix.maint.SelectiveRepairs++
+	ix.maint.LandmarksRebuilt += int64(res.Dirty)
+	return res, nil
+}
+
+// removeEdge drops the undirected edge {a,b} from the mutable adjacency,
+// preserving neighbor order (order never affects the labelling; keeping
+// it deterministic keeps debugging sane).
+func (ix *Index) removeEdge(a, b int32) {
+	ix.adj[a] = cutNeighbor(ix.adj[a], b)
+	ix.adj[b] = cutNeighbor(ix.adj[b], a)
+}
+
+func cutNeighbor(nb []int32, v int32) []int32 {
+	for i, w := range nb {
+		if w == v {
+			return append(nb[:i], nb[i+1:]...)
+		}
+	}
+	return nb
+}
+
+// rebuildAll replaces the whole labelling at once: the mutable adjacency
+// is frozen to CSR and handed to the parallel direction-optimizing
+// builder (the internal/bfs engine behind core.BuildParallel), and the
+// fresh labels are imported back over the same landmark set. Above the
+// RepairFraction threshold this amortizes strictly better than running
+// the per-landmark pruned BFS k times on slice-of-slice adjacency.
+func (ix *Index) rebuildAll() error {
+	b := graph.NewBuilder(ix.n)
+	for u, nbs := range ix.adj {
+		for _, v := range nbs {
+			if int32(u) < v {
+				b.AddEdge(int32(u), v)
+			}
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		return fmt.Errorf("dynhl: rebuild adjacency: %w", err)
+	}
+	src, err := core.BuildParallel(g, ix.landmarks)
+	if err != nil {
+		return fmt.Errorf("dynhl: full rebuild: %w", err)
+	}
+	ix.importLabels(src)
+	return nil
+}
+
+// importLabels replaces highway, labels and rows with src's labelling
+// (built on the same landmark set in the same rank order); the mutable
+// adjacency is untouched.
+func (ix *Index) importLabels(src *core.Index) {
+	k := len(ix.landmarks)
+	for i, vi := range ix.landmarks {
+		for j, vj := range ix.landmarks {
+			ix.highway[i*k+j] = src.Highway(vi, vj)
+		}
+	}
+	for r := range ix.rows {
+		ix.rows[r] = ix.rows[r][:0]
+	}
+	for v := int32(0); int(v) < ix.n; v++ {
+		ranks, dists := src.LabelView(v)
+		l := ix.labels[v][:0]
+		for i := range ranks {
+			l = append(l, entry{rank: ranks[i], dist: dists[i]})
+			ix.rows[ranks[i]] = append(ix.rows[ranks[i]], v)
+		}
+		ix.labels[v] = l
+	}
 }
 
 func (ix *Index) hasEdge(a, b int32) bool {

@@ -12,8 +12,9 @@
 // a request that fails on a pooled connection — typically a server
 // restart having closed it — is retried once on a freshly dialed one.
 // Retrying is safe for every request type: reads are idempotent by
-// nature and edge insertion is idempotent by design (duplicate inserts
-// are accepted as no-ops; see internal/serve's WAL replay contract).
+// nature and edge mutation is idempotent by design (duplicate inserts
+// and deletes of absent edges are accepted as no-ops; see
+// internal/serve's WAL replay contract).
 //
 // On top of that sits the resilience layer (Config knobs; see
 // resilience.go): requests the server shed with wire.CodeOverloaded,
@@ -429,6 +430,25 @@ func (c *Client) InsertEdges(ctx context.Context, edges [][2]int32) (serve.Inser
 		})
 	if err != nil {
 		return serve.InsertResult{}, err
+	}
+	return res, nil
+}
+
+// DeleteEdges deletes a batch of undirected edges on a live server,
+// returning the same acknowledgement as DELETE /edges. The whole batch
+// is accepted or rejected together; absent edges are acked no-ops,
+// which is what makes retrying a lost acknowledgement safe.
+func (c *Client) DeleteEdges(ctx context.Context, edges [][2]int32) (serve.DeleteResult, error) {
+	var res serve.DeleteResult
+	err := c.do(ctx,
+		wire.TDelete, func(b []byte) []byte { return wire.AppendPairs(b, edges) },
+		wire.TDeleteResp, func(p []byte) error {
+			acc, del, epoch, derr := wire.DecodeDeleteResult(p)
+			res = serve.DeleteResult{Accepted: acc, Deleted: del, Epoch: epoch}
+			return derr
+		})
+	if err != nil {
+		return serve.DeleteResult{}, err
 	}
 	return res, nil
 }

@@ -3,8 +3,11 @@
 // HTTP/JSON API, or the binary protocol via internal/hlclient) with
 // per-worker request queues and deterministic workloads, and reports
 // percentile latencies (p50/p90/p99/max), warmup-excluded throughput,
-// and a memory profile. Results marshal to the BENCH_SERVE.json schema
-// tabulated in EXPERIMENTS.md.
+// and a memory profile. With Options.Churn it interleaves trace-style
+// edge insertions and deletions (workload.OpStream) through the
+// target's Mutator capability, timing mutations separately from reads.
+// Results marshal to the BENCH_SERVE.json schema tabulated in
+// EXPERIMENTS.md.
 //
 // The measurement discipline mirrors the paper's evaluation style:
 // every worker owns a deterministic pair stream (distinct seeds keep
@@ -18,6 +21,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"os"
 	"runtime"
 	"sort"
@@ -44,6 +48,15 @@ var ErrShed = errors.New("loadgen: request shed by server admission control")
 type Target interface {
 	Do(pairs [][2]int32) error
 	Close() error
+}
+
+// Mutator is an optional Target capability: a target that can mutate
+// the served graph. Mutate applies one single-kind edge batch (del
+// selects deletion over insertion) against a live server. Run issues
+// churn through it when Options.Churn is set; a churn run against a
+// target without the capability fails up front.
+type Mutator interface {
+	Mutate(del bool, edges [][2]int32) error
 }
 
 // TargetFactory builds the Target for one worker. Worker ids are
@@ -73,6 +86,20 @@ type Options struct {
 	// MemSample is the memory-monitor sampling interval (default
 	// 50ms; negative disables the monitor).
 	MemSample time.Duration
+
+	// Churn is the probability that a request (warmup included) is
+	// preceded by one edge mutation issued through the target's Mutator
+	// capability; 0 means a read-only load. Mutations ride the same
+	// worker goroutines as the reads — the load they interleave with is
+	// exactly the measured one.
+	Churn float64
+	// DeleteRatio is the fraction of churn mutations that delete a
+	// live edge rather than insert one (see workload.NewOpStream for
+	// how deletions track the live-edge window).
+	DeleteRatio float64
+	// Skew draws churn insertion endpoints Zipf(Skew)-skewed toward
+	// low vertex ids when > 1; any other value means uniform.
+	Skew float64
 }
 
 func (o *Options) defaults() error {
@@ -96,6 +123,12 @@ func (o *Options) defaults() error {
 	}
 	if o.MemSample == 0 {
 		o.MemSample = 50 * time.Millisecond
+	}
+	if o.Churn < 0 || o.Churn > 1 {
+		return fmt.Errorf("loadgen: Options.Churn must be in [0,1] (got %g)", o.Churn)
+	}
+	if o.DeleteRatio < 0 || o.DeleteRatio > 1 {
+		return fmt.Errorf("loadgen: Options.DeleteRatio must be in [0,1] (got %g)", o.DeleteRatio)
 	}
 	return nil
 }
@@ -139,7 +172,13 @@ type Result struct {
 	// when nothing was shed.
 	Shed        int          `json:"shed,omitempty"`
 	ShedLatency *Percentiles `json:"shed_latency_us,omitempty"`
-	Mem         MemProfile   `json:"mem"`
+	// InsertOps/DeleteOps count churn mutations acked during the
+	// measured window (warmup churn is issued but not counted), with
+	// their own latency distribution. Omitted for read-only runs.
+	InsertOps       int64        `json:"insert_ops,omitempty"`
+	DeleteOps       int64        `json:"delete_ops,omitempty"`
+	MutationLatency *Percentiles `json:"mutation_latency_us,omitempty"`
+	Mem             MemProfile   `json:"mem"`
 }
 
 // String renders the run compactly for terminal output.
@@ -150,6 +189,12 @@ func (r Result) String() string {
 		r.Latency.P50, r.Latency.P90, r.Latency.P99, r.Latency.Max)
 	if r.Shed > 0 && r.ShedLatency != nil {
 		s += fmt.Sprintf(" shed=%d (p50=%.1fµs p99=%.1fµs)", r.Shed, r.ShedLatency.P50, r.ShedLatency.P99)
+	}
+	if r.InsertOps+r.DeleteOps > 0 {
+		s += fmt.Sprintf(" churn=%d ins + %d del", r.InsertOps, r.DeleteOps)
+		if r.MutationLatency != nil {
+			s += fmt.Sprintf(" (p50=%.1fµs p99=%.1fµs)", r.MutationLatency.P50, r.MutationLatency.P99)
+		}
 	}
 	return s
 }
@@ -178,12 +223,22 @@ func Run(opt Options, factory TargetFactory) (Result, error) {
 			t.Close()
 		}
 	}()
+	if opt.Churn > 0 {
+		for w, tg := range targets {
+			if _, ok := tg.(Mutator); !ok {
+				return Result{}, fmt.Errorf("loadgen: churn requested but worker %d's target cannot mutate (read-only server or protocol?)", w)
+			}
+		}
+	}
 
 	// Per-worker latency records, preallocated so the measured loop
 	// does not allocate. Shed requests land in their own record: a
 	// deliberate-overload run wants both distributions, unmixed.
 	lats := make([][]int64, opt.Workers)
 	shedLats := make([][]int64, opt.Workers)
+	mutLats := make([][]int64, opt.Workers)
+	insOps := make([]int64, opt.Workers)
+	delOps := make([]int64, opt.Workers)
 	for w := range lats {
 		lats[w] = make([]int64, 0, opt.Requests)
 	}
@@ -218,8 +273,54 @@ func Run(opt Options, factory TargetFactory) (Result, error) {
 					pairs[i] = [2]int32{p.S, p.T}
 				}
 			}
+			// Churn state: one op stream and one probability stream per
+			// worker, seeded apart from the pair stream so adding churn
+			// does not reshuffle the read workload.
+			var (
+				mut  Mutator
+				ops  *workload.OpStream
+				crng *rand.Rand
+			)
+			if opt.Churn > 0 {
+				mut = targets[w].(Mutator)
+				ops = workload.NewOpStream(opt.N, opt.DeleteRatio, opt.Skew, opt.Seed^0x4348_5552+int64(w)*0x9E37)
+				crng = rand.New(rand.NewSource(opt.Seed ^ 0x6368 + int64(w)*0x9E37))
+			}
+			// mutate issues at most one churn op, timing it separately
+			// from the reads; shed mutations (the write gate working) are
+			// dropped, any other failure aborts the worker. Warmup churn
+			// runs with record=false: issued, never counted.
+			mutate := func(record bool) error {
+				if mut == nil || crng.Float64() >= opt.Churn {
+					return nil
+				}
+				op := ops.Next()
+				t0 := time.Now()
+				err := mut.Mutate(op.Del, [][2]int32{{op.A, op.B}})
+				el := int64(time.Since(t0))
+				switch {
+				case err == nil:
+					if record {
+						mutLats[w] = append(mutLats[w], el)
+						if op.Del {
+							delOps[w]++
+						} else {
+							insOps[w]++
+						}
+					}
+				case errors.Is(err, ErrShed):
+				default:
+					return err
+				}
+				return nil
+			}
 			for i := 0; i < opt.Warmup; i++ {
 				fill()
+				if err := mutate(false); err != nil {
+					errs[w] = fmt.Errorf("warmup churn %d: %w", i, err)
+					warmed.Done()
+					return
+				}
 				if err := targets[w].Do(pairs); err != nil && !errors.Is(err, ErrShed) {
 					errs[w] = fmt.Errorf("warmup request %d: %w", i, err)
 					warmed.Done()
@@ -230,6 +331,10 @@ func Run(opt Options, factory TargetFactory) (Result, error) {
 			<-start // barrier: the measured window opens for all workers at once
 			for i := 0; i < opt.Requests; i++ {
 				fill()
+				if err := mutate(true); err != nil {
+					errs[w] = fmt.Errorf("churn at request %d: %w", i, err)
+					return
+				}
 				t0 := time.Now()
 				err := targets[w].Do(pairs)
 				el := int64(time.Since(t0))
@@ -261,12 +366,15 @@ func Run(opt Options, factory TargetFactory) (Result, error) {
 	}
 
 	all := make([]int64, 0, opt.Workers*opt.Requests)
-	var shedAll []int64
+	var shedAll, mutAll []int64
 	for _, rec := range lats {
 		all = append(all, rec...)
 	}
 	for _, rec := range shedLats {
 		shedAll = append(shedAll, rec...)
+	}
+	for _, rec := range mutLats {
+		mutAll = append(mutAll, rec...)
 	}
 	res := Result{
 		Workers:    opt.Workers,
@@ -282,6 +390,14 @@ func Run(opt Options, factory TargetFactory) (Result, error) {
 	if len(shedAll) > 0 {
 		p := percentiles(shedAll)
 		res.ShedLatency = &p
+	}
+	if len(mutAll) > 0 {
+		for w := range insOps {
+			res.InsertOps += insOps[w]
+			res.DeleteOps += delOps[w]
+		}
+		p := percentiles(mutAll)
+		res.MutationLatency = &p
 	}
 	if sec := elapsed.Seconds(); sec > 0 {
 		res.RPS = float64(res.Requests) / sec

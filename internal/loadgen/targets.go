@@ -39,6 +39,19 @@ func (t *inprocTarget) Do(pairs [][2]int32) error {
 
 func (t *inprocTarget) Close() error { return nil }
 
+// Mutate implements the Mutator capability straight against the server.
+// The in-process path bypasses the admission gate (it guards the
+// protocol listeners), so there is no shed mapping to do.
+func (t *inprocTarget) Mutate(del bool, edges [][2]int32) error {
+	var err error
+	if del {
+		_, err = t.srv.DeleteEdges(edges)
+	} else {
+		_, err = t.srv.InsertEdges(edges)
+	}
+	return err
+}
+
 // HTTPFactory drives the HTTP/JSON API at baseURL (e.g.
 // "http://127.0.0.1:8080"): GET /distance for single pairs, POST
 // /distance/batch otherwise. Each worker owns one keep-alive
@@ -103,6 +116,32 @@ func (t *httpTarget) Close() error {
 	return nil
 }
 
+// Mutate implements the Mutator capability over POST/DELETE /edges,
+// reusing the worker's keep-alive connection.
+func (t *httpTarget) Mutate(del bool, edges [][2]int32) error {
+	t.body.Reset()
+	req := struct {
+		Edges [][2]int32 `json:"edges"`
+	}{Edges: edges}
+	if err := json.NewEncoder(&t.body).Encode(req); err != nil {
+		return err
+	}
+	m := http.MethodPost
+	if del {
+		m = http.MethodDelete
+	}
+	hreq, err := http.NewRequest(m, t.base+"/edges", &t.body)
+	if err != nil {
+		return err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := t.cl.Do(hreq)
+	if err != nil {
+		return err
+	}
+	return drain(resp)
+}
+
 // BinaryFactory drives the binary protocol listener at addr through
 // one hlclient.Client per worker (pool size 1): each worker is one
 // connection with its own request queue, and batch answers reuse one
@@ -150,3 +189,16 @@ func mapShed(err error) error {
 }
 
 func (t *binaryTarget) Close() error { return t.cl.Close() }
+
+// Mutate implements the Mutator capability over the binary protocol's
+// Insert/Delete frames, on the worker's own connection.
+func (t *binaryTarget) Mutate(del bool, edges [][2]int32) error {
+	ctx := context.Background()
+	var err error
+	if del {
+		_, err = t.cl.DeleteEdges(ctx, edges)
+	} else {
+		_, err = t.cl.InsertEdges(ctx, edges)
+	}
+	return mapShed(err)
+}

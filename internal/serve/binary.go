@@ -159,7 +159,7 @@ func (s *Server) serveBinaryConn(ctx context.Context, c net.Conn) {
 		switch typ {
 		case wire.TDistance, wire.TBatch:
 			g = &s.readGate
-		case wire.TInsert:
+		case wire.TInsert, wire.TDelete:
 			g = &s.writeGate
 		}
 		var cost int64
@@ -243,22 +243,32 @@ func (s *Server) serveBinaryConn(ctx context.Context, c net.Conn) {
 				break
 			}
 			res, ierr := s.InsertEdges(pairs)
-			switch {
-			case ierr == nil:
-				respType, scratch = wire.TInsertResp, wire.AppendInsertResult(scratch, res.Accepted, res.Inserted, res.Epoch)
-				answered = int64(res.Accepted)
-			case errors.Is(ierr, ErrReadOnly):
-				respType, scratch = wire.TError, wire.AppendError(scratch, wire.CodeReadOnly, ierr.Error())
-			case errors.Is(ierr, ErrClosed):
-				respType, scratch = wire.TError, wire.AppendError(scratch, wire.CodeClosed, ierr.Error())
-			case errors.Is(ierr, ErrDegraded):
-				respType, scratch = wire.TError, wire.AppendError(scratch, wire.CodeDegraded, ierr.Error())
-			case errors.Is(ierr, ErrEdgeRange):
-				respType, scratch = wire.TError, wire.AppendError(scratch, wire.CodeRange, ierr.Error())
-			default:
-				// Freeze or apply failure: the batch was NOT applied.
-				respType, scratch = wire.TError, wire.AppendError(scratch, wire.CodeInternal, ierr.Error())
+			if ierr != nil {
+				respType, scratch = wire.TError, appendMutationError(scratch, ierr)
+				break
 			}
+			respType, scratch = wire.TInsertResp, wire.AppendInsertResult(scratch, res.Accepted, res.Inserted, res.Epoch)
+			answered = int64(res.Accepted)
+
+		case wire.TDelete:
+			var derr error
+			pairs, derr = wire.DecodePairs(payload, pairs)
+			if derr != nil {
+				respType, scratch = wire.TError, wire.AppendError(scratch, wire.CodeMalformed, derr.Error())
+				break
+			}
+			if len(pairs) > s.cfg.MaxBatch {
+				respType, scratch = wire.TError, wire.AppendError(scratch, wire.CodeTooLarge,
+					fmt.Sprintf("batch of %d edges exceeds limit %d", len(pairs), s.cfg.MaxBatch))
+				break
+			}
+			res, derr2 := s.DeleteEdges(pairs)
+			if derr2 != nil {
+				respType, scratch = wire.TError, appendMutationError(scratch, derr2)
+				break
+			}
+			respType, scratch = wire.TDeleteResp, wire.AppendDeleteResult(scratch, res.Accepted, res.Deleted, res.Epoch)
+			answered = int64(res.Accepted)
 
 		case wire.TStats:
 			doc, merr := json.Marshal(s.statsDoc())
@@ -329,6 +339,24 @@ func (s *Server) checkPairs(pairs [][2]int32) (int, error) {
 	return -1, nil
 }
 
+// appendMutationError maps the mutation error taxonomy (shared by
+// TInsert and TDelete) onto a TError payload.
+func appendMutationError(scratch []byte, err error) []byte {
+	switch {
+	case errors.Is(err, ErrReadOnly):
+		return wire.AppendError(scratch, wire.CodeReadOnly, err.Error())
+	case errors.Is(err, ErrClosed):
+		return wire.AppendError(scratch, wire.CodeClosed, err.Error())
+	case errors.Is(err, ErrDegraded):
+		return wire.AppendError(scratch, wire.CodeDegraded, err.Error())
+	case errors.Is(err, ErrEdgeRange):
+		return wire.AppendError(scratch, wire.CodeRange, err.Error())
+	default:
+		// Freeze or apply failure: the batch was NOT applied.
+		return wire.AppendError(scratch, wire.CodeInternal, err.Error())
+	}
+}
+
 // binEndpoint maps a request type to its metric slot, so binary
 // traffic shows up in /stats (and TStatsResp) beside the HTTP
 // endpoints.
@@ -340,6 +368,8 @@ func binEndpoint(t wire.Type) int {
 		return epBinBatch
 	case wire.TInsert:
 		return epBinEdges
+	case wire.TDelete:
+		return epBinDelete
 	case wire.TStats:
 		return epBinStats
 	default:

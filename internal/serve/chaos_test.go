@@ -11,25 +11,29 @@ import (
 	"testing"
 	"time"
 
+	"highway/internal/dynhl"
 	"highway/internal/failpoint"
+	"highway/internal/graph"
 )
 
 // Chaos harness: the capstone of the fault-injection work. Each
 // iteration runs a live server against a randomized failpoint schedule
-// under a mixed insert/query load, kills it (gracefully or with a
-// simulated torn tail, as a crash would leave), restarts from disk and
-// checks the two durability invariants end to end:
+// under a mixed insert/delete/query load, kills it (gracefully or with
+// a simulated torn tail, as a crash would leave), restarts from disk
+// and checks the two durability invariants end to end:
 //
-//   - zero acknowledged-edge loss: every batch InsertEdges acknowledged
-//     is present after restart (d(a,b)==1 for each acked edge), and the
-//     restarted index answers exactly like a from-scratch reference
-//     built on base + the acked history — nothing lost, nothing
-//     smuggled in from un-acked failed writes;
+//   - zero acknowledged-op loss: the restarted index answers exactly
+//     like a from-scratch reference built on base + the acked op
+//     history, checked at every acked op's endpoints and on random
+//     pairs — nothing lost (a vanished delete shows up here just like a
+//     vanished insert), nothing smuggled in from un-acked failed
+//     writes;
 //   - byte-identical replay: with compaction out of the picture the WAL
-//     ends up byte-for-byte equal to magic + one record per acked edge
-//     in ack order (failed appends and crash garbage leave no trace),
-//     and in every configuration a second restart leaves the log
-//     byte-identical (recovery is read-only on an intact log).
+//     ends up byte-for-byte equal to magic + one record per acked op in
+//     ack order — insertions as plain endpoints, deletions as
+//     one's-complement records (failed appends and crash garbage leave
+//     no trace) — and in every configuration a second restart leaves
+//     the log byte-identical (recovery is read-only on an intact log).
 //
 // Every iteration is seeded, so a failure reproduces with -run
 // 'TestChaos.*/iter042'.
@@ -93,17 +97,115 @@ func randBatch(rng *rand.Rand, n int32, k int) [][2]int32 {
 	return batch
 }
 
-// expectedWALBytes is the byte-exact log an acked history must leave
-// behind when no compaction ran: magic, then one record per edge in
-// acknowledgement order.
-func expectedWALBytes(acked [][2]int32) []byte {
+// liveEdges mirrors the currently-live edge set across acked batches,
+// so chaos deletions mostly target edges that exist (uniformly random
+// pairs would nearly always be acked no-ops and never stress the
+// repair path). Seeded with the base graph, so deletions also hit
+// edges the base labelling depends on.
+type liveEdges struct {
+	idx  map[[2]int32]int
+	list [][2]int32
+}
+
+func newLiveEdges(g *graph.Graph) *liveEdges {
+	l := &liveEdges{idx: make(map[[2]int32]int)}
+	for v := int32(0); int(v) < g.NumVertices(); v++ {
+		for _, u := range g.Neighbors(v) {
+			if v < u {
+				l.apply(dynhl.Op{A: v, B: u})
+			}
+		}
+	}
+	return l
+}
+
+func (l *liveEdges) apply(op dynhl.Op) {
+	a, b := op.A, op.B
+	if a > b {
+		a, b = b, a
+	}
+	k := [2]int32{a, b}
+	i, present := l.idx[k]
+	switch {
+	case op.Del && present:
+		last := len(l.list) - 1
+		l.list[i] = l.list[last]
+		l.idx[l.list[i]] = i
+		l.list = l.list[:last]
+		delete(l.idx, k)
+	case !op.Del && !present && a != b:
+		l.idx[k] = len(l.list)
+		l.list = append(l.list, k)
+	}
+}
+
+func (l *liveEdges) ack(ops []dynhl.Op) {
+	for _, op := range ops {
+		l.apply(op)
+	}
+}
+
+// randOpBatch draws one single-kind batch for a chaos round: a third of
+// the rounds delete currently-live edges, the rest insert random pairs.
+// Single-kind batches match the public mutation API (InsertEdges /
+// DeleteEdges) while the round interleaving makes the schedule — and
+// the WAL — genuinely mixed.
+func randOpBatch(rng *rand.Rand, n int32, live *liveEdges) []dynhl.Op {
+	k := 1 + rng.Intn(3)
+	if rng.Intn(3) == 0 && len(live.list) > 0 {
+		ops := make([]dynhl.Op, k)
+		for i := range ops {
+			e := live.list[rng.Intn(len(live.list))]
+			ops[i] = dynhl.Op{A: e[0], B: e[1], Del: true}
+		}
+		return ops
+	}
+	return dynhl.InsertOps(randBatch(rng, n, k))
+}
+
+// sendOps pushes one single-kind batch through the public mutation API.
+func sendOps(srv *Server, ops []dynhl.Op) error {
+	pairs := make([][2]int32, len(ops))
+	for i, op := range ops {
+		pairs[i] = [2]int32{op.A, op.B}
+	}
+	var err error
+	if ops[0].Del {
+		_, err = srv.DeleteEdges(pairs)
+	} else {
+		_, err = srv.InsertEdges(pairs)
+	}
+	return err
+}
+
+// replayOps feeds an acked op history into a live server through the
+// public API, preserving op order by splitting it into same-kind runs.
+func replayOps(srv *Server, ops []dynhl.Op) error {
+	for i := 0; i < len(ops); {
+		j := i + 1
+		for j < len(ops) && ops[j].Del == ops[i].Del {
+			j++
+		}
+		if err := sendOps(srv, ops[i:j]); err != nil {
+			return err
+		}
+		i = j
+	}
+	return nil
+}
+
+// expectedWALBytes is the byte-exact log an acked op history must leave
+// behind when no compaction ran: magic, then one record per op in
+// acknowledgement order, deletions in one's-complement encoding.
+func expectedWALBytes(acked []dynhl.Op) []byte {
 	buf := make([]byte, 0, len(walMagic)+len(acked)*walRecordSize)
 	buf = append(buf, walMagic...)
-	for _, e := range acked {
+	for _, op := range acked {
+		a, b := walEncode(op)
 		var rec [walRecordSize]byte
-		binary.LittleEndian.PutUint32(rec[0:4], uint32(e[0]))
-		binary.LittleEndian.PutUint32(rec[4:8], uint32(e[1]))
-		binary.LittleEndian.PutUint32(rec[8:12], walSum(e[0], e[1]))
+		binary.LittleEndian.PutUint32(rec[0:4], uint32(a))
+		binary.LittleEndian.PutUint32(rec[4:8], uint32(b))
+		binary.LittleEndian.PutUint32(rec[8:12], walSum(a, b))
 		buf = append(buf, rec[:]...)
 	}
 	return buf
@@ -144,10 +246,12 @@ func TestChaosCrashRestartDurability(t *testing.T) {
 				cfg.RebuildGrowth = 1 // disabled
 			}
 
-			// acked accumulates every batch the server acknowledged,
+			// acked accumulates every op batch the server acknowledged,
 			// across all kill/restart cycles: the history the restarted
-			// server must reproduce exactly.
-			var acked [][2]int32
+			// server must reproduce exactly. live mirrors its effect so
+			// later deletions target real edges.
+			var acked []dynhl.Op
+			live := newLiveEdges(g)
 			cycles := 1 + rng.Intn(2)
 			for c := 0; c < cycles; c++ {
 				srv, err := LoadLive(graphPath, indexPath, walPath, cfg)
@@ -157,20 +261,16 @@ func TestChaosCrashRestartDurability(t *testing.T) {
 				armChaos(t, rng)
 				rounds := 4 + rng.Intn(5)
 				for r := 0; r < rounds; r++ {
-					batch := randBatch(rng, n, 1+rng.Intn(3))
-					res, err := srv.InsertEdges(batch)
-					switch {
+					batch := randOpBatch(rng, n, live)
+					switch err := sendOps(srv, batch); {
 					case err == nil:
-						if res.Accepted != len(batch) {
-							t.Fatalf("cycle %d round %d: accepted %d of %d with nil error",
-								c, r, res.Accepted, len(batch))
-						}
 						acked = append(acked, batch...)
+						live.ack(batch)
 					case errors.Is(err, ErrDegraded):
 						// Rejected whole, durably nothing: the batch must
 						// not reappear after restart. Nothing to record.
 					default:
-						t.Fatalf("cycle %d round %d: insert failed outside the degraded taxonomy: %v", c, r, err)
+						t.Fatalf("cycle %d round %d: mutation failed outside the degraded taxonomy: %v", c, r, err)
 					}
 					// Reads must stay up through every fault mode.
 					for q := 0; q < 3; q++ {
@@ -198,28 +298,20 @@ func TestChaosCrashRestartDurability(t *testing.T) {
 			if err != nil {
 				t.Fatalf("final restart failed: %v", err)
 			}
-			for _, e := range acked {
-				d, err := srv.Distance(e[0], e[1])
-				if err != nil {
-					t.Fatal(err)
-				}
-				if d != 1 {
-					srv.Close()
-					t.Fatalf("acked edge {%d,%d} lost after restart: d=%d", e[0], e[1], d)
-				}
-			}
 			// Full-metric equality against a from-scratch reference: base
-			// index + acked history, no WAL, no faults. Catches smuggled
-			// un-acked edges, which the d==1 loop above cannot.
+			// index + acked op history in ack order, no WAL, no faults.
+			// Checked at every acked op's endpoints (an insert that
+			// vanished or a delete that was forgotten shows up right
+			// there) and on random pairs (catches smuggled un-acked
+			// writes anywhere in the graph).
 			ref, err := NewLive(ix, LiveConfig{RebuildThreshold: -1, RebuildGrowth: 1})
 			if err != nil {
 				t.Fatal(err)
 			}
-			if _, err := ref.InsertEdges(acked); err != nil {
+			if err := replayOps(ref, acked); err != nil {
 				t.Fatal(err)
 			}
-			for q := 0; q < 30; q++ {
-				a, b := rng.Int31n(n), rng.Int31n(n)
+			check := func(a, b int32) {
 				got, err := srv.Distance(a, b)
 				if err != nil {
 					t.Fatal(err)
@@ -231,6 +323,12 @@ func TestChaosCrashRestartDurability(t *testing.T) {
 				if got != want {
 					t.Errorf("d(%d,%d) = %d after restart, reference says %d", a, b, got, want)
 				}
+			}
+			for _, op := range acked {
+				check(op.A, op.B)
+			}
+			for q := 0; q < 30; q++ {
+				check(rng.Int31n(n), rng.Int31n(n))
 			}
 			ref.Close()
 			if err := srv.Close(); err != nil {

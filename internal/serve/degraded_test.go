@@ -166,7 +166,7 @@ func TestDegradedReadOnlyUnderFsyncFailure(t *testing.T) {
 		t.Fatalf("replayed %v, want %v", w2.Recovered(), want)
 	}
 	for i, e := range want {
-		if w2.Recovered()[i] != e {
+		if w2.Recovered()[i] != opOf(e) {
 			t.Fatalf("replayed %v, want %v", w2.Recovered(), want)
 		}
 	}

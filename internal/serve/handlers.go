@@ -22,7 +22,7 @@ import (
 // Live servers (NewLive/LoadLive) additionally expose the mutation API:
 //
 //	POST   /edges            {"edge":[a,b]} or {"edges":[[a,b],...]}
-//	DELETE /edges            always 405: the labelling is insert-only
+//	DELETE /edges            same body; decremental repair of the labelling
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /{$}", s.handleHelp)
@@ -36,7 +36,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /readyz", s.timed(epReady, s.handleReady))
 	if s.up != nil {
 		mux.HandleFunc("POST /edges", s.timed(epEdges, s.gated(&s.writeGate, s.handleInsertEdges)))
-		mux.HandleFunc("DELETE /edges", s.timed(epEdges, s.handleDeleteEdges))
+		mux.HandleFunc("DELETE /edges", s.timed(epDelete, s.gated(&s.writeGate, s.handleDeleteEdges)))
 	}
 	return mux
 }
@@ -80,7 +80,7 @@ func (s *Server) handleHelp(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.up != nil {
 		endpoints["POST /edges"] = `{"edge":[a,b]} or {"edges":[[a,b],...]} -> {"accepted":n,"inserted":m,"epoch":e}`
-		endpoints["DELETE /edges"] = "always 405: the dynamic labelling is insert-only (see internal/dynhl)"
+		endpoints["DELETE /edges"] = `same body as POST -> {"accepted":n,"deleted":m,"epoch":e}; absent edges are acked no-ops`
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"service":   "hlserve: exact distance oracle (highway cover labelling, EDBT 2019)",
@@ -194,17 +194,20 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) (int64, boo
 	return int64(len(distances)), false
 }
 
-// insertRequest is the JSON shape of POST /edges: either one edge or a
-// batch, not both. Edges decode as slices (not [2]int32) for the same
-// reason as batchRequest: a [a,b,junk] triple must be a 400, not a
-// guess.
-type insertRequest struct {
+// edgesRequest is the JSON shape of POST and DELETE /edges: either one
+// edge or a batch, not both. Edges decode as slices (not [2]int32) for
+// the same reason as batchRequest: a [a,b,junk] triple must be a 400,
+// not a guess.
+type edgesRequest struct {
 	Edge  []int32   `json:"edge"`
 	Edges [][]int32 `json:"edges"`
 }
 
-func (s *Server) handleInsertEdges(w http.ResponseWriter, r *http.Request) (int64, bool) {
-	var req insertRequest
+// decodeEdgesRequest parses and validates an /edges body (both
+// methods). On failure it has already written the error response and
+// returns ok=false.
+func (s *Server) decodeEdgesRequest(w http.ResponseWriter, r *http.Request) ([][2]int32, bool) {
+	var req edgesRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, int64(s.cfg.MaxBatch)*64+1024))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
@@ -212,24 +215,24 @@ func (s *Server) handleInsertEdges(w http.ResponseWriter, r *http.Request) (int6
 		if errors.As(err, &tooLarge) {
 			writeError(w, http.StatusRequestEntityTooLarge,
 				"update request body exceeds %d bytes", tooLarge.Limit)
-			return 0, true
+			return nil, false
 		}
 		writeError(w, http.StatusBadRequest, "malformed update request: %v", err)
-		return 0, true
+		return nil, false
 	}
 	if err := dec.Decode(&struct{}{}); err != io.EOF {
 		var tooLarge *http.MaxBytesError
 		if errors.As(err, &tooLarge) {
 			writeError(w, http.StatusRequestEntityTooLarge,
 				"update request body exceeds %d bytes", tooLarge.Limit)
-			return 0, true
+			return nil, false
 		}
 		writeError(w, http.StatusBadRequest, "malformed update request: trailing data after JSON object")
-		return 0, true
+		return nil, false
 	}
 	if (req.Edge == nil) == (req.Edges == nil) {
 		writeError(w, http.StatusBadRequest, `want exactly one of "edge" or "edges"`)
-		return 0, true
+		return nil, false
 	}
 	pairs := req.Edges
 	if req.Edge != nil {
@@ -238,48 +241,65 @@ func (s *Server) handleInsertEdges(w http.ResponseWriter, r *http.Request) (int6
 	if len(pairs) > s.cfg.MaxBatch {
 		writeError(w, http.StatusRequestEntityTooLarge,
 			"batch of %d edges exceeds limit %d", len(pairs), s.cfg.MaxBatch)
-		return 0, true
+		return nil, false
 	}
 	edges := make([][2]int32, len(pairs))
 	for i, e := range pairs {
 		if len(e) != 2 {
 			writeError(w, http.StatusBadRequest, "edge %d: want [a,b], got %d elements", i, len(e))
-			return 0, true
+			return nil, false
 		}
 		edges[i] = [2]int32{e[0], e[1]}
 	}
-	res, err := s.InsertEdges(edges)
+	return edges, true
+}
+
+// writeMutationError maps the mutation error taxonomy (shared by
+// inserts and deletes) onto HTTP statuses.
+func writeMutationError(w http.ResponseWriter, err error) {
 	switch {
-	case err == nil:
 	case errors.Is(err, ErrClosed):
 		writeError(w, http.StatusServiceUnavailable, "%v", err)
-		return 0, true
 	case errors.Is(err, ErrDegraded):
 		// Durability is gone, not the server: reads still work, the
 		// recovery probe may re-arm writes, so tell the client when to
 		// come back rather than just failing.
 		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusServiceUnavailable, "%v", err)
-		return 0, true
 	case errors.Is(err, ErrEdgeRange):
 		writeError(w, http.StatusBadRequest, "%v", err)
-		return 0, true
 	default:
 		// Freeze or apply failure: the batch was NOT applied.
 		writeError(w, http.StatusInternalServerError, "%v", err)
+	}
+}
+
+func (s *Server) handleInsertEdges(w http.ResponseWriter, r *http.Request) (int64, bool) {
+	edges, ok := s.decodeEdgesRequest(w, r)
+	if !ok {
+		return 0, true
+	}
+	res, err := s.InsertEdges(edges)
+	if err != nil {
+		writeMutationError(w, err)
 		return 0, true
 	}
 	writeJSON(w, http.StatusOK, res)
 	return int64(res.Accepted), false
 }
 
-// handleDeleteEdges documents the deletion story instead of surprising
-// clients with a bare 405: the dynamic labelling is insert-only (see
-// internal/dynhl), matching the documented scope of the FD baseline.
 func (s *Server) handleDeleteEdges(w http.ResponseWriter, r *http.Request) (int64, bool) {
-	writeError(w, http.StatusMethodNotAllowed,
-		"edge deletions are not supported: the dynamic labelling is insert-only (see internal/dynhl); rebuild the index without the edge instead")
-	return 0, true
+	edges, ok := s.decodeEdgesRequest(w, r)
+	if !ok {
+		return 0, true
+	}
+	res, err := s.DeleteEdges(edges)
+	if err != nil {
+		writeMutationError(w, err)
+		return 0, true
+	}
+	writeJSON(w, http.StatusOK, res)
+	return int64(res.Accepted), false
 }
 
 // statsResponse is the JSON shape of GET /stats.

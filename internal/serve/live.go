@@ -107,6 +107,19 @@ type InsertResult struct {
 	Epoch uint64 `json:"epoch"`
 }
 
+// DeleteResult reports one accepted deletion batch (the decremental
+// mirror of InsertResult).
+type DeleteResult struct {
+	// Accepted is the number of edges validated and (if a WAL is
+	// configured) durably logged — the whole batch, including edges that
+	// turn out to be absent or self-loops.
+	Accepted int `json:"accepted"`
+	// Deleted is the number of edges that were actually removed.
+	Deleted int `json:"deleted"`
+	// Epoch is the snapshot epoch the batch is visible at.
+	Epoch uint64 `json:"epoch"`
+}
+
 // updater is the writer half of a live server. All fields are guarded
 // by mu except the atomic monitoring counters at the bottom.
 type updater struct {
@@ -131,9 +144,9 @@ type updater struct {
 	// baseEntries is size(L) at the last completed rebuild, the
 	// denominator of the growth trigger.
 	baseEntries int64
-	// delta collects batches accepted while a rebuild is in flight;
+	// delta collects op batches accepted while a rebuild is in flight;
 	// they are replayed onto the fresh index before it is published.
-	delta      [][2]int32
+	delta      []dynhl.Op
 	rebuilding bool
 	closed     bool
 	wg         sync.WaitGroup // in-flight rebuild + recovery-probe goroutines
@@ -162,13 +175,21 @@ type updater struct {
 	degradedFlag   atomic.Bool
 	writesRejected atomic.Int64
 	recoveries     atomic.Int64
+
+	// Deletion and labelling-maintenance counters. The maintenance pair
+	// accumulates across background rebuilds (which replace up.dyn and
+	// reset its own Maint counters), so /stats never goes backwards.
+	acceptedDeletes   atomic.Int64
+	deletedTotal      atomic.Int64
+	selRepairs        atomic.Int64
+	maintFullRebuilds atomic.Int64
 }
 
 // NewLive returns an updatable Server seeded from ix. If cfg.WAL is set,
-// any edges recovered from the log are replayed first (through the
-// copy-on-write dynhl.FromCore conversion), so the served snapshot
-// reflects every write acknowledged before a crash. The server takes
-// ownership of the WAL.
+// any ops (insertions and deletions) recovered from the log are replayed
+// first (through the copy-on-write dynhl.FromCore conversion), so the
+// served snapshot reflects every write acknowledged before a crash. The
+// server takes ownership of the WAL.
 func NewLive(ix *core.Index, cfg LiveConfig) (*Server, error) {
 	// The server owns cfg.WAL from here on, including on error paths.
 	fail := func(err error) (*Server, error) {
@@ -187,7 +208,7 @@ func NewLive(ix *core.Index, cfg LiveConfig) (*Server, error) {
 	s.up = up
 	if up.wal != nil {
 		if rec := up.wal.Recovered(); len(rec) > 0 {
-			if _, err := dyn.Apply(rec); err != nil {
+			if _, err := dyn.ApplyOps(rec); err != nil {
 				return fail(fmt.Errorf("serve: wal replay: %w", err))
 			}
 			g, fresh, err := dyn.Freeze()
@@ -314,31 +335,57 @@ func loadSnapshot(path string) (*graph.Graph, *core.Index, error) {
 // is what makes WAL replay idempotent. Safe for concurrent use; writers
 // are serialized, readers never blocked.
 func (s *Server) InsertEdges(edges [][2]int32) (InsertResult, error) {
-	if s.up == nil {
-		return InsertResult{}, ErrReadOnly
+	res, epoch, err := s.mutate(dynhl.InsertOps(edges))
+	if err != nil {
+		return InsertResult{}, err
 	}
-	for _, e := range edges {
-		if e[0] < 0 || int(e[0]) >= s.n || e[1] < 0 || int(e[1]) >= s.n {
-			return InsertResult{}, fmt.Errorf("%w: {%d,%d} outside [0,%d)", ErrEdgeRange, e[0], e[1], s.n)
+	return InsertResult{Accepted: len(edges), Inserted: res.Inserted, Epoch: epoch}, nil
+}
+
+// DeleteEdges accepts a batch of undirected edge deletions with the
+// same contract as InsertEdges: whole-batch validation, one WAL fsync
+// (deletions are logged as one's-complement records in the same log),
+// decremental repair of the labelling, and a fresh snapshot published
+// before the call returns. Edges that are absent — including ones
+// already deleted, which is what makes replay idempotent — and
+// self-loops are acked but ignored (Accepted, not Deleted).
+func (s *Server) DeleteEdges(edges [][2]int32) (DeleteResult, error) {
+	res, epoch, err := s.mutate(dynhl.DeleteOps(edges))
+	if err != nil {
+		return DeleteResult{}, err
+	}
+	return DeleteResult{Accepted: len(edges), Deleted: res.Deleted, Epoch: epoch}, nil
+}
+
+// mutate is the single writer path shared by InsertEdges and
+// DeleteEdges: validate → WAL append (one fsync) → apply to the dynamic
+// labelling → publish snapshot → bump counters → maybe kick a rebuild.
+func (s *Server) mutate(ops []dynhl.Op) (dynhl.OpResult, uint64, error) {
+	if s.up == nil {
+		return dynhl.OpResult{}, 0, ErrReadOnly
+	}
+	for _, op := range ops {
+		if op.A < 0 || int(op.A) >= s.n || op.B < 0 || int(op.B) >= s.n {
+			return dynhl.OpResult{}, 0, fmt.Errorf("%w: {%d,%d} outside [0,%d)", ErrEdgeRange, op.A, op.B, s.n)
 		}
 	}
 	up := s.up
 	up.mu.Lock()
 	defer up.mu.Unlock()
 	if up.closed {
-		return InsertResult{}, ErrClosed
+		return dynhl.OpResult{}, 0, ErrClosed
 	}
 	if up.degraded {
 		up.writesRejected.Add(1)
-		return InsertResult{}, fmt.Errorf("%w: %s", ErrDegraded, up.degradedReason)
+		return dynhl.OpResult{}, 0, fmt.Errorf("%w: %s", ErrDegraded, up.degradedReason)
 	}
-	if len(edges) == 0 {
-		return InsertResult{Epoch: up.epoch.Load()}, nil
+	if len(ops) == 0 {
+		return dynhl.OpResult{}, up.epoch.Load(), nil
 	}
 	// Durability first: the batch must be on disk before any state the
 	// crash-recovery path cannot reconstruct is mutated.
 	if up.wal != nil {
-		if err := up.wal.Append(edges); err != nil {
+		if err := up.wal.AppendOps(ops); err != nil {
 			// The WAL cleaned its own tail up (or failed stop); the server
 			// transitions to degraded read-only mode rather than serving
 			// per-request 500s from a log that is unlikely to heal before
@@ -346,30 +393,43 @@ func (s *Server) InsertEdges(edges [][2]int32) (InsertResult, error) {
 			// taxonomy too, so clients see one consistent signal.
 			up.enterDegradedLocked(err)
 			up.writesRejected.Add(1)
-			return InsertResult{}, fmt.Errorf("%w: %w", ErrDegraded, err)
+			return dynhl.OpResult{}, 0, fmt.Errorf("%w: %w", ErrDegraded, err)
 		}
 	}
-	inserted, err := up.dyn.Apply(edges)
+	res, err := up.dyn.ApplyOps(ops)
 	if err != nil {
 		// Unreachable after the validation above; keep the state
 		// machine honest anyway.
-		return InsertResult{}, err
+		return dynhl.OpResult{}, 0, err
 	}
 	g, fresh, err := up.dyn.Freeze()
 	if err != nil {
-		return InsertResult{}, fmt.Errorf("serve: freeze: %w", err)
+		return dynhl.OpResult{}, 0, fmt.Errorf("serve: freeze: %w", err)
 	}
 	up.lastGraph = g
 	epoch := up.epoch.Add(1)
 	s.snap.Store(newSnapshot(fresh, epoch))
 
-	up.sinceRebuild += len(edges)
-	up.acceptedTotal.Add(int64(len(edges)))
+	up.sinceRebuild += len(ops)
+	var dels int64
+	for _, op := range ops {
+		if op.Del {
+			dels++
+		}
+	}
+	up.acceptedTotal.Add(int64(len(ops)) - dels)
+	up.acceptedDeletes.Add(dels)
+	up.deletedTotal.Add(int64(res.Deleted))
+	if res.Rebuilt {
+		up.maintFullRebuilds.Add(1)
+	} else if res.Dirty > 0 {
+		up.selRepairs.Add(1)
+	}
 	if up.rebuilding {
-		up.delta = append(up.delta, edges...)
+		up.delta = append(up.delta, ops...)
 	}
 	s.maybeRebuild(fresh.NumEntries())
-	return InsertResult{Accepted: len(edges), Inserted: inserted, Epoch: epoch}, nil
+	return res, epoch, nil
 }
 
 // enterDegradedLocked (mu held) flips the server into degraded
@@ -596,7 +656,7 @@ func (s *Server) rebuild(g *graph.Graph, landmarks []int32) {
 	up.delta = nil
 	fresh, freshGraph := ix, g
 	if len(delta) > 0 {
-		if _, err := dyn.Apply(delta); err != nil {
+		if _, err := dyn.ApplyOps(delta); err != nil {
 			up.rebuildErrs.Add(1)
 			s.scheduleRebuildRetryLocked()
 			return
@@ -687,6 +747,17 @@ type LiveStats struct {
 	Rebuilding        bool    `json:"rebuilding"`
 	LastRebuildMs     float64 `json:"last_rebuild_ms"`
 
+	// Deletion counters: accepted delete ops (whole batches, including
+	// no-ops) and edges actually removed.
+	AcceptedDeletes int64 `json:"accepted_deletes"`
+	EdgesDeleted    int64 `json:"edges_deleted"`
+	// Labelling-maintenance counters for the decremental path: write
+	// batches repaired per-landmark vs. batches that tripped the dirty
+	// fraction and rebuilt every landmark inline (distinct from the
+	// background Rebuilds above).
+	SelectiveRepairs  int64 `json:"selective_repairs"`
+	MaintFullRebuilds int64 `json:"maint_full_rebuilds"`
+
 	// Degraded read-only mode: true while the WAL is unwritable. Writes
 	// are rejected (counted in WritesRejected) and Recoveries counts
 	// degraded→live transitions.
@@ -721,6 +792,10 @@ func (s *Server) LiveStats() *LiveStats {
 		RebuildErrors:     up.rebuildErrs.Load(),
 		Rebuilding:        up.rebuilding,
 		LastRebuildMs:     float64(up.lastRebuildNs.Load()) / 1e6,
+		AcceptedDeletes:   up.acceptedDeletes.Load(),
+		EdgesDeleted:      up.deletedTotal.Load(),
+		SelectiveRepairs:  up.selRepairs.Load(),
+		MaintFullRebuilds: up.maintFullRebuilds.Load(),
 		Degraded:          up.degraded,
 		DegradedReason:    up.degradedReason,
 		WritesRejected:    up.writesRejected.Load(),

@@ -81,6 +81,37 @@ func postEdges(t *testing.T, url, body string) (int, InsertResult, errorBody) {
 	return resp.StatusCode, res, e
 }
 
+// deleteEdges is postEdges for the DELETE method.
+func deleteEdges(t *testing.T, url, body string) (int, DeleteResult, errorBody) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodDelete, url+"/edges", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res DeleteResult
+	var e errorBody
+	if resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(raw, &res); err != nil {
+			t.Fatalf("decoding %q: %v", raw, err)
+		}
+	} else {
+		if err := json.Unmarshal(raw, &e); err != nil {
+			t.Fatalf("decoding %q: %v", raw, err)
+		}
+	}
+	return resp.StatusCode, res, e
+}
+
 func TestLiveInsertEdgesHTTP(t *testing.T) {
 	_, _, ix := liveBase(t, 400, 8)
 	s, err := NewLive(ix, LiveConfig{})
@@ -152,26 +183,37 @@ func TestLiveInsertEdgesHTTP(t *testing.T) {
 		}
 	}
 
-	// Deletions are documented as unsupported, not a bare 405.
-	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/edges", nil)
-	resp, err := http.DefaultClient.Do(req)
-	if err != nil {
-		t.Fatal(err)
+	// Deletion round trip: remove the edge inserted above; the next read
+	// sees the repaired distance. Deleting it again is an acked no-op.
+	dcode, dres, _ := deleteEdges(t, ts.URL, fmt.Sprintf(`{"edge":[%d,%d]}`, a, b))
+	if dcode != http.StatusOK || dres.Accepted != 1 || dres.Deleted != 1 {
+		t.Fatalf("delete: code %d result %+v", dcode, dres)
 	}
-	var e errorBody
-	json.NewDecoder(resp.Body).Decode(&e)
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusMethodNotAllowed || !strings.Contains(e.Error, "insert-only") {
-		t.Fatalf("DELETE /edges: %d %q", resp.StatusCode, e.Error)
+	if code := getJSON(t, fmt.Sprintf("%s/distance?s=%d&t=%d", ts.URL, a, b), &dr); code != http.StatusOK || dr.Distance == 1 {
+		t.Fatalf("after delete: code %d d=%d, want != 1", code, dr.Distance)
+	}
+	dcode, dres, _ = deleteEdges(t, ts.URL, fmt.Sprintf(`{"edge":[%d,%d]}`, a, b))
+	if dcode != http.StatusOK || dres.Accepted != 1 || dres.Deleted != 0 {
+		t.Fatalf("double delete: code %d result %+v", dcode, dres)
+	}
+	// Malformed deletions share the insert taxonomy.
+	if code, _, e := deleteEdges(t, ts.URL, `{"edge":[1,999999]}`); code != http.StatusBadRequest || e.Error == "" {
+		t.Fatalf("out-of-range delete: %d %q", code, e.Error)
+	}
+	if code, _, _ := deleteEdges(t, ts.URL, `not json`); code != http.StatusBadRequest {
+		t.Fatalf("malformed delete: %d, want 400", code)
 	}
 
-	// /stats exposes the live section.
+	// /stats exposes the live section, including the deletion counters.
 	var st statsResponse
 	if code := getJSON(t, ts.URL+"/stats", &st); code != http.StatusOK {
 		t.Fatalf("stats: %d", code)
 	}
 	if st.Live == nil || st.Live.Epoch == 0 || st.Live.WALEnabled || st.Live.AcceptedEdges != 5 {
 		t.Fatalf("live stats %+v", st.Live)
+	}
+	if st.Live.AcceptedDeletes != 2 || st.Live.EdgesDeleted != 1 {
+		t.Fatalf("deletion stats %+v", st.Live)
 	}
 }
 
@@ -200,8 +242,10 @@ func TestReadOnlyServerRejectsUpdates(t *testing.T) {
 }
 
 // TestLiveRestartReplaysWAL is acceptance criterion (a): distances after
-// a restart+replay are identical to a from-scratch dynamic build over
-// the same edge sequence.
+// a restart+replay of a mixed insert/delete schedule are identical to a
+// from-scratch dynamic build over the same op sequence, and the log on
+// disk is byte-identical to the acked history (inserts as plain
+// records, deletes one's-complement).
 func TestLiveRestartReplaysWAL(t *testing.T) {
 	g, lms, ix := liveBase(t, 500, 8)
 	graphPath, indexPath, walPath := saveBase(t, g, ix)
@@ -214,19 +258,38 @@ func TestLiveRestartReplaysWAL(t *testing.T) {
 		t.Fatal(err)
 	}
 	rng := rand.New(rand.NewSource(7))
-	var history [][2]int32
-	for batch := 0; batch < 10; batch++ {
-		edges := make([][2]int32, 8)
-		for i := range edges {
-			edges[i] = [2]int32{rng.Int31n(500), rng.Int31n(500)}
+	live := newLiveEdges(g)
+	var history []dynhl.Op
+	for batch := 0; batch < 14; batch++ {
+		var ops []dynhl.Op
+		if batch%3 == 2 {
+			// Delete a handful of live edges (base or freshly inserted).
+			for i := 0; i < 5; i++ {
+				e := live.list[rng.Intn(len(live.list))]
+				ops = append(ops, dynhl.Op{A: e[0], B: e[1], Del: true})
+			}
+		} else {
+			for i := 0; i < 8; i++ {
+				ops = append(ops, dynhl.Op{A: rng.Int31n(500), B: rng.Int31n(500)})
+			}
 		}
-		if _, err := srvA.InsertEdges(edges); err != nil {
+		if err := sendOps(srvA, ops); err != nil {
 			t.Fatal(err)
 		}
-		history = append(history, edges...)
+		history = append(history, ops...)
+		live.ack(ops)
 	}
 	if err := srvA.Close(); err != nil { // appends were fsynced at ack; Close adds nothing a crash would lose
 		t.Fatal(err)
+	}
+
+	// The log on disk is exactly the acked op history, no more, no less.
+	logBytes, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := expectedWALBytes(history); !bytes.Equal(logBytes, want) {
+		t.Fatalf("WAL is not byte-identical to the acked history: %d bytes on disk, want %d", len(logBytes), len(want))
 	}
 
 	srvB, err := LoadLive(graphPath, indexPath, walPath, cfg)
@@ -238,12 +301,12 @@ func TestLiveRestartReplaysWAL(t *testing.T) {
 		t.Fatalf("replayed WAL has %d records, want %d", st.WALLen, len(history))
 	}
 
-	// From-scratch dynamic build over the same edge sequence.
+	// From-scratch dynamic build over the same op sequence.
 	ref, err := dynhl.Build(g, lms)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := ref.Apply(history); err != nil {
+	if _, err := ref.ApplyOps(history); err != nil {
 		t.Fatal(err)
 	}
 	for _, p := range workload.RandomPairs(g, 400, 99) {
@@ -383,7 +446,7 @@ func TestLiveStressRebuildAndRestart(t *testing.T) {
 	writeBatch := func(url string) {
 		t.Helper()
 		edges := make([][2]int32, batchSize)
-		body := insertRequest{Edges: make([][]int32, batchSize)}
+		body := edgesRequest{Edges: make([][]int32, batchSize)}
 		for i := range edges {
 			a, b := rng.Int31n(nVertices), rng.Int31n(nVertices)
 			edges[i] = [2]int32{a, b}

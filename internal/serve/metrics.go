@@ -14,9 +14,11 @@ const (
 	epHealth
 	epReady
 	epEdges
+	epDelete
 	epBinDistance
 	epBinBatch
 	epBinEdges
+	epBinDelete
 	epBinStats
 	epBinPing
 	numEndpoints
@@ -29,9 +31,11 @@ var endpointNames = [numEndpoints]string{
 	epHealth:      "healthz",
 	epReady:       "readyz",
 	epEdges:       "edges",
+	epDelete:      "delete",
 	epBinDistance: "bin_distance",
 	epBinBatch:    "bin_batch",
 	epBinEdges:    "bin_edges",
+	epBinDelete:   "bin_delete",
 	epBinStats:    "bin_stats",
 	epBinPing:     "bin_ping",
 }

@@ -30,14 +30,15 @@
 // # Writing (live servers)
 //
 // A Server built with NewLive or LoadLive additionally accepts edge
-// insertions (POST /edges, or InsertEdges from Go). Writers are
-// serialized behind a mutex and never block readers: each accepted batch
-// is (1) appended to the write-ahead edge log if one is configured, (2)
-// applied to a mutable dynhl.Index by selective landmark rebuild, and
+// insertions (POST /edges, or InsertEdges from Go) and deletions
+// (DELETE /edges, or DeleteEdges). Writers are serialized behind a
+// mutex and never block readers: each accepted batch is (1) appended to
+// the write-ahead edge log if one is configured (deletions as
+// one's-complement records in the same log), (2) applied to a mutable
+// dynhl.Index by selective landmark repair — falling back to an inline
+// full rebuild when a deletion batch dirties too many landmarks — and
 // (3) frozen into a fresh immutable snapshot that is atomically swapped
-// in, so the next read observes it. Deletions are not supported — the
-// dynamic labelling is insert-only (see internal/dynhl) — and are
-// rejected with a 4xx.
+// in, so the next read observes it.
 //
 // The WAL makes acknowledged writes durable: appends are batched into
 // one fsync per accepted request, and LoadLive replays the log through

@@ -9,23 +9,29 @@ import (
 	"path/filepath"
 	"sync/atomic"
 
+	"highway/internal/dynhl"
 	"highway/internal/failpoint"
 )
 
 // WAL is a write-ahead edge log: the durability substrate of a live
-// server. Every accepted edge insertion is appended (and fsynced) to the
-// log *before* it is applied to the in-memory labelling, so an
-// acknowledged write survives a crash; on startup the log is replayed
-// into a fresh dynamic index (LoadLive). Replay is idempotent — the
-// dynamic index treats re-inserting an existing edge as a no-op — which
-// keeps the crash-recovery protocol simple: it is always safe to replay
-// the whole log against any snapshot at or behind the log's tail.
+// server. Every accepted edge mutation — insertion or deletion — is
+// appended (and fsynced) to the log *before* it is applied to the
+// in-memory labelling, so an acknowledged write survives a crash; on
+// startup the log is replayed into a fresh dynamic index (LoadLive).
+// Replay is idempotent — the dynamic index treats re-inserting a present
+// edge and re-deleting an absent one as no-ops — which keeps the
+// crash-recovery protocol simple: it is always safe to replay the whole
+// log against any snapshot at or behind the log's tail.
 //
 // The on-disk format is a fixed 8-byte magic ("HWLWAL01") followed by
 // 12-byte records: two little-endian int32 endpoints plus a CRC-32C of
-// the pair. A torn final record (crash mid-append) or any corrupt tail
-// is detected by length or checksum and truncated away on open; records
-// before it are kept.
+// the pair. A deletion stores the one's complement of both endpoints
+// (^a, ^b) — vertex ids are non-negative, so two negative endpoints
+// unambiguously mark a delete record while every log written before
+// deletions existed (all records non-negative) replays unchanged. A
+// torn final record (crash mid-append) or any corrupt tail is detected
+// by length, checksum or a mixed-sign endpoint pair and truncated away
+// on open; records before it are kept.
 //
 // A WAL is not safe for concurrent use by itself; the live server
 // serializes all calls behind its writer mutex.
@@ -33,7 +39,7 @@ type WAL struct {
 	path      string
 	f         *os.File
 	records   int
-	recovered [][2]int32
+	recovered []dynhl.Op
 	buf       []byte
 
 	// off is the durable end of the log: the byte offset just past the
@@ -86,6 +92,28 @@ func walSum(a, b int32) uint32 {
 	return crc32.Checksum(p[:], walTable)
 }
 
+// walEncode maps an op to its stored endpoint pair: inserts store the
+// endpoints as-is, deletes store both one's-complemented (negative).
+func walEncode(op dynhl.Op) (a, b int32) {
+	if op.Del {
+		return ^op.A, ^op.B
+	}
+	return op.A, op.B
+}
+
+// walDecode is walEncode's inverse. ok is false for a mixed-sign pair,
+// which no append ever produces: recovery treats it as tail corruption.
+func walDecode(a, b int32) (op dynhl.Op, ok bool) {
+	switch {
+	case a >= 0 && b >= 0:
+		return dynhl.Op{A: a, B: b}, true
+	case a < 0 && b < 0:
+		return dynhl.Op{A: ^a, B: ^b, Del: true}, true
+	default:
+		return dynhl.Op{}, false
+	}
+}
+
 // OpenWAL opens (creating if absent) the edge log at path, scans it,
 // truncates any torn or corrupt tail, and retains the surviving records
 // for Recovered. The file stays open for appends until Close.
@@ -134,7 +162,11 @@ func (w *WAL) recover() error {
 		if binary.LittleEndian.Uint32(rec[8:12]) != walSum(a, b) {
 			break // corrupt record: everything after it is suspect
 		}
-		w.recovered = append(w.recovered, [2]int32{a, b})
+		op, ok := walDecode(a, b)
+		if !ok {
+			break // mixed-sign endpoints: no append writes these
+		}
+		w.recovered = append(w.recovered, op)
 		good += walRecordSize
 	}
 	w.records = len(w.recovered)
@@ -150,10 +182,9 @@ func (w *WAL) recover() error {
 	return nil
 }
 
-// Recovered returns the edges that were in the log when it was opened,
-// in append order. The caller replays them and must not modify the
-// slice.
-func (w *WAL) Recovered() [][2]int32 { return w.recovered }
+// Recovered returns the ops that were in the log when it was opened, in
+// append order. The caller replays them and must not modify the slice.
+func (w *WAL) Recovered() []dynhl.Op { return w.recovered }
 
 // Len returns the number of records currently in the log.
 func (w *WAL) Len() int { return w.records }
@@ -167,27 +198,33 @@ func (w *WAL) Path() string { return w.path }
 // prefers it over the base files when it exists.
 func (w *WAL) SnapshotPath() string { return w.path + ".snap" }
 
-// Append logs a batch of edges with a single fsync (group commit: the
-// whole batch becomes durable together, amortizing the sync over the
-// batch). The edges are durable when Append returns nil.
+// Append logs a batch of insertions; AppendOps is the general form.
+func (w *WAL) Append(edges [][2]int32) error {
+	return w.AppendOps(dynhl.InsertOps(edges))
+}
+
+// AppendOps logs a batch of edge mutations with a single fsync (group
+// commit: the whole batch becomes durable together, amortizing the sync
+// over the batch). The ops are durable when AppendOps returns nil.
 //
 // On any failure — write error, short write, fsync error — the file is
 // truncated back to the last acknowledged record before the error is
-// returned, so a restart never replays edges the caller was told were
-// not accepted. If even the truncation fails the WAL fails stop.
-func (w *WAL) Append(edges [][2]int32) error {
+// returned, so a restart never replays ops the caller was told were not
+// accepted. If even the truncation fails the WAL fails stop.
+func (w *WAL) AppendOps(ops []dynhl.Op) error {
 	if w.f == nil {
 		return fmt.Errorf("wal: log handle lost (failed compaction reopen or closed)")
 	}
-	if len(edges) == 0 {
+	if len(ops) == 0 {
 		return nil
 	}
 	w.buf = w.buf[:0]
-	for _, e := range edges {
+	for _, op := range ops {
+		a, b := walEncode(op)
 		var rec [walRecordSize]byte
-		binary.LittleEndian.PutUint32(rec[0:4], uint32(e[0]))
-		binary.LittleEndian.PutUint32(rec[4:8], uint32(e[1]))
-		binary.LittleEndian.PutUint32(rec[8:12], walSum(e[0], e[1]))
+		binary.LittleEndian.PutUint32(rec[0:4], uint32(a))
+		binary.LittleEndian.PutUint32(rec[4:8], uint32(b))
+		binary.LittleEndian.PutUint32(rec[8:12], walSum(a, b))
 		w.buf = append(w.buf, rec[:]...)
 	}
 	if err := failpoint.Eval(FPWALAppend); err != nil {
@@ -234,7 +271,7 @@ func (w *WAL) Append(edges [][2]int32) error {
 		return err
 	}
 	w.off += int64(len(w.buf))
-	w.records += len(edges)
+	w.records += len(ops)
 	return nil
 }
 
@@ -274,7 +311,7 @@ func (w *WAL) Probe() error {
 	return nil
 }
 
-// CompactTo atomically replaces the log's contents with the given edges
+// CompactTo atomically replaces the log's contents with the given ops
 // (those accepted after the snapshot the caller just persisted): a new
 // log is written and fsynced beside the old one, then renamed over it.
 // A crash at any point leaves either the old or the new log intact, and
@@ -284,7 +321,7 @@ func (w *WAL) Probe() error {
 // log, the WAL fails stop: the stale handle (now an unlinked inode) is
 // dropped and every subsequent Append errors rather than acknowledging
 // writes that would vanish with the process.
-func (w *WAL) CompactTo(edges [][2]int32) error {
+func (w *WAL) CompactTo(ops []dynhl.Op) error {
 	if w.f == nil {
 		return fmt.Errorf("wal: log handle lost (failed compaction reopen or closed)")
 	}
@@ -298,7 +335,7 @@ func (w *WAL) CompactTo(edges [][2]int32) error {
 	}
 	nw := &WAL{path: tmp, f: f, off: int64(len(walMagic))}
 	if _, err := f.Write([]byte(walMagic)); err == nil {
-		err = nw.Append(edges)
+		err = nw.AppendOps(ops)
 	}
 	if err == nil {
 		err = f.Sync() // Append only syncs non-empty batches; the magic must hit disk too
@@ -336,7 +373,7 @@ func (w *WAL) CompactTo(edges [][2]int32) error {
 	}
 	w.f = nf
 	w.off = end
-	w.records = len(edges)
+	w.records = len(ops)
 	return nil
 }
 

@@ -6,6 +6,7 @@ import (
 	"path/filepath"
 	"testing"
 
+	"highway/internal/dynhl"
 	"highway/internal/failpoint"
 )
 
@@ -13,6 +14,9 @@ func tempWALPath(t *testing.T) string {
 	t.Helper()
 	return filepath.Join(t.TempDir(), "edges.wal")
 }
+
+// opOf is shorthand for the insert op an edge pair logs as.
+func opOf(e [2]int32) dynhl.Op { return dynhl.Op{A: e[0], B: e[1]} }
 
 func TestWALAppendRecoverRoundTrip(t *testing.T) {
 	path := tempWALPath(t)
@@ -47,7 +51,7 @@ func TestWALAppendRecoverRoundTrip(t *testing.T) {
 		t.Fatalf("recovered %d records, want %d", len(got), len(edges))
 	}
 	for i, e := range edges {
-		if got[i] != e {
+		if got[i] != opOf(e) {
 			t.Fatalf("record %d = %v, want %v", i, got[i], e)
 		}
 	}
@@ -61,7 +65,7 @@ func TestWALAppendRecoverRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer w3.Close()
-	if w3.Len() != 4 || w3.Recovered()[3] != [2]int32{7, 8} {
+	if w3.Len() != 4 || w3.Recovered()[3] != opOf([2]int32{7, 8}) {
 		t.Fatalf("after append+reopen: %v", w3.Recovered())
 	}
 }
@@ -106,7 +110,7 @@ func TestWALTornTailTruncated(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer w3.Close()
-	if w3.Len() != 3 || w3.Recovered()[2] != [2]int32{5, 6} {
+	if w3.Len() != 3 || w3.Recovered()[2] != opOf([2]int32{5, 6}) {
 		t.Fatalf("after torn-tail repair: %v", w3.Recovered())
 	}
 }
@@ -138,7 +142,7 @@ func TestWALCorruptRecordTruncatesSuffix(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer w2.Close()
-	if w2.Len() != 1 || w2.Recovered()[0] != [2]int32{1, 2} {
+	if w2.Len() != 1 || w2.Recovered()[0] != opOf([2]int32{1, 2}) {
 		t.Fatalf("corrupt middle record: recovered %v, want just {1,2}", w2.Recovered())
 	}
 }
@@ -163,7 +167,7 @@ func TestWALCompactTo(t *testing.T) {
 	if err := w.Append([][2]int32{{1, 2}, {3, 4}, {5, 6}, {7, 8}}); err != nil {
 		t.Fatal(err)
 	}
-	delta := [][2]int32{{7, 8}}
+	delta := dynhl.InsertOps([][2]int32{{7, 8}})
 	if err := w.CompactTo(delta); err != nil {
 		t.Fatal(err)
 	}
@@ -185,7 +189,7 @@ func TestWALCompactTo(t *testing.T) {
 		t.Fatalf("recovered %v, want %v", w2.Recovered(), want)
 	}
 	for i := range want {
-		if w2.Recovered()[i] != want[i] {
+		if w2.Recovered()[i] != opOf(want[i]) {
 			t.Fatalf("recovered %v, want %v", w2.Recovered(), want)
 		}
 	}
@@ -220,7 +224,7 @@ func TestWALTornTailEveryOffset(t *testing.T) {
 			t.Fatalf("cut %d: recovered %d records, want %d", cut, w2.Len(), len(edges)-1)
 		}
 		for i, e := range edges[:len(edges)-1] {
-			if w2.Recovered()[i] != e {
+			if w2.Recovered()[i] != opOf(e) {
 				t.Fatalf("cut %d: record %d = %v, want %v", cut, i, w2.Recovered()[i], e)
 			}
 		}
@@ -235,7 +239,7 @@ func TestWALTornTailEveryOffset(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if w3.Len() != len(edges) || w3.Recovered()[len(edges)-1] != [2]int32{7, 8} {
+		if w3.Len() != len(edges) || w3.Recovered()[len(edges)-1] != opOf([2]int32{7, 8}) {
 			t.Fatalf("cut %d: after repair+append: %v", cut, w3.Recovered())
 		}
 		w3.Close()
@@ -291,7 +295,7 @@ func TestWALAppendShortWriteRepairsTail(t *testing.T) {
 		t.Fatalf("recovered %v, want %v", w2.Recovered(), wantRec)
 	}
 	for i, e := range wantRec {
-		if w2.Recovered()[i] != e {
+		if w2.Recovered()[i] != opOf(e) {
 			t.Fatalf("recovered %v, want %v", w2.Recovered(), wantRec)
 		}
 	}
@@ -344,8 +348,129 @@ func TestWALSyncFailureUnpersistsBatch(t *testing.T) {
 	defer w2.Close()
 	wantRec := [][2]int32{{1, 2}, {5, 6}}
 	for i, e := range wantRec {
-		if w2.Recovered()[i] != e {
+		if w2.Recovered()[i] != opOf(e) {
 			t.Fatalf("recovered %v, want %v", w2.Recovered(), wantRec)
 		}
+	}
+}
+
+// TestWALMixedOpsRoundTrip pins the delete-record encoding: deletions
+// are logged as one's-complement endpoint pairs in the same 12-byte
+// record format, and a mixed log recovers the exact op sequence.
+func TestWALMixedOpsRoundTrip(t *testing.T) {
+	path := tempWALPath(t)
+	w, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := []dynhl.Op{
+		{A: 1, B: 2},
+		{A: 1, B: 2, Del: true},
+		{A: 0, B: 7},
+		{A: 3, B: 0, Del: true}, // zero endpoint: ^0 = -1 must still decode
+	}
+	if err := w.AppendOps(ops); err != nil {
+		t.Fatal(err)
+	}
+	if w.Len() != len(ops) {
+		t.Fatalf("Len = %d, want %d", w.Len(), len(ops))
+	}
+	w.Close()
+	w2, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	got := w2.Recovered()
+	if len(got) != len(ops) {
+		t.Fatalf("recovered %d ops, want %d", len(got), len(ops))
+	}
+	for i, op := range ops {
+		if got[i] != op {
+			t.Fatalf("op %d = %+v, want %+v", i, got[i], op)
+		}
+	}
+}
+
+// TestWALDeleteTornTailEveryOffset is the delete-record twin of
+// TestWALTornTailEveryOffset: a crash at any byte offset inside a
+// trailing delete record must truncate exactly that record.
+func TestWALDeleteTornTailEveryOffset(t *testing.T) {
+	ops := []dynhl.Op{{A: 1, B: 2}, {A: 3, B: 4, Del: true}, {A: 1, B: 2, Del: true}}
+	full := int64(len(walMagic) + len(ops)*walRecordSize)
+	for cut := 0; cut < walRecordSize; cut++ {
+		path := tempWALPath(t)
+		w, err := OpenWAL(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.AppendOps(ops); err != nil {
+			t.Fatal(err)
+		}
+		w.Close()
+		if err := os.Truncate(path, full-int64(walRecordSize)+int64(cut)); err != nil {
+			t.Fatal(err)
+		}
+		w2, err := OpenWAL(path)
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		if w2.Len() != len(ops)-1 {
+			t.Fatalf("cut %d: recovered %d ops, want %d", cut, w2.Len(), len(ops)-1)
+		}
+		for i, op := range ops[:len(ops)-1] {
+			if w2.Recovered()[i] != op {
+				t.Fatalf("cut %d: op %d = %+v, want %+v", cut, i, w2.Recovered()[i], op)
+			}
+		}
+		if st, err := os.Stat(path); err != nil || st.Size() != full-int64(walRecordSize) {
+			t.Fatalf("cut %d: torn bytes not erased (size %d, err %v)", cut, st.Size(), err)
+		}
+		w2.Close()
+	}
+}
+
+// TestWALMixedSignRecordTruncates pins the corruption rule the
+// complement encoding relies on: a record whose endpoints disagree in
+// sign is not a valid insert or delete, so recovery must stop there.
+func TestWALMixedSignRecordTruncates(t *testing.T) {
+	path := tempWALPath(t)
+	w, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AppendOps([]dynhl.Op{{A: 1, B: 2}, {A: 3, B: 4, Del: true}}); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	// Hand-craft a record {5, ^6}: valid CRC, invalid sign mix.
+	var rec [walRecordSize]byte
+	a, b := int32(5), ^int32(6)
+	putInt32 := func(p []byte, v int32) {
+		p[0], p[1], p[2], p[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+	}
+	putInt32(rec[0:], a)
+	putInt32(rec[4:], b)
+	sum := walSum(a, b)
+	rec[8], rec[9], rec[10], rec[11] = byte(sum), byte(sum>>8), byte(sum>>16), byte(sum>>24)
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(rec[:]); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	w2, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if w2.Len() != 2 {
+		t.Fatalf("mixed-sign record survived: recovered %d ops, want 2", w2.Len())
+	}
+	if w2.Recovered()[1] != (dynhl.Op{A: 3, B: 4, Del: true}) {
+		t.Fatalf("recovered %+v", w2.Recovered())
 	}
 }

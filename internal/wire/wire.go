@@ -62,6 +62,10 @@ const (
 	TStats Type = 0x04
 	// TPing is a liveness probe: empty payload.
 	TPing Type = 0x05
+	// TDelete deletes undirected edges (live servers only): payload is
+	// a uint32 edge count followed by count (a,b) int32 pairs — the
+	// same shape as TInsert. Absent edges are acked no-ops.
+	TDelete Type = 0x06
 )
 
 // Response record types (server → client).
@@ -80,6 +84,9 @@ const (
 	TStatsResp Type = 0x84
 	// TPingResp answers TPing: empty payload.
 	TPingResp Type = 0x85
+	// TDeleteResp answers TDelete: payload is uint32 accepted, uint32
+	// deleted, uint64 epoch (all little-endian).
+	TDeleteResp Type = 0x86
 	// TError answers any request that failed: payload is a uint16
 	// error code followed by a UTF-8 message.
 	TError Type = 0xFF
@@ -95,11 +102,13 @@ var TypeNames = map[Type]string{
 	TInsert:       "Insert",
 	TStats:        "Stats",
 	TPing:         "Ping",
+	TDelete:       "Delete",
 	TDistanceResp: "DistanceResp",
 	TBatchResp:    "BatchResp",
 	TInsertResp:   "InsertResp",
 	TStatsResp:    "StatsResp",
 	TPingResp:     "PingResp",
+	TDeleteResp:   "DeleteResp",
 	TError:        "Error",
 }
 
@@ -426,6 +435,23 @@ func AppendInsertResult(dst []byte, accepted, inserted int, epoch uint64) []byte
 func DecodeInsertResult(p []byte) (accepted, inserted int, epoch uint64, err error) {
 	if len(p) != 16 {
 		return 0, 0, 0, fmt.Errorf("wire: insert result payload is %d bytes, want 16", len(p))
+	}
+	return int(binary.LittleEndian.Uint32(p[0:4])),
+		int(binary.LittleEndian.Uint32(p[4:8])),
+		binary.LittleEndian.Uint64(p[8:16]), nil
+}
+
+// AppendDeleteResult appends a TDeleteResp payload.
+func AppendDeleteResult(dst []byte, accepted, deleted int, epoch uint64) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(accepted))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(deleted))
+	return binary.LittleEndian.AppendUint64(dst, epoch)
+}
+
+// DecodeDeleteResult decodes a TDeleteResp payload.
+func DecodeDeleteResult(p []byte) (accepted, deleted int, epoch uint64, err error) {
+	if len(p) != 16 {
+		return 0, 0, 0, fmt.Errorf("wire: delete result payload is %d bytes, want 16", len(p))
 	}
 	return int(binary.LittleEndian.Uint32(p[0:4])),
 		int(binary.LittleEndian.Uint32(p[4:8])),

@@ -265,7 +265,7 @@ func FuzzReadFrame(f *testing.F) {
 			switch typ {
 			case TDistance:
 				_, _, _ = DecodePair(payload)
-			case TBatch, TInsert:
+			case TBatch, TInsert, TDelete:
 				_, _ = DecodePairs(payload, nil)
 			case TDistanceResp:
 				_, _ = DecodeDistance(payload)
@@ -273,8 +273,36 @@ func FuzzReadFrame(f *testing.F) {
 				_, _ = DecodeDistances(payload, nil)
 			case TInsertResp:
 				_, _, _, _ = DecodeInsertResult(payload)
+			case TDeleteResp:
+				_, _, _, _ = DecodeDeleteResult(payload)
 			case TError:
 				_, _, _ = DecodeError(payload)
+			}
+		}
+	})
+}
+
+// FuzzDeleteFrame holds the deletion frame's payload codecs total on
+// arbitrary bytes: DecodePairs (a Delete request reuses the Insert pair
+// array) and DecodeDeleteResult must never panic, and any payload they
+// accept must re-encode byte-identically. CI runs this target in the
+// fuzz job next to FuzzReadFrame.
+func FuzzDeleteFrame(f *testing.F) {
+	f.Add(AppendPairs(nil, [][2]int32{{1, 2}, {3, 4}}))
+	f.Add(AppendPairs(nil, nil))
+	f.Add(AppendDeleteResult(nil, 2, 1, 7))
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if pairs, err := DecodePairs(data, nil); err == nil {
+			if re := AppendPairs(nil, pairs); !bytes.Equal(re, data) {
+				t.Fatalf("accepted Delete payload does not round-trip: %x -> %x", data, re)
+			}
+		}
+		if acc, del, epoch, err := DecodeDeleteResult(data); err == nil {
+			if re := AppendDeleteResult(nil, acc, del, epoch); !bytes.Equal(re, data) {
+				t.Fatalf("accepted DeleteResp payload does not round-trip: %x -> %x", data, re)
 			}
 		}
 	})

@@ -1,0 +1,85 @@
+package workload
+
+import "math/rand"
+
+// EdgeOp is one trace step of a churn workload: an undirected edge
+// insertion or (Del) deletion.
+type EdgeOp struct {
+	A, B int32
+	Del  bool
+}
+
+// opWindow caps the live-edge window an OpStream samples deletions
+// from. Bounded so an insert-heavy stream does not grow without limit;
+// large enough that deletions spread over edges inserted well in the
+// past, not just the most recent handful.
+const opWindow = 4096
+
+// OpStream is an endless deterministic source of mixed edge mutations:
+// the churn-side counterpart of Stream. Insertions draw endpoints
+// uniformly — or Zipf-skewed toward low vertex ids when skew > 1,
+// matching the hub-heavy access patterns of scale-free workloads — and
+// enter a bounded live-edge window; deletions draw from that window, so
+// they overwhelmingly target edges that actually exist (trace-style
+// churn) rather than being no-ops on random absent pairs. Not safe for
+// concurrent use; give each producer its own, like Stream.
+type OpStream struct {
+	rng         *rand.Rand
+	zipf        *rand.Zipf
+	n           int32
+	deleteRatio float64
+	window      [][2]int32
+}
+
+// NewOpStream returns a churn stream over n vertices. deleteRatio is
+// the fraction of ops that delete (clamped to [0,1]); skew > 1 draws
+// insertion endpoints from a Zipf(skew) distribution over vertex ids,
+// anything else is uniform. Deterministic for a given seed. Panics if
+// n is zero, like NewStreamN.
+func NewOpStream(n int, deleteRatio, skew float64, seed int64) *OpStream {
+	if n == 0 {
+		panic("workload: NewOpStream on empty graph")
+	}
+	if deleteRatio < 0 {
+		deleteRatio = 0
+	}
+	if deleteRatio > 1 {
+		deleteRatio = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	st := &OpStream{rng: rng, n: int32(n), deleteRatio: deleteRatio}
+	if skew > 1 && n > 1 {
+		st.zipf = rand.NewZipf(rng, skew, 1, uint64(n-1))
+	}
+	return st
+}
+
+func (st *OpStream) vertex() int32 {
+	if st.zipf != nil {
+		return int32(st.zipf.Uint64())
+	}
+	return st.rng.Int31n(st.n)
+}
+
+// Next returns the next op in the stream. A deletion with an empty
+// window degrades to an insertion, so the stream always produces an op.
+func (st *OpStream) Next() EdgeOp {
+	if st.rng.Float64() < st.deleteRatio && len(st.window) > 0 {
+		i := st.rng.Intn(len(st.window))
+		e := st.window[i]
+		last := len(st.window) - 1
+		st.window[i] = st.window[last]
+		st.window = st.window[:last]
+		return EdgeOp{A: e[0], B: e[1], Del: true}
+	}
+	e := [2]int32{st.vertex(), st.vertex()}
+	if len(st.window) == opWindow {
+		// Evict a random victim: FIFO would make deletions trail the
+		// insert frontier by a fixed lag, which is less trace-like than
+		// an age-mixed window.
+		st.window[st.rng.Intn(opWindow)] = e
+	} else {
+		st.window = append(st.window, e)
+	}
+	return EdgeOp{A: e[0], B: e[1]}
+}

@@ -1,0 +1,81 @@
+package workload
+
+import "testing"
+
+func TestOpStreamDeterministicAndLive(t *testing.T) {
+	a := NewOpStream(100, 0.4, 0, 9)
+	b := NewOpStream(100, 0.4, 0, 9)
+	// Multiset of inserted-not-yet-deleted window entries: the window
+	// tracks insertions individually, so the same undirected edge can
+	// appear twice and be deleted twice (the second delete is an acked
+	// no-op downstream — allowed, just not the common case).
+	live := map[[2]int32]int{}
+	key := func(x, y int32) [2]int32 {
+		if x > y {
+			x, y = y, x
+		}
+		return [2]int32{x, y}
+	}
+	var dels int
+	for i := 0; i < 5000; i++ {
+		op := a.Next()
+		if got := b.Next(); got != op {
+			t.Fatalf("op %d: streams with equal seeds diverged: %v vs %v", i, op, got)
+		}
+		if op.A < 0 || op.A >= 100 || op.B < 0 || op.B >= 100 {
+			t.Fatalf("op %d out of range: %v", i, op)
+		}
+		if op.Del {
+			dels++
+			// Deletions come from the live window: some insertion of
+			// this edge must precede it. (The window is bounded, so
+			// this holds only while insertions fit in it — 5000 ops at
+			// 40% deletions stay under the window cap.)
+			if live[key(op.A, op.B)] == 0 {
+				t.Fatalf("op %d deletes an edge never inserted: %v", i, op)
+			}
+			live[key(op.A, op.B)]--
+		} else {
+			live[key(op.A, op.B)]++
+		}
+	}
+	// 40% of 5000 ± noise; a collapsed ratio means the window starved.
+	if dels < 1700 || dels > 2300 {
+		t.Fatalf("%d deletions out of 5000 ops at ratio 0.4", dels)
+	}
+}
+
+func TestOpStreamSkew(t *testing.T) {
+	st := NewOpStream(1000, 0, 2.5, 3)
+	low := 0
+	for i := 0; i < 2000; i++ {
+		op := st.Next()
+		if op.A < 10 {
+			low++
+		}
+		if op.Del {
+			t.Fatalf("op %d: deletion at ratio 0", i)
+		}
+	}
+	// Zipf(2.5) concentrates mass on the smallest ids; uniform would put
+	// ~1% of endpoints below 10. Anything over 30% proves the skew took.
+	if low < 600 {
+		t.Fatalf("only %d/2000 skewed endpoints below vertex 10", low)
+	}
+}
+
+func TestOpStreamClamps(t *testing.T) {
+	st := NewOpStream(10, 5, 0, 1) // ratio clamps to 1; first op still inserts (empty window)
+	if op := st.Next(); op.Del {
+		t.Fatalf("first op on an empty window deleted: %v", op)
+	}
+	if op := st.Next(); !op.Del {
+		t.Fatalf("ratio-1 stream inserted with a non-empty window: %v", op)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewOpStream(0, ...) did not panic")
+		}
+	}()
+	NewOpStream(0, 0, 0, 1)
+}
