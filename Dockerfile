@@ -1,0 +1,14 @@
+# Build stage: compile the CLI tools against the pinned toolchain.
+FROM golang:1.24 AS build
+WORKDIR /src
+COPY go.mod ./
+COPY . .
+RUN CGO_ENABLED=0 go build -o /out/ ./cmd/hlgen ./cmd/hlbuild ./cmd/hlserve
+
+# Runtime stage: the three binaries plus curl for compose healthchecks.
+FROM debian:bookworm-slim
+RUN apt-get update \
+ && apt-get install -y --no-install-recommends curl ca-certificates \
+ && rm -rf /var/lib/apt/lists/*
+COPY --from=build /out/hlgen /out/hlbuild /out/hlserve /usr/local/bin/
+ENTRYPOINT ["hlserve"]

@@ -47,8 +47,10 @@ import (
 	"strconv"
 	"strings"
 	"syscall"
+	"time"
 
 	"highway"
+	"highway/internal/cluster"
 	"highway/internal/loadgen"
 	"highway/internal/serve"
 	"highway/internal/workload"
@@ -59,7 +61,8 @@ var commands = []struct {
 	name, summary string
 	run           func(args []string, stdin io.Reader, stdout, stderr io.Writer) error
 }{
-	{"serve", "serve the live HTTP/JSON API (GET /distance, POST /distance/batch, POST /edges, /stats, /healthz) and, with -binaddr, the binary wire protocol", runServe},
+	{"serve", "serve the live HTTP/JSON API (GET /distance, POST /distance/batch, POST /edges, /stats, /healthz) and, with -binaddr, the binary wire protocol; -replicate ships the WAL to followers, -follower receives it", runServe},
+	{"route", "run the cluster router: health-checked read fan-out across followers (or landmark shards, min-merged), writes forwarded to the primary, both protocols", runRoute},
 	{"batch", `answer "s t" lines from stdin, one distance per line on stdout, in input order`, runBatch},
 	{"load", "load-test a target protocol (inproc | http | binary): p50/p90/p99 latency, warmup-excluded qps, optional -parallel sweep and -json report", runLoad},
 	{"genpairs", `emit "s t" query lines from the workload generator (feed for batch)`, runGenpairs},
@@ -144,8 +147,13 @@ func runServe(args []string, _ io.Reader, stdout, _ io.Writer) error {
 	readBudget := fs.Int("read-budget", 0, "admission budget for in-flight read work, in cost units of 1 + pairs/1024 (0 = default, <0 = unlimited); over-budget requests are shed with 429/Overloaded")
 	writeBudget := fs.Int("write-budget", 0, "admission budget for in-flight insert work, same units as -read-budget (0 = default, <0 = unlimited)")
 	methodName := fs.String("method", "", "index method to serve: "+strings.Join(highway.MethodNames(), " | ")+" (default: auto-detect from the index file; non-dynamic methods serve read-only)")
+	replicate := fs.String("replicate", "", "comma-separated follower binary addresses to ship the WAL to (primary role; requires -wal)")
+	follower := fs.Bool("follower", false, "run as a replication follower: bootstrap from the primary's snapshot stream, serve reads (no -graph needed; requires -binaddr for the replication frames)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *follower {
+		return runFollower(*addr, *binAddr, serve.Config{MaxBatch: *maxBatch, ReadBudget: *readBudget, WriteBudget: *writeBudget}, stdout)
 	}
 	if *readonly && *walPath != "" {
 		// A frozen server cannot replay or append the log; refusing
@@ -153,10 +161,29 @@ func runServe(args []string, _ io.Reader, stdout, _ io.Writer) error {
 		// edges.
 		return fmt.Errorf("-readonly and -wal are mutually exclusive")
 	}
+	if *replicate != "" && *walPath == "" {
+		// The generation file fencing rests on lives next to the WAL,
+		// and a primary whose acked writes are not durable cannot
+		// promise followers anything across a restart.
+		return fmt.Errorf("-replicate requires -wal (the generation file lives next to the log)")
+	}
 	cfg := serve.LiveConfig{
 		Config:           serve.Config{MaxBatch: *maxBatch, ReadBudget: *readBudget, WriteBudget: *writeBudget},
 		RebuildThreshold: *rebuildTh,
 		RebuildGrowth:    *rebuildGrowth,
+	}
+	var shipper *cluster.Shipper
+	if *replicate != "" {
+		gen, err := cluster.NextGeneration(*walPath + ".gen")
+		if err != nil {
+			return err
+		}
+		cfg.EpochBase = cluster.EpochBase(gen)
+		shipper = cluster.NewShipper(cluster.ShipperConfig{
+			Followers: strings.Split(*replicate, ","),
+		})
+		cfg.OnCommit = shipper.OnCommit
+		fmt.Fprintf(stdout, "hlserve: primary generation %d, replicating to %s\n", gen, *replicate)
 	}
 
 	// Resolve the method: sniff the index file's tag, cross-checked
@@ -244,6 +271,14 @@ func runServe(args []string, _ io.Reader, stdout, _ io.Writer) error {
 		}
 	}
 	defer srv.Close()
+	if shipper != nil {
+		if srv.LiveStats() == nil {
+			return fmt.Errorf("-replicate needs a live (writable) server")
+		}
+		shipper.Start(srv)
+		defer shipper.Close()
+		srv.SetReplicationStats(shipper.Stats)
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	fmt.Fprintf(stdout, "hlserve: %s\n", srv.Index().Stats())
@@ -269,6 +304,94 @@ func runServe(args []string, _ io.Reader, stdout, _ io.Writer) error {
 	errc := make(chan error, 2)
 	go func() { errc <- srv.ListenAndServeBinary(lctx, *binAddr) }()
 	go func() { errc <- srv.ListenAndServe(lctx, *addr) }()
+	err = <-errc
+	cancel()
+	if e2 := <-errc; err == nil {
+		err = e2
+	}
+	return err
+}
+
+// runFollower serves the replication-follower role: an initially-empty
+// server whose state arrives over the binary listener as a snapshot
+// stream plus per-batch appends. /readyz answers 503 until the first
+// snapshot installs.
+func runFollower(addr, binAddr string, cfg serve.Config, stdout io.Writer) error {
+	if binAddr == "" {
+		return fmt.Errorf("-follower requires -binaddr (replication frames arrive on the binary listener)")
+	}
+	f, err := cluster.NewFollower(cfg)
+	if err != nil {
+		return err
+	}
+	srv := f.Server()
+	defer srv.Close()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	fmt.Fprintf(stdout, "hlserve: follower awaiting snapshot bootstrap; HTTP on %s, binary (replication + reads) on %s\n", addr, binAddr)
+	lctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	errc := make(chan error, 2)
+	go func() { errc <- srv.ListenAndServeBinary(lctx, binAddr) }()
+	go func() { errc <- srv.ListenAndServe(lctx, addr) }()
+	err = <-errc
+	cancel()
+	if e2 := <-errc; err == nil {
+		err = e2
+	}
+	return err
+}
+
+// runRoute serves the router role: no local state, reads fanned across
+// the member lists, writes forwarded to the primary.
+func runRoute(args []string, _ io.Reader, stdout, _ io.Writer) error {
+	fs := flag.NewFlagSet("hlserve route", flag.ContinueOnError)
+	addr := fs.String("addr", ":8080", "HTTP listen address")
+	binAddr := fs.String("binaddr", "", "binary wire protocol listen address (empty = HTTP only)")
+	primary := fs.String("primary", "", "primary's binary address for forwarded writes (empty = read-only cluster)")
+	followers := fs.String("followers", "", "comma-separated follower binary addresses for read fan-out (one replica set; use -shards for landmark partitions)")
+	shardsFlag := fs.String("shards", "", "semicolon-separated landmark shards, each a comma-separated member list, e.g. a:9001,b:9001;c:9001 — reads fan to every shard and min-merge (exact; each shard holds a disjoint landmark subset)")
+	maxBatch := fs.Int("maxbatch", 0, "max pairs per batch request (0 = default)")
+	healthMs := fs.Int("health-interval", 0, "member health-check interval in milliseconds (0 = default)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *followers != "" && *shardsFlag != "" {
+		return fmt.Errorf("-followers and -shards are mutually exclusive (followers is shorthand for one shard)")
+	}
+	var shards [][]string
+	switch {
+	case *followers != "":
+		shards = [][]string{strings.Split(*followers, ",")}
+	case *shardsFlag != "":
+		for _, s := range strings.Split(*shardsFlag, ";") {
+			shards = append(shards, strings.Split(s, ","))
+		}
+	default:
+		return fmt.Errorf("route needs -followers or -shards")
+	}
+	rt, err := cluster.NewRouter(cluster.RouterConfig{
+		Primary:        *primary,
+		Shards:         shards,
+		MaxBatch:       *maxBatch,
+		HealthInterval: time.Duration(*healthMs) * time.Millisecond,
+	})
+	if err != nil {
+		return err
+	}
+	defer rt.Close()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	fmt.Fprintf(stdout, "hlserve: routing %d shard(s), primary %q; HTTP on %s\n", len(shards), *primary, *addr)
+	if *binAddr == "" {
+		return rt.ListenAndServe(ctx, *addr)
+	}
+	fmt.Fprintf(stdout, "hlserve: binary protocol listening on %s\n", *binAddr)
+	lctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	errc := make(chan error, 2)
+	go func() { errc <- rt.ListenAndServeBinary(lctx, *binAddr) }()
+	go func() { errc <- rt.ListenAndServe(lctx, *addr) }()
 	err = <-errc
 	cancel()
 	if e2 := <-errc; err == nil {
@@ -307,7 +430,7 @@ func runLoad(args []string, _ io.Reader, stdout, _ io.Writer) error {
 	deleteRatio := fs.Float64("deleteratio", 0, "fraction of churn mutations that delete a live edge instead of inserting (implies -churn 0.1 when churn is unset)")
 	skew := fs.Float64("skew", 0, "Zipf skew for churn insertion endpoints, >1 to enable (low vertex ids = hubs); uniform otherwise")
 	proto := fs.String("proto", "inproc", "target protocol: inproc (no wire protocol), http (HTTP/JSON API) or binary (PROTOCOL.md)")
-	target := fs.String("target", "", "drive an already-running server at this address (http base URL or binary host:port) instead of a self-hosted loopback listener")
+	target := fs.String("target", "", "drive already-running servers at this comma-separated address list (http base URLs or binary host:ports; workers spread round-robin) instead of a self-hosted loopback listener")
 	batch := fs.Int("batch", 1, "pairs per request (1 = the single-query path)")
 	warmup := fs.Int("warmup", 0, "per-worker warmup requests, issued before the clock starts and excluded from every reported figure (0 = a tenth of the per-worker requests, <0 = none)")
 	readBudget := fs.Int("read-budget", -1, "admission budget of the self-hosted server, in cost units of 1 + pairs/1024 (<0 = unlimited, the load-test default); shed requests are counted and timed separately")
@@ -429,29 +552,35 @@ func runLoad(args []string, _ io.Reader, stdout, _ io.Writer) error {
 	case "inproc":
 		factory = loadgen.InProcFactory(srv)
 	case "http":
-		base := *target
-		if base == "" {
+		// -target accepts a comma-separated endpoint list; workers are
+		// spread round-robin across them (aggregate replica-set QPS).
+		if *target == "" {
 			ln, stop, err := selfHost(func(ctx context.Context, ln net.Listener) error { return srv.Serve(ctx, ln) })
 			if err != nil {
 				return err
 			}
 			defer stop()
-			base = "http://" + ln.Addr().String()
-		} else if !strings.Contains(base, "://") {
-			base = "http://" + base
+			factory = loadgen.HTTPFactory("http://" + ln.Addr().String())
+		} else {
+			bases := strings.Split(*target, ",")
+			for i, b := range bases {
+				if !strings.Contains(b, "://") {
+					bases[i] = "http://" + b
+				}
+			}
+			factory = loadgen.MultiHTTPFactory(bases)
 		}
-		factory = loadgen.HTTPFactory(base)
 	case "binary":
-		addr := *target
-		if addr == "" {
+		if *target == "" {
 			ln, stop, err := selfHost(srv.ServeBinary)
 			if err != nil {
 				return err
 			}
 			defer stop()
-			addr = ln.Addr().String()
+			factory = loadgen.BinaryFactory(ln.Addr().String())
+		} else {
+			factory = loadgen.MultiBinaryFactory(strings.Split(*target, ","))
 		}
-		factory = loadgen.BinaryFactory(addr)
 	}
 
 	opt := loadgen.Options{

@@ -473,3 +473,40 @@ func (c *Client) Stats(ctx context.Context) (json.RawMessage, error) {
 func (c *Client) Ping(ctx context.Context) error {
 	return c.do(ctx, wire.TPing, nil, wire.TPingResp, nil)
 }
+
+// ReplAppend ships one WAL batch (ops in WAL record encoding, see
+// serve.EncodeWALOps) stamped with the primary's epoch, returning the
+// follower's durable epoch after it applied. A stale epoch surfaces as
+// *wire.RemoteError with wire.CodeFenced — deterministic, so the retry
+// layer correctly leaves it alone.
+func (c *Client) ReplAppend(ctx context.Context, epoch uint64, ops [][2]int32) (uint64, error) {
+	var cur uint64
+	err := c.do(ctx,
+		wire.TReplAppend, func(b []byte) []byte { return wire.AppendReplAppend(b, epoch, ops) },
+		wire.TReplAck, func(p []byte) error {
+			var derr error
+			cur, derr = wire.DecodeReplAck(p)
+			return derr
+		})
+	if err != nil {
+		return 0, err
+	}
+	return cur, nil
+}
+
+// ReplSnapshot ships one chunk of a streamed snapshot transfer (done on
+// the final chunk installs it), returning the follower's epoch.
+func (c *Client) ReplSnapshot(ctx context.Context, epoch uint64, done bool, chunk []byte) (uint64, error) {
+	var cur uint64
+	err := c.do(ctx,
+		wire.TReplSnapshot, func(b []byte) []byte { return wire.AppendReplSnapshot(b, epoch, done, chunk) },
+		wire.TReplSnapshotResp, func(p []byte) error {
+			var derr error
+			cur, derr = wire.DecodeReplAck(p)
+			return derr
+		})
+	if err != nil {
+		return 0, err
+	}
+	return cur, nil
+}

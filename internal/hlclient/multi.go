@@ -1,0 +1,176 @@
+package hlclient
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+
+	"highway/internal/serve"
+)
+
+// MultiClient fans calls over a set of equivalent endpoints — a replica
+// set's followers, or several routers — with one pooled Client (and
+// therefore one circuit breaker) per address. Calls rotate round-robin
+// across the endpoints; an endpoint whose breaker is open is skipped,
+// and a call that fails with ErrCircuitOpen fails over to the next
+// address instead of surfacing, so one dead replica costs a rotation
+// step, not an error. Only when every endpoint's breaker is open does a
+// call return ErrCircuitOpen.
+//
+// Each endpoint keeps its own breaker state: a flapping replica trips
+// only its own circuit while traffic keeps flowing to the healthy rest,
+// which is the property a shared breaker could not give. All methods
+// are safe for concurrent use.
+type MultiClient struct {
+	clients []*Client
+	next    atomic.Uint64
+}
+
+// DialMulti connects to every address (comma-separation is accepted
+// inside entries, so a flag value can be passed through verbatim) and
+// returns a MultiClient over them. Dialing is strict — every endpoint
+// must handshake, so a typo fails at startup, not at the first query
+// routed to it. cfg applies to each endpoint separately.
+func DialMulti(ctx context.Context, addrs []string, cfg Config) (*MultiClient, error) {
+	var flat []string
+	for _, a := range addrs {
+		for _, one := range strings.Split(a, ",") {
+			if one = strings.TrimSpace(one); one != "" {
+				flat = append(flat, one)
+			}
+		}
+	}
+	if len(flat) == 0 {
+		return nil, errors.New("hlclient: DialMulti needs at least one address")
+	}
+	m := &MultiClient{}
+	for _, a := range flat {
+		cl, err := Dial(ctx, a, cfg)
+		if err != nil {
+			m.Close()
+			return nil, fmt.Errorf("hlclient: multi dial: %w", err)
+		}
+		m.clients = append(m.clients, cl)
+	}
+	return m, nil
+}
+
+// Addrs returns the endpoint addresses in rotation order.
+func (m *MultiClient) Addrs() []string {
+	out := make([]string, len(m.clients))
+	for i, cl := range m.clients {
+		out[i] = cl.Addr()
+	}
+	return out
+}
+
+// Close releases every endpoint's pooled connections.
+func (m *MultiClient) Close() error {
+	var err error
+	for _, cl := range m.clients {
+		if cerr := cl.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// pick runs fn against endpoints starting at the round-robin cursor,
+// failing over on ErrCircuitOpen until every endpoint has been tried.
+// Any other outcome — success or failure — is the call's result: a
+// remote error or transport failure is the endpoint's own answer (its
+// breaker and retry layer already had their say), not a reason to
+// silently re-run the call elsewhere.
+func (m *MultiClient) pick(fn func(cl *Client) error) error {
+	start := m.next.Add(1) - 1
+	var firstErr error
+	for i := 0; i < len(m.clients); i++ {
+		cl := m.clients[(start+uint64(i))%uint64(len(m.clients))]
+		err := fn(cl)
+		if !errors.Is(err, ErrCircuitOpen) {
+			return err
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr // every breaker open
+}
+
+// Distance is Client.Distance over the rotation.
+func (m *MultiClient) Distance(ctx context.Context, s, t int32) (int32, error) {
+	d := int32(-1)
+	err := m.pick(func(cl *Client) error {
+		var cerr error
+		d, cerr = cl.Distance(ctx, s, t)
+		return cerr
+	})
+	return d, err
+}
+
+// DistanceBatch is Client.DistanceBatch over the rotation.
+func (m *MultiClient) DistanceBatch(ctx context.Context, pairs [][2]int32, dst []int32) ([]int32, error) {
+	var out []int32
+	err := m.pick(func(cl *Client) error {
+		var cerr error
+		out, cerr = cl.DistanceBatch(ctx, pairs, dst)
+		return cerr
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// InsertEdges is Client.InsertEdges over the rotation (against routers,
+// which forward writes to the primary; a replica set's followers would
+// answer ReadOnly).
+func (m *MultiClient) InsertEdges(ctx context.Context, edges [][2]int32) (serve.InsertResult, error) {
+	var res serve.InsertResult
+	err := m.pick(func(cl *Client) error {
+		var cerr error
+		res, cerr = cl.InsertEdges(ctx, edges)
+		return cerr
+	})
+	if err != nil {
+		return serve.InsertResult{}, err
+	}
+	return res, nil
+}
+
+// DeleteEdges is Client.DeleteEdges over the rotation.
+func (m *MultiClient) DeleteEdges(ctx context.Context, edges [][2]int32) (serve.DeleteResult, error) {
+	var res serve.DeleteResult
+	err := m.pick(func(cl *Client) error {
+		var cerr error
+		res, cerr = cl.DeleteEdges(ctx, edges)
+		return cerr
+	})
+	if err != nil {
+		return serve.DeleteResult{}, err
+	}
+	return res, nil
+}
+
+// Stats fetches the stats document of whichever endpoint the rotation
+// lands on.
+func (m *MultiClient) Stats(ctx context.Context) (json.RawMessage, error) {
+	var doc json.RawMessage
+	err := m.pick(func(cl *Client) error {
+		var cerr error
+		doc, cerr = cl.Stats(ctx)
+		return cerr
+	})
+	if err != nil {
+		return nil, err
+	}
+	return doc, nil
+}
+
+// Ping pings one endpoint of the rotation.
+func (m *MultiClient) Ping(ctx context.Context) error {
+	return m.pick(func(cl *Client) error { return cl.Ping(ctx) })
+}

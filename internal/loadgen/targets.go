@@ -142,6 +142,31 @@ func (t *httpTarget) Mutate(del bool, edges [][2]int32) error {
 	return drain(resp)
 }
 
+// MultiHTTPFactory spreads workers round-robin across several HTTP
+// endpoints (worker i drives bases[i%len]): the harness-side analogue
+// of a read replica set, measuring aggregate QPS across the fleet. With
+// one base it degenerates to HTTPFactory.
+func MultiHTTPFactory(bases []string) TargetFactory {
+	if len(bases) == 1 {
+		return HTTPFactory(bases[0])
+	}
+	return func(worker int) (Target, error) {
+		return HTTPFactory(bases[worker%len(bases)])(worker)
+	}
+}
+
+// MultiBinaryFactory spreads workers round-robin across several binary
+// protocol endpoints, one connection per worker. With one address it
+// degenerates to BinaryFactory.
+func MultiBinaryFactory(addrs []string) TargetFactory {
+	if len(addrs) == 1 {
+		return BinaryFactory(addrs[0])
+	}
+	return func(worker int) (Target, error) {
+		return BinaryFactory(addrs[worker%len(addrs)])(worker)
+	}
+}
+
 // BinaryFactory drives the binary protocol listener at addr through
 // one hlclient.Client per worker (pool size 1): each worker is one
 // connection with its own request queue, and batch answers reuse one

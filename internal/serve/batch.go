@@ -44,7 +44,7 @@ func (b BatchStats) String() string {
 // HTTP API without per-request dispatch.
 func (s *Server) RunBatch(r io.Reader, w io.Writer, workers int) (BatchStats, error) {
 	return s.runPipeline(w, workers, func(emit func(workload.Pair) error) error {
-		return workload.ReadPairs(r, s.n, emit)
+		return workload.ReadPairs(r, int(s.n.Load()), emit)
 	})
 }
 
@@ -53,7 +53,7 @@ func (s *Server) RunBatch(r io.Reader, w io.Writer, workers int) (BatchStats, er
 // deterministic load tests straight from the binary.
 func (s *Server) RunLoad(w io.Writer, count int, seed int64, workers int) (BatchStats, error) {
 	return s.runPipeline(w, workers, func(emit func(workload.Pair) error) error {
-		st := workload.NewStreamN(s.n, seed)
+		st := workload.NewStreamN(int(s.n.Load()), seed)
 		for i := 0; i < count; i++ {
 			if err := emit(st.Next()); err != nil {
 				return err
@@ -92,10 +92,10 @@ func (s *Server) RunLoadMixed(w io.Writer, count int, seed int64, workers int, w
 		return MixedStats{}, fmt.Errorf("serve: write ratio %v outside [0,1]", writeRatio)
 	}
 	var mixed MixedStats
-	n := int32(s.n)
+	n := int32(s.n.Load())
 	rng := rand.New(rand.NewSource(seed ^ 0x6c69_7665)) // distinct stream from the read workload
 	bs, err := s.runPipeline(w, workers, func(emit func(workload.Pair) error) error {
-		st := workload.NewStreamN(s.n, seed)
+		st := workload.NewStreamN(int(s.n.Load()), seed)
 		for i := 0; i < count; i++ {
 			if rng.Float64() < writeRatio {
 				a, b := rng.Int31n(n), rng.Int31n(n)

@@ -281,6 +281,47 @@ func (s *Server) serveBinaryConn(ctx context.Context, c net.Conn) {
 		case wire.TPing:
 			respType = wire.TPingResp
 
+		case wire.TReplAppend:
+			// Replication frames are never admission-gated: shedding the
+			// primary's shipping stream would turn overload into
+			// replica lag, the opposite of what the gate protects.
+			if s.repl == nil {
+				respType, scratch = wire.TError, wire.AppendError(scratch, wire.CodeMalformed,
+					"server is not a replication follower")
+				break
+			}
+			epoch, ops, derr := wire.DecodeReplAppend(payload, pairs)
+			if derr != nil {
+				respType, scratch = wire.TError, wire.AppendError(scratch, wire.CodeMalformed, derr.Error())
+				break
+			}
+			pairs = ops
+			cur, aerr := s.repl.ReplAppend(epoch, ops)
+			if aerr != nil {
+				respType, scratch = wire.TError, appendReplError(scratch, aerr)
+				break
+			}
+			respType, scratch = wire.TReplAck, wire.AppendReplAck(scratch, cur)
+			answered = int64(len(ops))
+
+		case wire.TReplSnapshot:
+			if s.repl == nil {
+				respType, scratch = wire.TError, wire.AppendError(scratch, wire.CodeMalformed,
+					"server is not a replication follower")
+				break
+			}
+			epoch, done, chunk, derr := wire.DecodeReplSnapshot(payload)
+			if derr != nil {
+				respType, scratch = wire.TError, wire.AppendError(scratch, wire.CodeMalformed, derr.Error())
+				break
+			}
+			cur, aerr := s.repl.ReplSnapshot(epoch, done, chunk)
+			if aerr != nil {
+				respType, scratch = wire.TError, appendReplError(scratch, aerr)
+				break
+			}
+			respType, scratch = wire.TReplSnapshotResp, wire.AppendReplAck(scratch, cur)
+
 		default:
 			respType, scratch = wire.TError, wire.AppendError(scratch, wire.CodeMalformed,
 				fmt.Sprintf("unknown record type 0x%02x", byte(typ)))
@@ -357,6 +398,16 @@ func appendMutationError(scratch []byte, err error) []byte {
 	}
 }
 
+// appendReplError maps a ReplicationHandler failure onto a TError
+// payload: fencing gets its own code so shippers can tell "stale
+// duplicate / deposed" from a genuine apply failure.
+func appendReplError(scratch []byte, err error) []byte {
+	if errors.Is(err, ErrFenced) {
+		return wire.AppendError(scratch, wire.CodeFenced, err.Error())
+	}
+	return wire.AppendError(scratch, wire.CodeInternal, err.Error())
+}
+
 // binEndpoint maps a request type to its metric slot, so binary
 // traffic shows up in /stats (and TStatsResp) beside the HTTP
 // endpoints.
@@ -372,6 +423,8 @@ func binEndpoint(t wire.Type) int {
 		return epBinDelete
 	case wire.TStats:
 		return epBinStats
+	case wire.TReplAppend, wire.TReplSnapshot:
+		return epBinRepl
 	default:
 		return epBinPing
 	}

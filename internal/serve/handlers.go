@@ -304,8 +304,14 @@ func (s *Server) handleDeleteEdges(w http.ResponseWriter, r *http.Request) (int6
 
 // statsResponse is the JSON shape of GET /stats.
 type statsResponse struct {
+	// Epoch is the served snapshot epoch at top level — one place for
+	// routers, fencing tests and dashboards to read it, on every role
+	// (read-only servers report 0; the live section repeats it for
+	// live servers).
+	Epoch         uint64                   `json:"epoch"`
 	Index         indexStats               `json:"index"`
 	Live          *LiveStats               `json:"live,omitempty"`
+	Replication   *ReplicationStats        `json:"replication,omitempty"`
 	Admission     AdmissionStats           `json:"admission"`
 	UptimeSeconds float64                  `json:"uptime_seconds"`
 	Endpoints     map[string]EndpointStats `json:"endpoints"`
@@ -328,8 +334,10 @@ type indexStats struct {
 func (s *Server) statsDoc() statsResponse {
 	st := s.snap.Load().ix.Stats()
 	return statsResponse{
-		Live:      s.LiveStats(),
-		Admission: s.AdmissionStats(),
+		Epoch:       s.Epoch(),
+		Live:        s.LiveStats(),
+		Replication: s.replicationStats(),
+		Admission:   s.AdmissionStats(),
 		Index: indexStats{
 			Method:       st.Method,
 			NumVertices:  st.NumVertices,
@@ -374,6 +382,27 @@ func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) (int64, boo
 			"detail": "WAL unwritable: writes rejected, reads served from the last snapshot",
 		})
 		return 0, true
+	}
+	if rs := s.replicationStats(); rs != nil {
+		if !rs.Bootstrapped {
+			// A follower that has not installed any state yet answers
+			// queries over an empty vertex range; routers must not send
+			// reads here until the first snapshot lands.
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+				"status":            "bootstrapping",
+				"detail":            "awaiting replication snapshot",
+				"replication_epoch": rs.Epoch,
+			})
+			return 0, true
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"status":                  "ready",
+			"replication_epoch":       rs.Epoch,
+			"replication_lag_batches": rs.LagBatches,
+			"replication_lag_ms":      rs.LagMs,
+		})
+		return 0, false
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
 	return 0, false

@@ -5,7 +5,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"io"
 	"os"
 	"path/filepath"
 	"sync"
@@ -56,6 +55,22 @@ type LiveConfig struct {
 	// at Max. Zeros mean DefaultRebuildRetryBase/DefaultRebuildRetryMax.
 	RebuildRetryBase time.Duration
 	RebuildRetryMax  time.Duration
+
+	// EpochBase seeds the snapshot epoch counter. A replicating primary
+	// passes its persisted generation shifted into the high 32 bits
+	// (cluster.NextGeneration), so every epoch it ever publishes is
+	// strictly above those of any earlier primary incarnation — the
+	// ordering epoch fencing rests on. 0 (the default) preserves the
+	// single-node behavior: epochs count 1, 2, 3, ...
+	EpochBase uint64
+
+	// OnCommit, when non-nil, is called after every accepted write
+	// batch, with the epoch it became visible at, while the writer lock
+	// is still held — calls arrive strictly in epoch order and before
+	// the write is acknowledged. It must not block (the cluster shipper
+	// enqueues and returns) and must not call back into the server's
+	// write path.
+	OnCommit func(epoch uint64, ops []dynhl.Op)
 }
 
 // DefaultRebuildThreshold is the accepted-edge count that triggers a
@@ -206,6 +221,10 @@ func NewLive(ix *core.Index, cfg LiveConfig) (*Server, error) {
 	up := &updater{cfg: cfg, dyn: dyn, wal: cfg.WAL, lastGraph: ix.Graph(),
 		baseEntries: ix.NumEntries(), closeCh: make(chan struct{})}
 	s.up = up
+	up.epoch.Store(cfg.EpochBase)
+	if cfg.EpochBase != 0 {
+		s.snap.Store(newSnapshot(ix, cfg.EpochBase))
+	}
 	if up.wal != nil {
 		if rec := up.wal.Recovered(); len(rec) > 0 {
 			if _, err := dyn.ApplyOps(rec); err != nil {
@@ -216,8 +235,8 @@ func NewLive(ix *core.Index, cfg LiveConfig) (*Server, error) {
 				return fail(fmt.Errorf("serve: wal replay freeze: %w", err))
 			}
 			up.lastGraph = g
-			up.epoch.Store(1)
-			s.snap.Store(newSnapshot(fresh, 1))
+			epoch := up.epoch.Add(1)
+			s.snap.Store(newSnapshot(fresh, epoch))
 		}
 		up.sinceRebuild = up.wal.Len()
 	}
@@ -274,13 +293,7 @@ func writeSnapshot(path string, g *graph.Graph, ix *core.Index, w *WAL) error {
 		return fmt.Errorf("serve: snapshot: %w", err)
 	}
 	bw := bufio.NewWriterSize(f, 1<<20)
-	_, err = bw.WriteString(snapMagic)
-	if err == nil {
-		err = g.WriteBinary(bw)
-	}
-	if err == nil {
-		err = ix.WriteFormat(bw, core.FormatV2)
-	}
+	err = EncodeSnapshot(bw, g, ix)
 	if err == nil {
 		err = bw.Flush()
 	}
@@ -310,18 +323,9 @@ func loadSnapshot(path string) (*graph.Graph, *core.Index, error) {
 		return nil, nil, fmt.Errorf("serve: snapshot: %w", err)
 	}
 	defer f.Close()
-	br := bufio.NewReaderSize(f, 1<<20)
-	var magic [len(snapMagic)]byte
-	if _, err := io.ReadFull(br, magic[:]); err != nil || string(magic[:]) != snapMagic {
-		return nil, nil, fmt.Errorf("serve: %s is not a serving snapshot (bad magic)", path)
-	}
-	g, err := graph.ReadBinary(br)
+	g, ix, err := DecodeSnapshot(bufio.NewReaderSize(f, 1<<20))
 	if err != nil {
-		return nil, nil, fmt.Errorf("serve: snapshot graph: %w", err)
-	}
-	ix, err := core.Read(br, g)
-	if err != nil {
-		return nil, nil, fmt.Errorf("serve: snapshot index: %w", err)
+		return nil, nil, fmt.Errorf("serve: %s: %w", path, err)
 	}
 	return g, ix, nil
 }
@@ -364,9 +368,10 @@ func (s *Server) mutate(ops []dynhl.Op) (dynhl.OpResult, uint64, error) {
 	if s.up == nil {
 		return dynhl.OpResult{}, 0, ErrReadOnly
 	}
+	n := s.n.Load()
 	for _, op := range ops {
-		if op.A < 0 || int(op.A) >= s.n || op.B < 0 || int(op.B) >= s.n {
-			return dynhl.OpResult{}, 0, fmt.Errorf("%w: {%d,%d} outside [0,%d)", ErrEdgeRange, op.A, op.B, s.n)
+		if op.A < 0 || int64(op.A) >= n || op.B < 0 || int64(op.B) >= n {
+			return dynhl.OpResult{}, 0, fmt.Errorf("%w: {%d,%d} outside [0,%d)", ErrEdgeRange, op.A, op.B, n)
 		}
 	}
 	up := s.up
@@ -409,6 +414,12 @@ func (s *Server) mutate(ops []dynhl.Op) (dynhl.OpResult, uint64, error) {
 	up.lastGraph = g
 	epoch := up.epoch.Add(1)
 	s.snap.Store(newSnapshot(fresh, epoch))
+	if up.cfg.OnCommit != nil {
+		// Under mu: commits reach the hook strictly in epoch order,
+		// before the write is acked, which is what lets the cluster
+		// shipper promise "every acked batch was enqueued for shipping".
+		up.cfg.OnCommit(epoch, ops)
+	}
 
 	up.sinceRebuild += len(ops)
 	var dels int64

@@ -21,6 +21,7 @@ const (
 	epBinDelete
 	epBinStats
 	epBinPing
+	epBinRepl
 	numEndpoints
 )
 
@@ -38,6 +39,7 @@ var endpointNames = [numEndpoints]string{
 	epBinDelete:   "bin_delete",
 	epBinStats:    "bin_stats",
 	epBinPing:     "bin_ping",
+	epBinRepl:     "bin_repl",
 }
 
 // endpointMetrics accumulates one endpoint's counters. All fields are

@@ -126,7 +126,11 @@ func newSnapshot(ix method.DistanceIndex, epoch uint64) *snapshot {
 // (updatable); the zero value is not usable.
 type Server struct {
 	cfg Config
-	n   int // vertex count; fixed for the server's lifetime (inserts add edges, not vertices)
+	// n is the served vertex count. Inserts add edges, not vertices, so
+	// it is constant on live servers — but a replication follower
+	// replaces its whole state when it installs a streamed snapshot
+	// (Publish), so reads load it atomically.
+	n atomic.Int64
 
 	// snap is the current read state. Readers Load it once per request
 	// and work against that immutable snapshot; writers publish a new
@@ -142,6 +146,11 @@ type Server struct {
 	// of capacity, because they drain one pool of CPU).
 	readGate  gate
 	writeGate gate
+
+	// Replication hooks (see repl.go): both are wired before the
+	// listeners start and read-only afterwards.
+	repl      ReplicationHandler
+	replStats func() *ReplicationStats
 
 	metrics metricSet
 	started time.Time
@@ -167,7 +176,8 @@ func newServer(ix method.DistanceIndex, n int, cfg Config) *Server {
 	if cfg.ShutdownGrace <= 0 {
 		cfg.ShutdownGrace = DefaultShutdownGrace
 	}
-	s := &Server{cfg: cfg, n: n, started: time.Now()}
+	s := &Server{cfg: cfg, started: time.Now()}
+	s.n.Store(int64(n))
 	s.readGate.budget = resolveBudget(cfg.ReadBudget, DefaultReadBudget)
 	s.writeGate.budget = resolveBudget(cfg.WriteBudget, DefaultWriteBudget)
 	s.snap.Store(newSnapshot(ix, 0))
@@ -244,11 +254,12 @@ func (s *Server) DistanceBatchContext(ctx context.Context, pairs [][2]int32, dst
 	return dst, err
 }
 
-// checkVertex validates a vertex id against the server's fixed vertex
-// set (inserts add edges, never vertices, so n is a constant).
+// checkVertex validates a vertex id against the served vertex set
+// (inserts add edges, never vertices; only a follower's Publish can
+// change n).
 func (s *Server) checkVertex(v int32) error {
-	if v < 0 || int(v) >= s.n {
-		return fmt.Errorf("vertex %d out of range [0,%d)", v, s.n)
+	if n := s.n.Load(); v < 0 || int64(v) >= n {
+		return fmt.Errorf("vertex %d out of range [0,%d)", v, n)
 	}
 	return nil
 }

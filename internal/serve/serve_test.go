@@ -435,7 +435,7 @@ func TestRunPipelineAbortsOnWriteError(t *testing.T) {
 	s := New(testIndex(t), Config{})
 	emitted := 0
 	_, err := s.runPipeline(&failWriter{}, 2, func(emit func(workload.Pair) error) error {
-		st := workload.NewStreamN(s.n, 1)
+		st := workload.NewStreamN(int(s.n.Load()), 1)
 		for i := 0; i < 10_000_000; i++ {
 			emitted++
 			if err := emit(st.Next()); err != nil {

@@ -66,6 +66,15 @@ const (
 	// a uint32 edge count followed by count (a,b) int32 pairs — the
 	// same shape as TInsert. Absent edges are acked no-ops.
 	TDelete Type = 0x06
+	// TReplAppend ships one acked WAL batch from a primary to a
+	// follower: payload is a uint64 epoch followed by a counted pair
+	// array in WAL record encoding (deletes are one's-complement pairs,
+	// both components negative — see PROTOCOL.md "Replication").
+	TReplAppend Type = 0x07
+	// TReplSnapshot streams one chunk of a `.snap` snapshot file to a
+	// bootstrapping follower: payload is a uint64 epoch, a uint8 done
+	// flag (1 on the final chunk) and the raw chunk bytes.
+	TReplSnapshot Type = 0x08
 )
 
 // Response record types (server → client).
@@ -87,6 +96,13 @@ const (
 	// TDeleteResp answers TDelete: payload is uint32 accepted, uint32
 	// deleted, uint64 epoch (all little-endian).
 	TDeleteResp Type = 0x86
+	// TReplAck answers TReplAppend: payload is the follower's durable
+	// uint64 epoch after applying the batch.
+	TReplAck Type = 0x87
+	// TReplSnapshotResp answers TReplSnapshot: payload is the
+	// follower's uint64 epoch (the snapshot's epoch once done=1 has
+	// been accepted and installed).
+	TReplSnapshotResp Type = 0x88
 	// TError answers any request that failed: payload is a uint16
 	// error code followed by a UTF-8 message.
 	TError Type = 0xFF
@@ -97,19 +113,23 @@ const (
 // table in PROTOCOL.md against this map, so the spec cannot drift from
 // the implementation.
 var TypeNames = map[Type]string{
-	TDistance:     "Distance",
-	TBatch:        "Batch",
-	TInsert:       "Insert",
-	TStats:        "Stats",
-	TPing:         "Ping",
-	TDelete:       "Delete",
-	TDistanceResp: "DistanceResp",
-	TBatchResp:    "BatchResp",
-	TInsertResp:   "InsertResp",
-	TStatsResp:    "StatsResp",
-	TPingResp:     "PingResp",
-	TDeleteResp:   "DeleteResp",
-	TError:        "Error",
+	TDistance:         "Distance",
+	TBatch:            "Batch",
+	TInsert:           "Insert",
+	TStats:            "Stats",
+	TPing:             "Ping",
+	TDelete:           "Delete",
+	TReplAppend:       "ReplAppend",
+	TReplSnapshot:     "ReplSnapshot",
+	TDistanceResp:     "DistanceResp",
+	TBatchResp:        "BatchResp",
+	TInsertResp:       "InsertResp",
+	TStatsResp:        "StatsResp",
+	TPingResp:         "PingResp",
+	TDeleteResp:       "DeleteResp",
+	TReplAck:          "ReplAck",
+	TReplSnapshotResp: "ReplSnapshotResp",
+	TError:            "Error",
 }
 
 func (t Type) String() string {
@@ -147,19 +167,29 @@ const (
 	// unwritable); the insert was rejected and NOT applied. Reads still
 	// work; writes may be retried after the server recovers.
 	CodeDegraded ErrorCode = 8
+	// CodeFenced: a replication frame carried an epoch at or below the
+	// follower's durable epoch — the sender is deposed or replaying
+	// already-applied history. The frame was NOT applied.
+	CodeFenced ErrorCode = 9
+	// CodeUnavailable: a router has no healthy upstream for the
+	// request (all members down or circuit-open). Nothing was
+	// executed; retrying after a backoff may succeed.
+	CodeUnavailable ErrorCode = 10
 )
 
 // ErrorCodeNames mirrors TypeNames for error codes; checked against
 // PROTOCOL.md by the same docs test.
 var ErrorCodeNames = map[ErrorCode]string{
-	CodeMalformed:  "Malformed",
-	CodeRange:      "Range",
-	CodeTooLarge:   "TooLarge",
-	CodeReadOnly:   "ReadOnly",
-	CodeClosed:     "Closed",
-	CodeInternal:   "Internal",
-	CodeOverloaded: "Overloaded",
-	CodeDegraded:   "Degraded",
+	CodeMalformed:   "Malformed",
+	CodeRange:       "Range",
+	CodeTooLarge:    "TooLarge",
+	CodeReadOnly:    "ReadOnly",
+	CodeClosed:      "Closed",
+	CodeInternal:    "Internal",
+	CodeOverloaded:  "Overloaded",
+	CodeDegraded:    "Degraded",
+	CodeFenced:      "Fenced",
+	CodeUnavailable: "Unavailable",
 }
 
 func (c ErrorCode) String() string {
@@ -456,6 +486,68 @@ func DecodeDeleteResult(p []byte) (accepted, deleted int, epoch uint64, err erro
 	return int(binary.LittleEndian.Uint32(p[0:4])),
 		int(binary.LittleEndian.Uint32(p[4:8])),
 		binary.LittleEndian.Uint64(p[8:16]), nil
+}
+
+// AppendReplAppend appends a TReplAppend payload: the primary's epoch
+// for the batch followed by a counted pair array of WAL-encoded ops
+// (deletes carry both components one's-complemented, i.e. negative).
+func AppendReplAppend(dst []byte, epoch uint64, ops [][2]int32) []byte {
+	dst = binary.LittleEndian.AppendUint64(dst, epoch)
+	return AppendPairs(dst, ops)
+}
+
+// DecodeReplAppend decodes a TReplAppend payload into dst (reused when
+// large enough).
+func DecodeReplAppend(p []byte, dst [][2]int32) (uint64, [][2]int32, error) {
+	if len(p) < 8 {
+		return 0, nil, fmt.Errorf("wire: repl append payload is %d bytes, want >= 8", len(p))
+	}
+	epoch := binary.LittleEndian.Uint64(p[0:8])
+	ops, err := DecodePairs(p[8:], dst)
+	if err != nil {
+		return 0, nil, err
+	}
+	return epoch, ops, nil
+}
+
+// AppendReplAck appends a TReplAck or TReplSnapshotResp payload: the
+// follower's durable epoch.
+func AppendReplAck(dst []byte, epoch uint64) []byte {
+	return binary.LittleEndian.AppendUint64(dst, epoch)
+}
+
+// DecodeReplAck decodes a TReplAck or TReplSnapshotResp payload.
+func DecodeReplAck(p []byte) (uint64, error) {
+	if len(p) != 8 {
+		return 0, fmt.Errorf("wire: repl ack payload is %d bytes, want 8", len(p))
+	}
+	return binary.LittleEndian.Uint64(p), nil
+}
+
+// AppendReplSnapshot appends a TReplSnapshot payload: the snapshot's
+// epoch, a done flag (1 on the final chunk) and one chunk of the
+// snapshot stream. Chunks must stay under MaxFrame; senders use a few
+// MiB so one frame never monopolizes the connection.
+func AppendReplSnapshot(dst []byte, epoch uint64, done bool, chunk []byte) []byte {
+	dst = binary.LittleEndian.AppendUint64(dst, epoch)
+	if done {
+		dst = append(dst, 1)
+	} else {
+		dst = append(dst, 0)
+	}
+	return append(dst, chunk...)
+}
+
+// DecodeReplSnapshot decodes a TReplSnapshot payload. The chunk slice
+// aliases p and is only valid until the reader's next ReadFrame.
+func DecodeReplSnapshot(p []byte) (epoch uint64, done bool, chunk []byte, err error) {
+	if len(p) < 9 {
+		return 0, false, nil, fmt.Errorf("wire: repl snapshot payload is %d bytes, want >= 9", len(p))
+	}
+	if p[8] > 1 {
+		return 0, false, nil, fmt.Errorf("wire: repl snapshot done flag is %d, want 0 or 1", p[8])
+	}
+	return binary.LittleEndian.Uint64(p[0:8]), p[8] == 1, p[9:], nil
 }
 
 // AppendError appends a TError payload.

@@ -307,3 +307,73 @@ func FuzzDeleteFrame(f *testing.F) {
 		}
 	})
 }
+
+func TestReplCodecs(t *testing.T) {
+	ops := [][2]int32{{1, 2}, {^int32(3), ^int32(4)}, {5, 5}}
+	epoch, got, err := DecodeReplAppend(AppendReplAppend(nil, 42, ops), nil)
+	if err != nil || epoch != 42 {
+		t.Fatalf("DecodeReplAppend: epoch=%d err=%v", epoch, err)
+	}
+	if len(got) != len(ops) || got[1] != ops[1] {
+		t.Fatalf("DecodeReplAppend pairs diverged: %v vs %v", got, ops)
+	}
+	if _, _, err := DecodeReplAppend([]byte{1, 2, 3}, nil); err == nil {
+		t.Fatal("short repl append payload accepted")
+	}
+
+	if e, err := DecodeReplAck(AppendReplAck(nil, 7)); err != nil || e != 7 {
+		t.Fatalf("DecodeReplAck: %d, %v", e, err)
+	}
+	if _, err := DecodeReplAck([]byte{1}); err == nil {
+		t.Fatal("short repl ack payload accepted")
+	}
+
+	chunk := []byte("snapshot-bytes")
+	e, done, c, err := DecodeReplSnapshot(AppendReplSnapshot(nil, 9, true, chunk))
+	if err != nil || e != 9 || !done || string(c) != string(chunk) {
+		t.Fatalf("DecodeReplSnapshot: epoch=%d done=%v chunk=%q err=%v", e, done, c, err)
+	}
+	e, done, c, err = DecodeReplSnapshot(AppendReplSnapshot(nil, 9, false, nil))
+	if err != nil || e != 9 || done || len(c) != 0 {
+		t.Fatalf("DecodeReplSnapshot empty chunk: epoch=%d done=%v chunk=%q err=%v", e, done, c, err)
+	}
+	if _, _, _, err := DecodeReplSnapshot([]byte{0, 0, 0, 0, 0, 0, 0, 0}); err == nil {
+		t.Fatal("8-byte repl snapshot payload accepted")
+	}
+	bad := AppendReplSnapshot(nil, 1, false, nil)
+	bad[8] = 2
+	if _, _, _, err := DecodeReplSnapshot(bad); err == nil {
+		t.Fatal("done flag 2 accepted")
+	}
+}
+
+// FuzzReplFrame holds the replication codecs total on arbitrary bytes:
+// DecodeReplAppend, DecodeReplAck and DecodeReplSnapshot must never
+// panic, and any payload they accept must re-encode byte-identically.
+// CI runs this target in the fuzz job next to FuzzDeleteFrame.
+func FuzzReplFrame(f *testing.F) {
+	f.Add(AppendReplAppend(nil, 42, [][2]int32{{1, 2}, {^int32(3), ^int32(4)}}))
+	f.Add(AppendReplAck(nil, 7))
+	f.Add(AppendReplSnapshot(nil, 9, true, []byte("chunk")))
+	f.Add(AppendReplSnapshot(nil, 9, false, nil))
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if epoch, ops, err := DecodeReplAppend(data, nil); err == nil {
+			if re := AppendReplAppend(nil, epoch, ops); !bytes.Equal(re, data) {
+				t.Fatalf("accepted ReplAppend payload does not round-trip: %x -> %x", data, re)
+			}
+		}
+		if epoch, err := DecodeReplAck(data); err == nil {
+			if re := AppendReplAck(nil, epoch); !bytes.Equal(re, data) {
+				t.Fatalf("accepted ReplAck payload does not round-trip: %x -> %x", data, re)
+			}
+		}
+		if epoch, done, chunk, err := DecodeReplSnapshot(data); err == nil {
+			if re := AppendReplSnapshot(nil, epoch, done, chunk); !bytes.Equal(re, data) {
+				t.Fatalf("accepted ReplSnapshot payload does not round-trip: %x -> %x", data, re)
+			}
+		}
+	})
+}
